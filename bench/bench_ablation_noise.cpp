@@ -1,0 +1,57 @@
+// Ablation A3: noise sensitivity.
+//
+// §6.3.1: "the speeds were subjected to a noise scheme during job execution
+// to simulate realistic variations in network conditions" — bids are made
+// from nominal speeds while actual transfers are noisy. This bench sweeps
+// the noise level and shows how the Bidding Scheduler's advantage degrades
+// as estimates diverge from reality, plus how historic-average estimation
+// (§6.4) copes compared to nominal estimation.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace dlaja;
+
+namespace {
+
+double mean_exec(const std::string& scheduler, const net::NoiseConfig& noise,
+                 cluster::SpeedEstimator::Mode estimation,
+                 const dlaja::bench::BenchOptions& options) {
+  core::ExperimentSpec spec = dlaja::bench::make_cell(
+      scheduler, workload::JobConfig::k80Large, cluster::FleetPreset::kFastSlow, options);
+  spec.noise = noise;
+  spec.estimation = estimation;
+  spec.probe_speeds = estimation == cluster::SpeedEstimator::Mode::kHistoric;
+  double total = 0.0;
+  const auto reports = core::run_experiment(spec);
+  for (const auto& r : reports) total += r.exec_time_s / static_cast<double>(reports.size());
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_options(argc, argv);
+  const double sigmas[] = {0.0, 0.1, 0.25, 0.5, 0.75, 1.0};
+
+  TextTable table("Ablation A3 — noise sweep (lognormal sigma; 80%_large, fast-slow)");
+  table.set_header({"sigma", "bidding (s)", "baseline (s)", "speedup",
+                    "bidding+historic (s)"});
+  for (const double sigma : sigmas) {
+    const auto noise = net::NoiseConfig::lognormal(sigma);
+    const double bid =
+        mean_exec("bidding", noise, cluster::SpeedEstimator::Mode::kNominal, options);
+    const double base =
+        mean_exec("baseline", noise, cluster::SpeedEstimator::Mode::kNominal, options);
+    const double bid_hist =
+        mean_exec("bidding", noise, cluster::SpeedEstimator::Mode::kHistoric, options);
+    table.add_row({fmt_fixed(sigma, 2), fmt_fixed(bid, 1), fmt_fixed(base, 1),
+                   fmt_ratio(base / bid), fmt_fixed(bid_hist, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: with exact estimates (sigma 0) bidding's placement is optimal\n"
+               "for its cost model; as noise grows, estimated and actual times diverge\n"
+               "and the advantage over the locality-only baseline narrows.\n";
+  return 0;
+}

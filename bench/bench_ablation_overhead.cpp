@@ -1,0 +1,61 @@
+// Ablation A2: the bidding-overhead crossover (paper conclusion #3).
+//
+// "The Bidding Scheduler exhibits an overhead that makes it more effective
+// for large resources and long-running workflows. However, for small
+// resources or short workflows, competing for jobs unnecessarily prolongs
+// the execution." This bench sweeps the (uniform) resource size and reports
+// the bidding/baseline execution-time ratio, exposing where the crossover
+// falls.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace dlaja;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_options(argc, argv);
+  const double sizes_mb[] = {2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0};
+
+  TextTable table("Ablation A2 — resource-size sweep (one-fast fleet, all-distinct jobs)");
+  table.set_header({"size (MB)", "bidding (s)", "baseline (s)", "bidding/baseline"});
+
+  std::vector<metrics::RunReport> all;
+  for (const double size : sizes_mb) {
+    double exec[2] = {0.0, 0.0};
+    int idx = 0;
+    for (const std::string scheduler : {"bidding", "baseline"}) {
+      core::ExperimentSpec spec;
+      spec.scheduler = scheduler;
+      workload::WorkloadSpec wspec;
+      wspec.name = "uniform_" + std::to_string(static_cast<int>(size)) + "mb";
+      wspec.job_count = options.jobs;
+      // Pin every resource to exactly `size` MB, all distinct; dense
+      // arrivals keep allocation overhead on the critical path.
+      wspec.weight_small = 1.0;
+      wspec.weight_medium = 0.0;
+      wspec.weight_large = 0.0;
+      wspec.ranges.small_lo = size;
+      wspec.ranges.small_hi = size;
+      wspec.arrival_mean_s = 0.5;
+      spec.custom_workload = wspec;
+      spec.fleet = cluster::FleetPreset::kOneFast;
+      spec.iterations = options.iterations;
+      spec.seed = options.seed;
+      const auto reports = core::run_experiment(spec);
+      for (const auto& r : reports) {
+        exec[idx] += r.exec_time_s / static_cast<double>(reports.size());
+        all.push_back(r);
+      }
+      ++idx;
+    }
+    table.add_row({fmt_fixed(size, 0), fmt_fixed(exec[0], 1), fmt_fixed(exec[1], 1),
+                   fmt_ratio(exec[0] / exec[1])});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: ratios above 1.0 mean the contest overhead costs more than the\n"
+               "placement improves (small resources); below 1.0 bidding wins (large\n"
+               "resources) — the paper's conclusion #3 crossover.\n";
+  bench::maybe_dump_csv(options, all);
+  return 0;
+}

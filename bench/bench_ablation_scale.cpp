@@ -1,0 +1,54 @@
+// Ablation A4: cluster-size scaling.
+//
+// The paper evaluates 5 workers; this ablation sweeps the fleet size and
+// reports how the Bidding Scheduler's contest machinery scales: messages
+// per job grow linearly with the worker count (one broadcast + N bids),
+// and serialized contests bound the allocation throughput — visible as
+// allocation latency once jobs arrive faster than contests close.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace dlaja;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_options(argc, argv);
+  const std::size_t fleet_sizes[] = {2, 5, 10, 15, 25};
+
+  TextTable table("Ablation A4 — fleet-size sweep (all_diff_equal, all-equal workers)");
+  table.set_header({"workers", "bidding (s)", "baseline (s)", "speedup", "msgs/job (bid)",
+                    "alloc lat (s)"});
+  for (const std::size_t workers : fleet_sizes) {
+    double exec[2] = {0.0, 0.0};
+    double messages_per_job = 0.0;
+    double alloc_latency = 0.0;
+    int idx = 0;
+    for (const std::string scheduler : {"bidding", "baseline"}) {
+      core::ExperimentSpec spec = bench::make_cell(
+          scheduler, workload::JobConfig::kAllDiffEqual, cluster::FleetPreset::kAllEqual,
+          options);
+      spec.worker_count = workers;
+      const auto reports = core::run_experiment(spec);
+      for (const auto& r : reports) {
+        const auto n = static_cast<double>(reports.size());
+        exec[idx] += r.exec_time_s / n;
+        if (scheduler == "bidding") {
+          messages_per_job += static_cast<double>(r.messages_delivered) /
+                              static_cast<double>(r.jobs_completed) / n;
+          alloc_latency += r.avg_alloc_latency_s / n;
+        }
+      }
+      ++idx;
+    }
+    table.add_row({std::to_string(workers), fmt_fixed(exec[0], 1), fmt_fixed(exec[1], 1),
+                   fmt_ratio(exec[1] / exec[0]), fmt_fixed(messages_per_job, 1),
+                   fmt_fixed(alloc_latency, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: per-job messaging grows ~linearly with the fleet (broadcast +\n"
+               "one bid per worker), the paper's main decentralisation cost. With more\n"
+               "workers the cluster drains the same 120 jobs faster until arrivals, not\n"
+               "capacity, bound the run.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Ablation A7: shared bandwidth / origin contention.
+//
+// The paper's premise (§1): "network bandwidth is a scarce resource
+// compared to CPU speed". The basic cost model gives every clone the
+// node's full bandwidth; this ablation turns on the flow-level network,
+// where concurrent clones share per-node capacity and the repository
+// host's (origin's) upload. Sweeping the origin capacity shows that the
+// scarcer bandwidth is, the more the Bidding Scheduler's avoided
+// downloads are worth.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace dlaja;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_options(argc, argv);
+  // Fleet demand is 5 x ~40 MB/s = ~200 MB/s; sweep the origin from scarce
+  // to abundant (inf modeled as a huge cap).
+  const double origins[] = {50.0, 100.0, 200.0, 400.0, 1e9};
+
+  TextTable table("Ablation A7 — origin-capacity sweep (80%_large, all-equal fleet, "
+                  "shared bandwidth)");
+  table.set_header({"origin (MB/s)", "bidding (s)", "baseline (s)", "speedup",
+                    "bid data (MB)", "base data (MB)"});
+  for (const double origin : origins) {
+    double exec[2] = {0.0, 0.0};
+    double data[2] = {0.0, 0.0};
+    int idx = 0;
+    for (const std::string scheduler : {"bidding", "baseline"}) {
+      core::ExperimentSpec spec = bench::make_cell(
+          scheduler, workload::JobConfig::k80Large, cluster::FleetPreset::kAllEqual, options);
+      // run_experiment drives Engine through the spec; shared bandwidth is
+      // an engine knob, so run the iterations manually here.
+      const auto workload =
+          workload::generate_workload(*spec.custom_workload, SeedSequencer(spec.seed));
+      std::vector<std::vector<storage::Resource>> carried;
+      for (int iteration = 0; iteration < spec.iterations; ++iteration) {
+        core::EngineConfig config;
+        config.seed = spec.seed + 1000003ULL * static_cast<std::uint64_t>(iteration);
+        config.noise = spec.noise;
+        config.shared_bandwidth = true;
+        config.origin_capacity_mbps = origin;
+        core::Engine engine(cluster::make_fleet(spec.fleet),
+                            sched::make_scheduler(scheduler, spec.seed), config);
+        for (std::size_t w = 0; w < carried.size(); ++w) {
+          engine.preload_cache(static_cast<cluster::WorkerIndex>(w), carried[w]);
+        }
+        const auto report = engine.run(workload.jobs);
+        exec[idx] += report.exec_time_s / spec.iterations;
+        data[idx] += report.data_load_mb / spec.iterations;
+        carried = engine.cache_snapshots();
+      }
+      ++idx;
+    }
+    const std::string label = origin >= 1e8 ? "unbounded" : fmt_fixed(origin, 0);
+    table.add_row({label, fmt_fixed(exec[0], 1), fmt_fixed(exec[1], 1),
+                   fmt_ratio(exec[1] / exec[0]), fmt_fixed(data[0], 0),
+                   fmt_fixed(data[1], 0)});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: a scarce origin stretches every redundant clone, so the\n"
+               "baseline's extra downloads cost more wall-clock and bidding's advantage\n"
+               "widens — the scarcer the bandwidth, the more locality pays.\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation A8: parallel execution slots per worker.
+//
+// The paper's workers drain their FIFO queue serially; Crossflow's
+// acceptance criteria nonetheless mention CPU capacity as a worker
+// attribute. This ablation gives every worker S parallel slots (bids
+// estimate completion as backlog / S) and shows how intra-worker
+// parallelism interacts with locality scheduling: more slots shorten
+// queues, which weakens the backlog signal that separates bids.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace dlaja;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_options(argc, argv);
+  const std::uint32_t slot_counts[] = {1, 2, 4, 8};
+
+  TextTable table("Ablation A8 — slots per worker (80%_large, fast-slow fleet)");
+  table.set_header({"slots", "bidding (s)", "baseline (s)", "speedup", "bid misses",
+                    "base misses"});
+  for (const std::uint32_t slots : slot_counts) {
+    double exec[2] = {0.0, 0.0};
+    double misses[2] = {0.0, 0.0};
+    int idx = 0;
+    for (const std::string scheduler : {"bidding", "baseline"}) {
+      core::ExperimentSpec spec = bench::make_cell(
+          scheduler, workload::JobConfig::k80Large, cluster::FleetPreset::kFastSlow, options);
+      auto fleet = cluster::make_fleet(spec.fleet, spec.worker_count);
+      for (auto& worker : fleet) worker.slots = slots;
+      spec.custom_fleet = fleet;
+      const auto reports = core::run_experiment(spec);
+      for (const auto& r : reports) {
+        const auto n = static_cast<double>(reports.size());
+        exec[idx] += r.exec_time_s / n;
+        misses[idx] += static_cast<double>(r.cache_misses) / n;
+      }
+      ++idx;
+    }
+    table.add_row({std::to_string(slots), fmt_fixed(exec[0], 1), fmt_fixed(exec[1], 1),
+                   fmt_ratio(exec[1] / exec[0]), fmt_fixed(misses[0], 1),
+                   fmt_fixed(misses[1], 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: parallel slots cut both schedulers' makespans (downloads and\n"
+               "processing overlap), while bidding's relative advantage persists as long\n"
+               "as transfers, not queue depth, dominate the completion estimates.\n";
+  return 0;
+}

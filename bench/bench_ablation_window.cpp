@@ -1,0 +1,58 @@
+// Ablation A1: the bidding window.
+//
+// The paper fixes the master's bidding window at 1 s. This ablation sweeps
+// the window and shows the trade-off the choice embodies: a short window
+// closes contests before stragglers' bids arrive (more timeout closes and
+// arbitrary fallbacks -> worse placement), while a long window adds pure
+// allocation latency to every job whose contest does not fill early.
+
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "sched/bidding.hpp"
+
+using namespace dlaja;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_options(argc, argv);
+  const double windows_s[] = {0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0};
+
+  TextTable table("Ablation A1 — bidding-window sweep (80%_large, fast-slow fleet)");
+  table.set_header({"window (s)", "exec (s)", "alloc latency (s)", "misses", "data (MB)"});
+
+  std::vector<metrics::RunReport> all;
+  for (const double window : windows_s) {
+    core::ExperimentSpec spec = bench::make_cell("bidding", workload::JobConfig::k80Large,
+                                                 cluster::FleetPreset::kFastSlow, options);
+    // Stragglers are what the window protects against: make them visible.
+    auto fleet = cluster::make_fleet(spec.fleet);
+    for (auto& w : fleet) w.bid_straggle_probability = 0.10;
+    spec.custom_fleet = fleet;
+    spec.make_scheduler = [window] {
+      sched::BiddingConfig config;
+      config.window_s = window;
+      return std::make_unique<sched::BiddingScheduler>(config);
+    };
+    const auto reports = core::run_experiment(spec);
+
+    metrics::AggregateCell agg;
+    for (const auto& r : reports) {
+      agg.exec_time_s.add(r.exec_time_s);
+      agg.cache_misses.add(static_cast<double>(r.cache_misses));
+      agg.data_load_mb.add(r.data_load_mb);
+      agg.alloc_latency_s.add(r.avg_alloc_latency_s);
+      all.push_back(r);
+    }
+    table.add_row({fmt_fixed(window, 2), fmt_fixed(agg.exec_time_s.mean(), 1),
+                   fmt_fixed(agg.alloc_latency_s.mean(), 3),
+                   fmt_fixed(agg.cache_misses.mean(), 2),
+                   fmt_fixed(agg.data_load_mb.mean(), 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: allocation latency grows with the window once contests stop\n"
+               "filling early; very short windows lose bids from straggling workers and\n"
+               "degrade placement. The paper's 1 s sits on the flat part of the curve.\n";
+  bench::maybe_dump_csv(options, all);
+  return 0;
+}

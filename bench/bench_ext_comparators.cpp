@@ -1,0 +1,78 @@
+// Extension E1: the related-work comparison the paper defers to future work
+// ("comparing the approach to other locality scheduling techniques such as
+// Matchmaking", §7).
+//
+// Runs the §6.3 matrix with the full scheduler zoo: Bidding (and its
+// learned-correction variant), the Crossflow Baseline, Matchmaking [9],
+// Delay scheduling [14], the Spark-like allocator, and a random floor.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace dlaja;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_options(argc, argv);
+  const std::vector<std::string> schedulers = {"bidding", "bidding+learned", "baseline",
+                                               "matchmaking", "delay", "bar",
+                                               "spark-like", "random"};
+
+  std::vector<core::ExperimentSpec> specs;
+  for (const auto& scheduler : schedulers) {
+    for (const auto config : workload::all_job_configs()) {
+      for (const auto fleet : cluster::all_fleet_presets()) {
+        specs.push_back(bench::make_cell(scheduler, config, fleet, options));
+      }
+    }
+  }
+  const auto reports = core::run_matrix(specs, options.threads);
+
+  metrics::Aggregator per_workload, overall;
+  for (const auto& r : reports) {
+    per_workload.add(r.scheduler + "|" + r.workload, r);
+    overall.add(r.scheduler, r);
+  }
+
+  for (const char* metric : {"exec", "misses", "data"}) {
+    const std::string title =
+        metric == std::string("exec")   ? "avg execution time (s)"
+        : metric == std::string("misses") ? "avg cache misses"
+                                          : "avg data load (MB)";
+    TextTable table("E1 — " + title + " per workload per scheduler");
+    std::vector<std::string> header = {"workload"};
+    for (const auto& s : schedulers) header.push_back(s);
+    table.set_header(header);
+    for (const auto config : workload::all_job_configs()) {
+      std::vector<std::string> row = {workload::job_config_name(config)};
+      for (const auto& scheduler : schedulers) {
+        const auto& cell =
+            per_workload.cell(scheduler + "|" + workload::job_config_name(config));
+        if (metric == std::string("exec")) {
+          row.push_back(fmt_fixed(cell.exec_time_s.mean(), 1));
+        } else if (metric == std::string("misses")) {
+          row.push_back(fmt_fixed(cell.cache_misses.mean(), 1));
+        } else {
+          row.push_back(fmt_fixed(cell.data_load_mb.mean(), 0));
+        }
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  TextTable summary("E1 — overall means across the full matrix");
+  summary.set_header({"scheduler", "exec (s)", "misses", "data (MB)", "alloc lat (s)"});
+  for (const auto& scheduler : schedulers) {
+    const auto& cell = overall.cell(scheduler);
+    summary.add_row({scheduler, fmt_fixed(cell.exec_time_s.mean(), 1),
+                     fmt_fixed(cell.cache_misses.mean(), 1),
+                     fmt_fixed(cell.data_load_mb.mean(), 0),
+                     fmt_fixed(cell.alloc_latency_s.mean(), 3)});
+  }
+  summary.print(std::cout);
+
+  bench::maybe_dump_csv(options, reports);
+  return 0;
+}

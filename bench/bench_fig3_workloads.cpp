@@ -1,0 +1,114 @@
+// Figure 3 reproduction: accumulated results per workload per algorithm.
+//
+// The paper's Fig. 3 shows, for the five §6.3.1 job configurations, the
+// average (a) end-to-end execution time, (b) cache-miss count and (c) data
+// load per workflow run, for the Bidding Scheduler vs the Baseline —
+// averaged over the four worker configurations and three iterations each.
+//
+// Paper anchors:
+//   * overall: Bidding ~24.5% faster, ~49% fewer misses, ~45.3% less data;
+//   * 80%_large: 22.65 vs 45.5 misses; 5270.87 vs 10786.88 MB; 41% faster;
+//   * all_diff_equal: 9591.45 vs 17908.08 MB (26.83 fewer misses, ~57%).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace dlaja;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_options(argc, argv);
+  const std::vector<std::string> schedulers = {"bidding", "baseline"};
+
+  std::vector<core::ExperimentSpec> specs;
+  for (const auto& scheduler : schedulers) {
+    for (const auto config : workload::all_job_configs()) {
+      for (const auto fleet : cluster::all_fleet_presets()) {
+        specs.push_back(bench::make_cell(scheduler, config, fleet, options));
+      }
+    }
+  }
+  const auto reports = core::run_matrix(specs, options.threads);
+
+  // Aggregate per (scheduler, workload) over fleets and iterations.
+  metrics::Aggregator agg;
+  for (const auto& r : reports) agg.add(r.scheduler + "|" + r.workload, r);
+
+  const auto cell = [&](const std::string& scheduler, workload::JobConfig config)
+      -> const metrics::AggregateCell& {
+    return agg.cell(scheduler + "|" + workload::job_config_name(config));
+  };
+
+  // --- Fig. 3a: average total execution time per workload ----------------
+  {
+    TextTable table("Figure 3a — average total execution time per workload (s)");
+    table.set_header({"workload", "bidding", "baseline", "speedup"});
+    for (const auto config : workload::all_job_configs()) {
+      const double b = cell("bidding", config).exec_time_s.mean();
+      const double base = cell("baseline", config).exec_time_s.mean();
+      table.add_row({workload::job_config_name(config), fmt_fixed(b, 1), fmt_fixed(base, 1),
+                     fmt_ratio(base / b)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  // --- Fig. 3b: average cache-miss count per workload --------------------
+  {
+    TextTable table("Figure 3b — average cache misses per workload");
+    table.set_header({"workload", "bidding", "baseline", "reduction", "paper"});
+    for (const auto config : workload::all_job_configs()) {
+      const double b = cell("bidding", config).cache_misses.mean();
+      const double base = cell("baseline", config).cache_misses.mean();
+      std::string paper = "-";
+      if (config == workload::JobConfig::k80Large) paper = "22.65 vs 45.5";
+      table.add_row({workload::job_config_name(config), fmt_fixed(b, 2), fmt_fixed(base, 2),
+                     fmt_percent(1.0 - b / base), paper});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  // --- Fig. 3c: average data load per workload ----------------------------
+  {
+    TextTable table("Figure 3c — average data load per workload (MB)");
+    table.set_header({"workload", "bidding", "baseline", "reduction", "paper"});
+    for (const auto config : workload::all_job_configs()) {
+      const double b = cell("bidding", config).data_load_mb.mean();
+      const double base = cell("baseline", config).data_load_mb.mean();
+      std::string paper = "-";
+      if (config == workload::JobConfig::k80Large) paper = "5270.87 vs 10786.88";
+      if (config == workload::JobConfig::kAllDiffEqual) paper = "9591.45 vs 17908.08";
+      table.add_row({workload::job_config_name(config), fmt_fixed(b, 2), fmt_fixed(base, 2),
+                     fmt_percent(1.0 - b / base), paper});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  // --- headline aggregates (paper §6.3.2 conclusions 1-2) -----------------
+  {
+    metrics::Aggregator overall;
+    for (const auto& r : reports) overall.add(r.scheduler, r);
+    const auto& bid = overall.cell("bidding");
+    const auto& base = overall.cell("baseline");
+    TextTable table("Overall (paper: ~24.5% faster, ~49% fewer misses, ~45.3% less data)");
+    table.set_header({"metric", "bidding", "baseline", "delta", "paper"});
+    table.add_row({"exec time (s)", fmt_fixed(bid.exec_time_s.mean(), 1),
+                   fmt_fixed(base.exec_time_s.mean(), 1),
+                   fmt_percent(1.0 - bid.exec_time_s.mean() / base.exec_time_s.mean()),
+                   "24.5%"});
+    table.add_row({"cache misses", fmt_fixed(bid.cache_misses.mean(), 2),
+                   fmt_fixed(base.cache_misses.mean(), 2),
+                   fmt_percent(1.0 - bid.cache_misses.mean() / base.cache_misses.mean()),
+                   "49%"});
+    table.add_row({"data load (MB)", fmt_fixed(bid.data_load_mb.mean(), 1),
+                   fmt_fixed(base.data_load_mb.mean(), 1),
+                   fmt_percent(1.0 - bid.data_load_mb.mean() / base.data_load_mb.mean()),
+                   "45.3%"});
+    table.print(std::cout);
+  }
+
+  bench::maybe_dump_csv(options, reports);
+  return 0;
+}

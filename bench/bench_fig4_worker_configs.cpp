@@ -1,0 +1,76 @@
+// Figure 4 reproduction: average execution times per workload per algorithm,
+// broken down by worker configuration.
+//
+// The paper's Fig. 4 is the full (worker config × job config × algorithm)
+// execution-time breakdown. Its headline reading: the Bidding Scheduler is
+// comparable to or somewhat slower than the Baseline when one worker is
+// significantly faster and the data is small (contest overhead dominates),
+// and clearly faster when workers are slow / restricted or resources are
+// large (worker-aware estimates dominate).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace dlaja;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_options(argc, argv);
+
+  std::vector<core::ExperimentSpec> specs;
+  for (const std::string scheduler : {"bidding", "baseline"}) {
+    for (const auto config : workload::all_job_configs()) {
+      for (const auto fleet : cluster::all_fleet_presets()) {
+        specs.push_back(bench::make_cell(scheduler, config, fleet, options));
+      }
+    }
+  }
+  const auto reports = core::run_matrix(specs, options.threads);
+
+  metrics::Aggregator agg;
+  for (const auto& r : reports) {
+    agg.add(r.scheduler + "|" + r.workload + "|" + r.worker_config, r);
+  }
+  const auto exec = [&](const std::string& scheduler, workload::JobConfig config,
+                        cluster::FleetPreset fleet) {
+    return agg
+        .cell(scheduler + "|" + workload::job_config_name(config) + "|" +
+              cluster::fleet_preset_name(fleet))
+        .exec_time_s.mean();
+  };
+
+  for (const auto fleet : cluster::all_fleet_presets()) {
+    TextTable table("Figure 4 — avg execution time (s), worker config: " +
+                    cluster::fleet_preset_name(fleet));
+    table.set_header({"workload", "bidding", "baseline", "bidding vs baseline"});
+    for (const auto config : workload::all_job_configs()) {
+      const double b = exec("bidding", config, fleet);
+      const double base = exec("baseline", config, fleet);
+      table.add_row({workload::job_config_name(config), fmt_fixed(b, 1), fmt_fixed(base, 1),
+                     fmt_percent(1.0 - b / base) + " faster"});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  // The paper's qualitative claim, checked explicitly: small resources on a
+  // one-fast fleet vs large resources on a one-slow fleet.
+  const double small_fast_gain =
+      1.0 - exec("bidding", workload::JobConfig::kAllDiffSmall, cluster::FleetPreset::kOneFast) /
+                exec("baseline", workload::JobConfig::kAllDiffSmall,
+                     cluster::FleetPreset::kOneFast);
+  const double large_slow_gain =
+      1.0 - exec("bidding", workload::JobConfig::kAllDiffLarge, cluster::FleetPreset::kOneSlow) /
+                exec("baseline", workload::JobConfig::kAllDiffLarge,
+                     cluster::FleetPreset::kOneSlow);
+  std::cout << "Crossover check (paper conclusion #3):\n"
+            << "  bidding gain, small resources + one-fast fleet: "
+            << fmt_percent(small_fast_gain) << "\n"
+            << "  bidding gain, large resources + one-slow fleet: "
+            << fmt_percent(large_slow_gain) << "\n"
+            << "  expected: the small/fast gain is lower (possibly negative) — "
+            << (small_fast_gain < large_slow_gain ? "HOLDS" : "DOES NOT HOLD") << "\n";
+
+  bench::maybe_dump_csv(options, reports);
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Micro benchmarks (google-benchmark): throughput of the substrates the
+// reproduction is built on — event queue, RNG, broker delivery, cache
+// operations, and whole-simulation rates for both schedulers.
+
+#include <benchmark/benchmark.h>
+
+#include "core/engine.hpp"
+#include "msg/broker.hpp"
+#include "sched/factory.hpp"
+#include "sim/simulator.hpp"
+#include "storage/cache.hpp"
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace dlaja;
+
+void BM_EventQueueScheduleFire(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (std::size_t i = 0; i < batch; ++i) {
+      sim.schedule_at(static_cast<Tick>(i % 97), [] {});
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_EventQueueScheduleFire)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_EventCancellation(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::vector<sim::EventId> ids;
+    ids.reserve(1024);
+    for (int i = 0; i < 1024; ++i) ids.push_back(sim.schedule_at(i, [] {}));
+    for (const auto id : ids) sim.cancel(id);
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventCancellation);
+
+void BM_Xoshiro(benchmark::State& state) {
+  Xoshiro256 rng(42);
+  std::uint64_t acc = 0;
+  for (auto _ : state) acc += rng();
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Xoshiro);
+
+void BM_RandomVariates(benchmark::State& state) {
+  RandomStream rng(42);
+  double acc = 0.0;
+  for (auto _ : state) {
+    acc += rng.lognormal(0.0, 0.3) + rng.exponential(2.0) + rng.bounded_pareto(1.0, 100.0, 1.1);
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations() * 3);
+}
+BENCHMARK(BM_RandomVariates);
+
+void BM_BrokerSendDeliver(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::NetworkModel network(SeedSequencer(1), net::NoiseConfig::none());
+    const auto a = network.register_node("a", {});
+    const auto b = network.register_node("b", {});
+    msg::Broker broker(sim, network);
+    std::uint64_t count = 0;
+    broker.register_mailbox(b, "box", [&](const msg::Message&) { ++count; });
+    for (int i = 0; i < 1000; ++i) broker.send(a, b, "box", i);
+    sim.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_BrokerSendDeliver);
+
+void BM_CacheLruChurn(benchmark::State& state) {
+  storage::CacheConfig config;
+  config.policy = storage::EvictionPolicy::kLru;
+  config.capacity_mb = 1000.0;
+  storage::ResourceCache cache(config);
+  storage::ResourceId next = 1;
+  for (auto _ : state) {
+    cache.admit({next, 10.0});
+    benchmark::DoNotOptimize(cache.access(next > 50 ? next - 50 : next));
+    ++next;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheLruChurn);
+
+void BM_FullSimulation(benchmark::State& state) {
+  const bool bidding = state.range(0) == 1;
+  const auto workload = workload::generate_workload(
+      workload::make_workload_spec(workload::JobConfig::k80Large), SeedSequencer(42));
+  for (auto _ : state) {
+    core::EngineConfig config;
+    config.seed = 42;
+    core::Engine engine(cluster::make_fleet(cluster::FleetPreset::kFastSlow),
+                        sched::make_scheduler(bidding ? "bidding" : "baseline"), config);
+    const auto report = engine.run(workload.jobs);
+    benchmark::DoNotOptimize(report.exec_time_s);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(workload.jobs.size()));
+  state.SetLabel(bidding ? "bidding/120jobs" : "baseline/120jobs");
+}
+BENCHMARK(BM_FullSimulation)->Arg(1)->Arg(0);
+
+}  // namespace
+
+BENCHMARK_MAIN();

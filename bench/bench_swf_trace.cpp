@@ -1,0 +1,75 @@
+// Extension E2: locality scheduling on an HPC workload trace (SWF).
+//
+// The reproduction hint calls for public workload traces; SWF is the
+// Parallel Workloads Archive format. This harness runs a synthetic SWF log
+// (same format, deterministic) through the adapter — successive runs of
+// the same application reuse its input dataset — and compares the
+// scheduler zoo on arrival patterns and size distributions shaped like a
+// real HPC log. Point `--swf <file>` at an actual archive log to use one.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "workload/swf.hpp"
+
+using namespace dlaja;
+
+int main(int argc, char** argv) {
+  // Local flags on top of the common ones: --swf <path>.
+  std::string swf_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--swf" && i + 1 < argc) swf_path = argv[i + 1];
+  }
+  const bench::BenchOptions options = bench::parse_options(argc, argv);
+
+  workload::SwfOptions swf_options;
+  swf_options.time_scale = 0.02;  // compress the log so the cluster saturates
+  swf_options.reference_rw_mbps = 2.0;
+  swf_options.max_jobs = 400;
+
+  workload::GeneratedWorkload workload = [&] {
+    if (!swf_path.empty()) return workload::load_swf_file(swf_path, swf_options);
+    std::stringstream log;
+    workload::write_synthetic_swf(log, 400, 20, options.seed);
+    return workload::convert_swf(workload::parse_swf(log), swf_options, "synthetic-swf");
+  }();
+
+  std::cout << "trace: " << workload.name << " — " << workload.jobs.size() << " jobs, "
+            << workload.catalog.count() << " application datasets, "
+            << fmt_fixed(workload.unique_mb() / 1024.0, 2) << " GB distinct / "
+            << fmt_fixed(workload.naive_mb() / 1024.0, 2) << " GB naive\n\n";
+
+  TextTable table("E2 — scheduler comparison on the SWF trace (3 carried iterations)");
+  table.set_header({"scheduler", "exec (s)", "misses", "data (MB)", "fairness"});
+  for (const std::string scheduler :
+       {"bidding", "baseline", "matchmaking", "delay", "bar", "spark-like"}) {
+    double exec = 0.0, misses = 0.0, data = 0.0, fairness = 0.0;
+    std::vector<std::vector<storage::Resource>> carried;
+    const int iterations = options.iterations;
+    for (int iteration = 0; iteration < iterations; ++iteration) {
+      core::EngineConfig config;
+      config.seed = options.seed + 1000003ULL * static_cast<std::uint64_t>(iteration);
+      core::Engine engine(cluster::make_fleet(cluster::FleetPreset::kAllEqual),
+                          sched::make_scheduler(scheduler, options.seed), config);
+      for (std::size_t w = 0; w < carried.size(); ++w) {
+        engine.preload_cache(static_cast<cluster::WorkerIndex>(w), carried[w]);
+      }
+      const auto report = engine.run(workload.jobs);
+      exec += report.exec_time_s / iterations;
+      misses += static_cast<double>(report.cache_misses) / iterations;
+      data += report.data_load_mb / iterations;
+      fairness += report.fairness_index / iterations;
+      carried = engine.cache_snapshots();
+    }
+    table.add_row({scheduler, fmt_fixed(exec, 1), fmt_fixed(misses, 1), fmt_fixed(data, 0),
+                   fmt_fixed(fairness, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: HPC logs repeat applications heavily, so the locality-aware\n"
+               "schedulers avoid most dataset staging; the fairness column shows the\n"
+               "§3 trade-off — locality concentrates work on dataset holders.\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Quickstart: build a cluster, run one workload under the Bidding Scheduler
+// and the Crossflow Baseline, and compare the paper's three metrics.
+//
+//   ./quickstart [workload] [fleet] [jobs]
+//     workload: all_diff_equal | all_diff_large | all_diff_small |
+//               80%_large | 80%_small            (default 80%_large)
+//     fleet:    all-equal | one-fast | one-slow | fast-slow (default fast-slow)
+//     jobs:     job count (default 120)
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "util/table.hpp"
+
+using namespace dlaja;
+
+int main(int argc, char** argv) {
+  const std::string workload_name = argc > 1 ? argv[1] : "80%_large";
+  const std::string fleet_name = argc > 2 ? argv[2] : "fast-slow";
+  const std::size_t jobs = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 120;
+
+  TextTable table("Bidding vs Baseline — " + workload_name + " on " + fleet_name);
+  table.set_header({"scheduler", "iter", "exec time (s)", "cache misses", "data load (MB)"});
+
+  double exec[2] = {0, 0};
+  int row = 0;
+  for (const std::string& scheduler : {std::string("bidding"), std::string("baseline")}) {
+    core::ExperimentSpec spec;
+    spec.scheduler = scheduler;
+    workload::WorkloadSpec wspec =
+        workload::make_workload_spec(workload::job_config_from_name(workload_name));
+    wspec.job_count = jobs;
+    spec.custom_workload = wspec;
+    spec.fleet = cluster::fleet_preset_from_name(fleet_name);
+    spec.iterations = 3;
+
+    for (const metrics::RunReport& r : core::run_experiment(spec)) {
+      table.add_row({r.scheduler, std::to_string(r.iteration), fmt_fixed(r.exec_time_s, 1),
+                     std::to_string(r.cache_misses), fmt_fixed(r.data_load_mb, 1)});
+      exec[row] += r.exec_time_s / 3.0;
+    }
+    table.add_separator();
+    ++row;
+  }
+  table.print(std::cout);
+  std::cout << "\nmean end-to-end: bidding " << fmt_fixed(exec[0], 1) << "s vs baseline "
+            << fmt_fixed(exec[1], 1) << "s  (speedup " << fmt_ratio(exec[1] / exec[0])
+            << ")\n";
+  return 0;
+}

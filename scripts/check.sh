@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Full local check: configure, build (warnings are errors), test, and run
+# every benchmark harness once. Usage: scripts/check.sh [build-dir]
+set -euo pipefail
+BUILD="${1:-build-check}"
+cmake -B "$BUILD" -G Ninja -DDLAJA_WERROR=ON
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" --output-on-failure
+for bench in "$BUILD"/bench/bench_*; do
+  [ -x "$bench" ] || continue
+  echo "==== $bench"
+  "$bench"
+done
+echo "ALL CHECKS PASSED"

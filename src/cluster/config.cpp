@@ -1,0 +1,96 @@
+#include "cluster/config.hpp"
+
+#include <stdexcept>
+
+namespace dlaja::cluster {
+
+std::string fleet_preset_name(FleetPreset preset) {
+  switch (preset) {
+    case FleetPreset::kAllEqual: return "all-equal";
+    case FleetPreset::kOneFast: return "one-fast";
+    case FleetPreset::kOneSlow: return "one-slow";
+    case FleetPreset::kFastSlow: return "fast-slow";
+  }
+  return "?";
+}
+
+FleetPreset fleet_preset_from_name(const std::string& name) {
+  if (name == "all-equal") return FleetPreset::kAllEqual;
+  if (name == "one-fast") return FleetPreset::kOneFast;
+  if (name == "one-slow") return FleetPreset::kOneSlow;
+  if (name == "fast-slow") return FleetPreset::kFastSlow;
+  throw std::invalid_argument("unknown fleet preset: " + name);
+}
+
+namespace {
+
+constexpr MbPerSec kAvgNet = 40.0, kAvgRw = 80.0;
+constexpr MbPerSec kFastNet = 120.0, kFastRw = 200.0;
+constexpr MbPerSec kSlowNet = 4.0, kSlowRw = 20.0;
+
+[[nodiscard]] WorkerConfig average_worker(std::size_t index) {
+  WorkerConfig w;
+  w.name = "worker-" + std::to_string(index);
+  // Small deterministic spread (+/- up to 7.5%) so "all equal" workers are
+  // nearly but not exactly identical, matching the paper's description.
+  const double spread = 1.0 + 0.025 * (static_cast<double>(index % 5) - 2.0);
+  w.network_mbps = kAvgNet * spread;
+  w.rw_mbps = kAvgRw * spread;
+  return w;
+}
+
+}  // namespace
+
+std::vector<WorkerConfig> make_fleet(FleetPreset preset, std::size_t worker_count) {
+  if (worker_count == 0) throw std::invalid_argument("make_fleet: need at least one worker");
+  std::vector<WorkerConfig> fleet;
+  fleet.reserve(worker_count);
+  for (std::size_t i = 0; i < worker_count; ++i) fleet.push_back(average_worker(i));
+
+  switch (preset) {
+    case FleetPreset::kAllEqual:
+      break;
+    case FleetPreset::kOneFast:
+      fleet[0].network_mbps = kFastNet;
+      fleet[0].rw_mbps = kFastRw;
+      fleet[0].name += "-fast";
+      break;
+    case FleetPreset::kOneSlow:
+      fleet[0].network_mbps = kSlowNet;
+      fleet[0].rw_mbps = kSlowRw;
+      fleet[0].name += "-slow";
+      break;
+    case FleetPreset::kFastSlow:
+      fleet[0].network_mbps = kFastNet;
+      fleet[0].rw_mbps = kFastRw;
+      fleet[0].name += "-fast";
+      if (worker_count > 1) {
+        fleet[1].network_mbps = kSlowNet;
+        fleet[1].rw_mbps = kSlowRw;
+        fleet[1].name += "-slow";
+      }
+      break;
+  }
+  return fleet;
+}
+
+std::vector<FleetPreset> all_fleet_presets() {
+  return {FleetPreset::kAllEqual, FleetPreset::kOneFast, FleetPreset::kOneSlow,
+          FleetPreset::kFastSlow};
+}
+
+std::vector<net::RegionId> scatter_fleet(std::vector<WorkerConfig>& fleet,
+                                         const net::Topology& topology,
+                                         net::RegionId broker_region, RandomStream& rng) {
+  std::vector<net::RegionId> regions;
+  regions.reserve(fleet.size());
+  for (WorkerConfig& worker : fleet) {
+    const net::RegionId region = topology.random_region(rng);
+    worker.latency_ms = topology.latency_ms(region, broker_region);
+    worker.name += "@" + topology.name(region);
+    regions.push_back(region);
+  }
+  return regions;
+}
+
+}  // namespace dlaja::cluster

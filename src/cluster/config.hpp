@@ -1,0 +1,84 @@
+#pragma once
+// Worker configuration and the paper's four worker-fleet presets (§6.3.1).
+
+#include <string>
+#include <vector>
+
+#include "net/noise.hpp"
+#include "net/topology.hpp"
+#include "storage/cache.hpp"
+#include "util/units.hpp"
+
+namespace dlaja::cluster {
+
+/// Static configuration of one worker node.
+struct WorkerConfig {
+  std::string name = "worker";
+
+  /// Nominal download bandwidth, MB/s. Used for bid estimates; actual
+  /// transfers multiply in a noise factor (§6.3.1's "noise scheme").
+  MbPerSec network_mbps = 40.0;
+
+  /// Nominal read/write (processing) speed, MB/s — the paper computes
+  /// processing time as repository size / read-write speed.
+  MbPerSec rw_mbps = 80.0;
+
+  /// Parallel execution slots. The paper's workers process their FIFO
+  /// queue serially (slots = 1, the default); more slots model multi-core
+  /// workers running several jobs concurrently, each at full rw speed
+  /// (Crossflow's acceptance criteria mention CPU capacity as a worker
+  /// attribute). Bids estimate completion as backlog / slots.
+  std::uint32_t slots = 1;
+
+  /// Control-plane latency to the broker (one way) and its jitter.
+  double latency_ms = 5.0;
+  double latency_jitter_ms = 3.0;
+
+  /// Local storage configuration (unbounded by default, as in the paper).
+  storage::CacheConfig cache;
+
+  /// Time the worker's bidding thread needs to compute an estimate before
+  /// replying to a bid request.
+  double bid_compute_ms = 2.0;
+
+  /// With this probability a bid reply stalls by `bid_straggle_ms` (models
+  /// CPU contention on t3.micro-class instances); stalls longer than the
+  /// master's bidding window make the worker miss the contest.
+  double bid_straggle_probability = 0.02;
+  double bid_straggle_ms = 1500.0;
+
+  /// Idle-poll interval for pull-based schedulers (Baseline, Matchmaking).
+  double heartbeat_ms = 100.0;
+};
+
+/// The four §6.3.1 fleet presets. `worker_count` defaults to the paper's 5.
+enum class FleetPreset { kAllEqual, kOneFast, kOneSlow, kFastSlow };
+
+/// Human-readable preset name ("all-equal", "one-fast", ...).
+[[nodiscard]] std::string fleet_preset_name(FleetPreset preset);
+
+/// Parses a preset name; throws std::invalid_argument on unknown names.
+[[nodiscard]] FleetPreset fleet_preset_from_name(const std::string& name);
+
+/// Builds the worker configs for a preset.
+///
+/// Speeds (MB/s): average worker ~(net 40, rw 80); fast ~(120, 200);
+/// slow ~(8, 30). "All equal" applies small deterministic offsets so the
+/// workers are "the same, or nearly the same" as the paper puts it.
+[[nodiscard]] std::vector<WorkerConfig> make_fleet(FleetPreset preset,
+                                                   std::size_t worker_count = 5);
+
+/// All four presets, for sweep-style benches.
+[[nodiscard]] std::vector<FleetPreset> all_fleet_presets();
+
+/// Geographically scatters a fleet (§6.2: instance locations "randomly
+/// determined during configuration startup"): each worker lands in a random
+/// region of `topology` and its control-plane latency to the broker (in
+/// `broker_region`) becomes the inter-region latency. Returns each worker's
+/// region, index-aligned with `fleet`.
+[[nodiscard]] std::vector<net::RegionId> scatter_fleet(std::vector<WorkerConfig>& fleet,
+                                                       const net::Topology& topology,
+                                                       net::RegionId broker_region,
+                                                       RandomStream& rng);
+
+}  // namespace dlaja::cluster

@@ -1,0 +1,87 @@
+#pragma once
+// Wire payloads exchanged between master and workers via the broker.
+//
+// Topic / mailbox contract:
+//   topic  "bids/requests"   -> BidRequest        (master broadcasts)
+//   mailbox master "bids"    -> BidSubmission     (workers reply)
+//   mailbox worker "jobs"    -> JobAssignment     (master assigns)
+//   mailbox worker "offers"  -> JobOffer          (pull schedulers offer)
+//   mailbox master "offers"  -> OfferResponse     (worker accepts/declines)
+//   mailbox master "done"    -> CompletionReport  (worker reports results)
+
+#include <cstdint>
+#include <vector>
+
+#include "util/units.hpp"
+#include "workflow/workflow.hpp"
+
+namespace dlaja::cluster {
+
+/// Dense worker index within the cluster (0..worker_count-1).
+using WorkerIndex = std::uint32_t;
+
+inline constexpr WorkerIndex kNoWorker = static_cast<WorkerIndex>(-1);
+
+/// Master -> all workers: a job is open for bidding (Listing 1, sendJob).
+struct BidRequest {
+  std::uint64_t contest = 0;
+  workflow::Job job;
+};
+
+/// Worker -> master: completion-time estimate (Listing 2, sendBid).
+struct BidSubmission {
+  std::uint64_t contest = 0;
+  workflow::JobId job_id = 0;
+  WorkerIndex worker = kNoWorker;
+  double cost_s = 0.0;  ///< estimated seconds until this worker finishes the job
+};
+
+/// Master -> winning worker: job assignment (Listing 1, sendToWorker).
+struct JobAssignment {
+  workflow::Job job;
+};
+
+/// Master -> one worker (pull schedulers): would you take this job?
+struct JobOffer {
+  std::uint64_t offer = 0;
+  workflow::Job job;
+  std::uint32_t round = 0;  ///< how many times this job has been offered before
+};
+
+/// Worker -> master: accept/decline an offer.
+struct OfferResponse {
+  std::uint64_t offer = 0;
+  workflow::JobId job_id = 0;
+  WorkerIndex worker = kNoWorker;
+  bool accepted = false;
+};
+
+/// Worker -> master: job finished (Listing 2, consumeJob tail).
+struct CompletionReport {
+  workflow::JobId job_id = 0;
+  WorkerIndex worker = kNoWorker;
+};
+
+/// Worker -> master (pull schedulers): I am idle, give me work.
+struct WorkRequest {
+  WorkerIndex worker = kNoWorker;
+};
+
+/// Master -> worker (pull schedulers): nothing suitable right now; poll
+/// again after your heartbeat (Matchmaking's "remain idle for a single
+/// heartbeat").
+struct NoWorkNotice {};
+
+namespace topics {
+inline constexpr const char* kBidRequests = "bids/requests";
+}
+namespace mailboxes {
+inline constexpr const char* kBids = "bids";
+inline constexpr const char* kJobs = "jobs";
+inline constexpr const char* kOffers = "offers";
+inline constexpr const char* kOfferResponses = "offer-responses";
+inline constexpr const char* kCompletions = "done";
+inline constexpr const char* kWorkRequests = "work-requests";
+}  // namespace mailboxes
+
+}  // namespace dlaja::cluster

@@ -1,0 +1,16 @@
+#include "cluster/speed_estimator.hpp"
+
+namespace dlaja::cluster {
+
+void SpeedEstimator::observe(MbPerSec measured) noexcept {
+  if (measured <= 0.0) return;
+  sum_ += measured;
+  ++count_;
+}
+
+MbPerSec SpeedEstimator::estimate() const noexcept {
+  if (mode_ == Mode::kNominal || count_ == 0) return nominal_;
+  return sum_ / static_cast<double>(count_);
+}
+
+}  // namespace dlaja::cluster

@@ -1,0 +1,47 @@
+#pragma once
+// Worker-side speed estimation.
+//
+// The controlled experiments (§6.3) use the *preconfigured* nominal speeds
+// for bids; the MSR experiments (§6.4) instead measure the speed achieved
+// on every completed job and bid with the *historic average* of all
+// measurements, seeded by probing a 100 MB repository in advance. Both
+// modes are provided here.
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace dlaja::cluster {
+
+class SpeedEstimator {
+ public:
+  enum class Mode {
+    kNominal,   ///< always report the configured nominal speed (§6.3)
+    kHistoric,  ///< report the running average of measured speeds (§6.4)
+  };
+
+  SpeedEstimator(Mode mode, MbPerSec nominal) noexcept
+      : mode_(mode), nominal_(nominal) {}
+
+  /// Folds one measured speed (e.g. size / download duration) into the
+  /// historic average. No-op for values <= 0.
+  void observe(MbPerSec measured) noexcept;
+
+  /// The speed to use in the next bid. In historic mode with no
+  /// observations yet, falls back to the nominal speed (the paper seeds
+  /// the history with an up-front probe; the engine feeds that probe in
+  /// via observe()).
+  [[nodiscard]] MbPerSec estimate() const noexcept;
+
+  [[nodiscard]] Mode mode() const noexcept { return mode_; }
+  [[nodiscard]] MbPerSec nominal() const noexcept { return nominal_; }
+  [[nodiscard]] std::uint64_t observations() const noexcept { return count_; }
+
+ private:
+  Mode mode_;
+  MbPerSec nominal_;
+  double sum_ = 0.0;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace dlaja::cluster

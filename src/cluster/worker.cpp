@@ -1,0 +1,265 @@
+#include "cluster/worker.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "util/log.hpp"
+
+namespace dlaja::cluster {
+
+WorkerNode::WorkerNode(WorkerIndex index, const WorkerConfig& config,
+                       sim::Simulator& simulator, net::NetworkModel& network,
+                       net::NodeId node, metrics::MetricsCollector& metrics,
+                       const SeedSequencer& seeds, SpeedEstimator::Mode estimation_mode)
+    : index_(index),
+      config_(config),
+      sim_(simulator),
+      net_(network),
+      node_(node),
+      metrics_(metrics),
+      cache_(config.cache),
+      net_est_(estimation_mode, config.network_mbps),
+      rw_est_(estimation_mode, config.rw_mbps),
+      disk_rng_(seeds.seed_for("disk/" + config.name)),
+      bid_rng_(seeds.seed_for("bid/" + config.name)) {
+  slots_.resize(std::max<std::uint32_t>(1, config_.slots));
+  metrics_.worker(index_).name = config_.name;
+}
+
+std::size_t WorkerNode::busy_slots() const noexcept {
+  std::size_t count = 0;
+  for (const auto& slot : slots_) {
+    if (slot != nullptr) ++count;
+  }
+  return count;
+}
+
+bool WorkerNode::has_local(const workflow::Job& job) const noexcept {
+  return !job.needs_resource() || cache_.contains(job.resource);
+}
+
+bool WorkerNode::has_local_or_pending(storage::ResourceId resource) const noexcept {
+  return cache_.contains(resource) || pending_resources_.count(resource) > 0;
+}
+
+double WorkerNode::estimate_transfer_s(const workflow::Job& job) const {
+  if (!job.needs_resource() || has_local_or_pending(job.resource)) return 0.0;
+  return job.resource_size_mb / std::max(net_est_.estimate(), 1e-9);
+}
+
+double WorkerNode::estimate_processing_s(const workflow::Job& job) const {
+  return job.process_mb / std::max(rw_est_.estimate(), 1e-9) +
+         seconds_from_ticks(job.fixed_cost);
+}
+
+double WorkerNode::backlog_cost_s() const {
+  double total = 0.0;
+  // Simulate the FIFO queue in order, tracking which resources will have
+  // become local by the time each queued job runs: the first queued job
+  // for an absent resource pays the transfer; later ones do not.
+  std::unordered_set<storage::ResourceId> assumed_local;
+  for (const auto& slot : slots_) {
+    if (slot == nullptr) continue;
+    const Tick remaining = slot->est_finish - sim_.now();
+    if (remaining > 0) total += seconds_from_ticks(remaining);
+    if (slot->job.needs_resource()) assumed_local.insert(slot->job.resource);
+  }
+  for (const workflow::Job& job : queue_) {
+    if (job.needs_resource() && !cache_.contains(job.resource) &&
+        assumed_local.find(job.resource) == assumed_local.end()) {
+      total += job.resource_size_mb / std::max(net_est_.estimate(), 1e-9);
+    }
+    if (job.needs_resource()) assumed_local.insert(job.resource);
+    total += estimate_processing_s(job);
+  }
+  return total;
+}
+
+double WorkerNode::estimate_bid_s(const workflow::Job& job) const {
+  // Listing 2, lines 2-5. With parallel slots the backlog drains S-wide,
+  // so the expected wait for a lane is the total divided by the slots.
+  const double lanes = static_cast<double>(std::max<std::uint32_t>(1, config_.slots));
+  return backlog_cost_s() / lanes + estimate_transfer_s(job) + estimate_processing_s(job);
+}
+
+Tick WorkerNode::sample_bid_delay() {
+  double ms = bid_rng_.uniform(0.5 * config_.bid_compute_ms, 1.5 * config_.bid_compute_ms);
+  if (bid_rng_.bernoulli(config_.bid_straggle_probability)) {
+    ms += bid_rng_.uniform(0.5 * config_.bid_straggle_ms, 1.5 * config_.bid_straggle_ms);
+  }
+  return ticks_from_millis(ms);
+}
+
+void WorkerNode::enqueue(const workflow::Job& job) {
+  if (failed_) {
+    DLAJA_LOG(kWarn, "worker") << config_.name << " dropped job " << job.id
+                               << " (worker failed; no fault tolerance)";
+    return;
+  }
+  queue_.push_back(job);
+  if (job.needs_resource()) ++pending_resources_[job.resource];
+  fill_slots();
+}
+
+void WorkerNode::probe_speeds(MegaBytes probe_mb) {
+  // §6.4: "speeds were obtained by examining a repository of 100MB in
+  // advance". One effective-bandwidth draw and one effective-rw draw.
+  const MbPerSec net_measured = net_.sample_effective_bandwidth(node_);
+  net_est_.observe(net_measured);
+  const double rw_factor = net_.noise().sample(disk_rng_);
+  rw_est_.observe(config_.rw_mbps * rw_factor);
+  (void)probe_mb;  // the measured *speed* is size-independent in this model
+}
+
+void WorkerNode::set_failed(bool failed) {
+  if (failed_ == failed) return;
+  failed_ = failed;
+  if (failed_) {
+    for (auto& slot : slots_) {
+      if (slot == nullptr) continue;
+      if (slot->event.valid()) sim_.cancel(slot->event);
+      if (slot->flow.valid() && flows_ != nullptr) {
+        flows_->cancel_flow(slot->flow);  // a partial clone is not a clone
+      }
+      slot.reset();
+    }
+    // The in-flight jobs and the queue are lost (paper §5: no policies for
+    // a worker dying after winning a bid).
+    queue_.clear();
+    pending_resources_.clear();
+  }
+}
+
+void WorkerNode::fill_slots() {
+  if (failed_) return;
+  for (std::size_t index = 0; index < slots_.size() && !queue_.empty(); ++index) {
+    if (slots_[index] != nullptr) continue;
+    workflow::Job job = queue_.front();
+    queue_.pop_front();
+
+    auto slot = std::make_unique<ExecSlot>();
+    slot->job = std::move(job);
+    // The estimate of this job's duration, frozen now, gives the remaining-
+    // cost component of later backlog queries. The job runs immediately, so
+    // only the *actual* cache matters (its own pending entry must not mask
+    // its transfer cost).
+    double est_s = estimate_processing_s(slot->job);
+    if (slot->job.needs_resource() && !cache_.contains(slot->job.resource)) {
+      est_s += slot->job.resource_size_mb / std::max(net_est_.estimate(), 1e-9);
+    }
+    slot->est_finish = sim_.now() + ticks_from_seconds(est_s);
+
+    metrics::JobRecord& record = metrics_.job(slot->job.id);
+    record.worker = index_;
+    record.started = sim_.now();
+
+    bool miss = false;
+    if (slot->job.needs_resource()) {
+      const bool hit = cache_.access(slot->job.resource);
+      if (hit) {
+        ++metrics_.worker(index_).cache_hits;
+      } else {
+        miss = true;
+      }
+    }
+    slots_[index] = std::move(slot);
+    if (miss) {
+      begin_transfer(index);
+    } else {
+      begin_processing(index, /*transfer_ticks_taken=*/0, /*transferred_mb=*/0.0,
+                       /*was_miss=*/false);
+    }
+  }
+}
+
+void WorkerNode::begin_transfer(std::size_t slot_index) {
+  ExecSlot& slot = *slots_[slot_index];
+  assert(slot.job.needs_resource());
+  slot.transfer_started = sim_.now();
+  if (flows_ != nullptr) {
+    // Shared bandwidth: the flow network paces the transfer; the noise
+    // factor inflates the volume (equivalent slowdown under a fixed rate).
+    const double factor = net_.sample_noise_factor(node_);
+    const MegaBytes effective_volume = slot.job.resource_size_mb / std::max(factor, 1e-3);
+    slot.flow = flows_->start_flow(node_, effective_volume, [this, slot_index] {
+      slots_[slot_index]->flow = {};
+      complete_transfer(slot_index);
+    });
+  } else {
+    const Tick transfer = net_.sample_transfer_ticks(node_, slot.job.resource_size_mb);
+    slot.event = sim_.schedule_after(transfer, [this, slot_index] {
+      slots_[slot_index]->event = {};
+      complete_transfer(slot_index);
+    });
+  }
+}
+
+void WorkerNode::complete_transfer(std::size_t slot_index) {
+  ExecSlot& slot = *slots_[slot_index];
+  // The clone exists — and counts as local for estimates and acceptance
+  // checks — from this moment on.
+  cache_.admit(storage::Resource{slot.job.resource, slot.job.resource_size_mb});
+  const Tick taken = sim_.now() - slot.transfer_started;
+  begin_processing(slot_index, taken, slot.job.resource_size_mb, /*was_miss=*/true);
+}
+
+void WorkerNode::begin_processing(std::size_t slot_index, Tick transfer_ticks_taken,
+                                  MegaBytes transferred_mb, bool was_miss) {
+  ExecSlot& slot = *slots_[slot_index];
+  const double rw_factor = net_.noise().sample(disk_rng_);
+  const Tick processing =
+      transfer_ticks(slot.job.process_mb, config_.rw_mbps * rw_factor) +
+      slot.job.fixed_cost;
+  const Tick duration = transfer_ticks_taken + processing;
+  slot.event = sim_.schedule_after(
+      processing,
+      [this, slot_index, duration, transfer_ticks_taken, transferred_mb, was_miss] {
+        slots_[slot_index]->event = {};
+        finish_slot(slot_index, duration, transfer_ticks_taken, transferred_mb, was_miss);
+      });
+}
+
+void WorkerNode::finish_slot(std::size_t slot_index, Tick duration,
+                             Tick transfer_ticks_taken, MegaBytes transferred_mb,
+                             bool was_miss) {
+  assert(slots_[slot_index] != nullptr);
+  const workflow::Job job = slots_[slot_index]->job;
+
+  metrics::JobRecord& record = metrics_.job(job.id);
+  record.finished = sim_.now();
+  record.cache_miss = was_miss;
+  record.downloaded_mb += transferred_mb;
+
+  metrics::WorkerRecord& wrec = metrics_.worker(index_);
+  ++wrec.jobs_completed;
+  wrec.busy_ticks += duration;
+  wrec.downloading_ticks += transfer_ticks_taken;
+  if (was_miss) {
+    ++wrec.cache_misses;
+    wrec.downloaded_mb += transferred_mb;
+  }
+
+  // §6.4: after each job the worker re-measures its speeds and folds them
+  // into the historic averages used for subsequent bids.
+  if (was_miss && transfer_ticks_taken > 0) {
+    net_est_.observe(transferred_mb / seconds_from_ticks(transfer_ticks_taken));
+  }
+  const Tick processing = duration - transfer_ticks_taken - job.fixed_cost;
+  if (processing > 0 && job.process_mb > 0.0) {
+    rw_est_.observe(job.process_mb / seconds_from_ticks(processing));
+  }
+
+  if (job.needs_resource()) {
+    const auto it = pending_resources_.find(job.resource);
+    if (it != pending_resources_.end() && --it->second == 0) pending_resources_.erase(it);
+  }
+  slots_[slot_index].reset();
+  if (on_complete) on_complete(job, index_);
+  // on_complete may have enqueued more work or failed the worker.
+  if (failed_) return;
+  fill_slots();
+  if (idle() && on_idle) on_idle(index_);
+}
+
+}  // namespace dlaja::cluster

@@ -1,0 +1,203 @@
+#include "core/engine.hpp"
+
+#include <any>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/log.hpp"
+
+namespace dlaja::core {
+
+using cluster::CompletionReport;
+using cluster::WorkerIndex;
+
+Engine::Engine(const std::vector<cluster::WorkerConfig>& fleet,
+               std::unique_ptr<sched::Scheduler> scheduler, EngineConfig config)
+    : config_(config),
+      seeds_(config.seed),
+      metrics_(fleet.size()),
+      scheduler_(std::move(scheduler)),
+      expansion_rng_(seeds_.seed_for("expansion")) {
+  if (fleet.empty()) throw std::invalid_argument("Engine: empty fleet");
+  if (!scheduler_) throw std::invalid_argument("Engine: null scheduler");
+
+  network_ = std::make_unique<net::NetworkModel>(seeds_, config_.noise);
+  master_node_ = network_->register_node("master", config_.master_link);
+  broker_ = std::make_unique<msg::Broker>(sim_, *network_);
+
+  workers_.reserve(fleet.size());
+  worker_nodes_.reserve(fleet.size());
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const cluster::WorkerConfig& cfg = fleet[i];
+    net::LinkConfig link;
+    link.bandwidth_mbps = cfg.network_mbps;
+    link.latency_ms = cfg.latency_ms;
+    link.latency_jitter_ms = cfg.latency_jitter_ms;
+    const net::NodeId node = network_->register_node(cfg.name, link);
+    worker_nodes_.push_back(node);
+    workers_.push_back(std::make_unique<cluster::WorkerNode>(
+        static_cast<WorkerIndex>(i), cfg, sim_, *network_, node, metrics_, seeds_,
+        config_.estimation));
+  }
+
+  if (config_.shared_bandwidth) {
+    flow_network_ = std::make_unique<net::FlowNetwork>(sim_, config_.origin_capacity_mbps);
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+      flow_network_->set_node_capacity(worker_nodes_[i], fleet[i].network_mbps);
+      workers_[i]->set_flow_network(flow_network_.get());
+    }
+  }
+
+  // Worker callbacks: report completions to the master over the broker;
+  // surface idleness to the scheduler (it runs worker-side logic there).
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    const auto w = static_cast<WorkerIndex>(i);
+    workers_[i]->on_complete = [this, w](const workflow::Job& job, WorkerIndex) {
+      broker_->send(worker_nodes_[w], master_node_, cluster::mailboxes::kCompletions,
+                    CompletionReport{job.id, w});
+      scheduler_->on_worker_capacity(w);
+    };
+    workers_[i]->on_idle = [this](WorkerIndex idle_worker) {
+      scheduler_->on_worker_idle(idle_worker);
+    };
+  }
+
+  // Master-side completion handling.
+  broker_->register_mailbox(
+      master_node_, cluster::mailboxes::kCompletions, [this](const msg::Message& message) {
+        const auto& report = std::any_cast<const CompletionReport&>(message.payload);
+        const auto it = live_jobs_.find(report.job_id);
+        if (it == live_jobs_.end()) return;  // duplicate report
+        const workflow::Job job = it->second;
+        live_jobs_.erase(it);
+        master_handle_completion(report, job);
+      });
+
+  sched::SchedulerContext ctx;
+  ctx.sim = &sim_;
+  ctx.broker = broker_.get();
+  ctx.network = network_.get();
+  ctx.metrics = &metrics_;
+  ctx.master_node = master_node_;
+  for (auto& worker : workers_) ctx.workers.push_back(worker.get());
+  ctx.worker_nodes = worker_nodes_;
+  scheduler_->attach(ctx);
+}
+
+void Engine::set_workflow(std::shared_ptr<const workflow::Workflow> wf) {
+  if (ran_) throw std::logic_error("Engine::set_workflow: run() already called");
+  if (wf) (void)wf->topological_order();  // rejects cyclic graphs up front
+  workflow_ = std::move(wf);
+}
+
+void Engine::preload_cache(WorkerIndex w, std::span<const storage::Resource> resources) {
+  if (ran_) throw std::logic_error("Engine::preload_cache: run() already called");
+  worker(w).cache().restore(resources);
+}
+
+std::vector<std::vector<storage::Resource>> Engine::cache_snapshots() const {
+  std::vector<std::vector<storage::Resource>> snapshots;
+  snapshots.reserve(workers_.size());
+  for (const auto& worker : workers_) snapshots.push_back(worker->cache().snapshot());
+  return snapshots;
+}
+
+cluster::WorkerNode& Engine::worker(WorkerIndex w) {
+  if (w >= workers_.size()) throw std::out_of_range("Engine::worker: bad index");
+  return *workers_[w];
+}
+
+void Engine::fail_worker_at(WorkerIndex w, Tick at) {
+  cluster::WorkerNode* target = &worker(w);
+  sim_.schedule_at(at, [this, target, w] {
+    DLAJA_LOG(kInfo, "engine") << "worker " << w << " failed at t="
+                               << seconds_from_ticks(sim_.now()) << "s";
+    target->set_failed(true);
+    broker_->set_node_down(worker_nodes_[w], true);
+    if (!config_.reassign_on_failure) return;
+    // Future-work extension: the master redistributes every incomplete job
+    // it had assigned to the dead worker (it knows its own assignments).
+    std::vector<workflow::Job> orphans;
+    for (const auto& [id, job] : live_jobs_) {
+      const metrics::JobRecord* record = metrics_.find_job(id);
+      if (record != nullptr && record->worker == w && !record->completed()) {
+        orphans.push_back(job);
+      }
+    }
+    for (workflow::Job orphan : orphans) {
+      live_jobs_.erase(orphan.id);  // the original can never complete
+      orphan.id = 0;                // resubmit as a fresh copy
+      ++reassigned_;
+      submit_job(std::move(orphan));
+    }
+  });
+}
+
+void Engine::submit_job(workflow::Job job) {
+  // Ids must be unique across the whole run (metrics records persist after
+  // completion), so any id that was ever seen is remapped to a fresh one.
+  if (job.id == 0 || metrics_.find_job(job.id) != nullptr) {
+    job.id = next_job_id_;
+  }
+  next_job_id_ = std::max(next_job_id_, job.id) + 1;
+  job.created_at = sim_.now();
+  live_jobs_.emplace(job.id, job);
+  ++submitted_;
+  metrics_.job(job.id).arrived = sim_.now();
+  scheduler_->submit(job);
+}
+
+void Engine::master_handle_completion(const CompletionReport& report,
+                                      const workflow::Job& job) {
+  ++completed_;
+  scheduler_->on_completion(report);
+
+  if (!workflow_ || job.task >= workflow_->task_count()) return;
+  const workflow::TaskSpec& spec = workflow_->task(job.task);
+  if (!spec.expand) return;
+  std::vector<workflow::Job> downstream = spec.expand(job, expansion_rng_);
+  for (workflow::Job& next : downstream) {
+    if (!workflow_->connected(job.task, next.task)) {
+      throw std::logic_error("Engine: expander of task '" + spec.name +
+                             "' produced a job for a non-downstream task");
+    }
+    next.id = 0;  // engine assigns
+    submit_job(std::move(next));
+  }
+}
+
+metrics::RunReport Engine::run(std::span<const workflow::Job> jobs) {
+  if (ran_) throw std::logic_error("Engine::run: already ran");
+  ran_ = true;
+
+  if (config_.probe_speeds) {
+    for (auto& worker : workers_) worker->probe_speeds();
+  }
+
+  // Pull-based schedulers need the initial idle notifications (workers
+  // start idle; there is no transition to fire the callback).
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    scheduler_->on_worker_idle(static_cast<WorkerIndex>(i));
+  }
+
+  // Stream the workload in at its arrival times.
+  for (const workflow::Job& job : jobs) {
+    workflow::Job copy = job;
+    sim_.schedule_at(job.created_at, [this, copy] { submit_job(copy); });
+  }
+
+  sim_.run(config_.horizon);
+
+  if (completed_ < submitted_) {
+    DLAJA_LOG(kWarn, "engine") << "run ended with " << (submitted_ - completed_)
+                               << " incomplete jobs (failed workers or horizon)";
+  }
+
+  metrics::RunReport report = metrics::make_report(metrics_, metrics_.last_completion());
+  report.scheduler = scheduler_->name();
+  report.seed = config_.seed;
+  report.messages_delivered = broker_->stats().delivered;
+  return report;
+}
+
+}  // namespace dlaja::core

@@ -1,0 +1,133 @@
+#pragma once
+// The Engine wires one simulated cluster together: simulator, network,
+// broker, master, workers, a scheduler, and the metrics collector — the
+// paper's 7-instance deployment (5 workers + master + messaging) in one
+// deterministic object. One Engine executes exactly one run.
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/config.hpp"
+#include "cluster/worker.hpp"
+#include "metrics/collector.hpp"
+#include "metrics/report.hpp"
+#include "msg/broker.hpp"
+#include "net/flow.hpp"
+#include "net/network.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/simulator.hpp"
+#include "workflow/workflow.hpp"
+
+namespace dlaja::core {
+
+struct EngineConfig {
+  /// Master seed; all substreams (noise, latency jitter, bid straggles,
+  /// expansion randomness) derive from it.
+  std::uint64_t seed = 42;
+
+  /// Noise scheme applied to effective bandwidth / rw speed (§6.3.1). The
+  /// default mimics real-world throttling: mild jitter with occasional
+  /// deep throttles.
+  net::NoiseConfig noise = net::NoiseConfig::throttle(0.10, 0.30);
+
+  /// Speed knowledge used in bids: nominal (§6.3) or historic (§6.4).
+  cluster::SpeedEstimator::Mode estimation = cluster::SpeedEstimator::Mode::kNominal;
+
+  /// §6.4: probe each worker's speeds on a 100 MB repository up front.
+  bool probe_speeds = false;
+
+  /// Control-plane link of the master node.
+  net::LinkConfig master_link{};
+
+  /// Shared-bandwidth mode: bulk downloads contend max-min fairly for the
+  /// per-node capacities and the origin's upload capacity (the repository
+  /// host). Off by default — the paper's cost model gives each transfer
+  /// the node's full bandwidth.
+  bool shared_bandwidth = false;
+  MbPerSec origin_capacity_mbps = 500.0;
+
+  /// Fault-tolerance extension (paper §5 future work: "redistributing the
+  /// remaining jobs if a worker becomes unavailable"). When a worker is
+  /// failed via fail_worker_at(), every incomplete job last assigned to it
+  /// is resubmitted to the scheduler as a fresh copy. At-least-once: a
+  /// completion report already in flight when the worker dies can make a
+  /// job execute twice. Off by default — the paper has no such policy.
+  bool reassign_on_failure = false;
+
+  /// Safety horizon: the run aborts (with whatever completed) after this
+  /// much simulated time. Generous default: one simulated week.
+  Tick horizon = ticks_from_seconds(7.0 * 24.0 * 3600.0);
+};
+
+class Engine {
+ public:
+  /// Builds the cluster. The scheduler is attached immediately; workers are
+  /// registered with the network/broker in fleet order (index = WorkerIndex).
+  Engine(const std::vector<cluster::WorkerConfig>& fleet,
+         std::unique_ptr<sched::Scheduler> scheduler, EngineConfig config = {});
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Installs a workflow graph; completed jobs are expanded through their
+  /// task's Expander into downstream jobs. Without a workflow, jobs are
+  /// terminal. Must be called before run().
+  void set_workflow(std::shared_ptr<const workflow::Workflow> wf);
+
+  /// Pre-populates worker `w`'s cache (iteration carry-over). Before run().
+  void preload_cache(cluster::WorkerIndex w, std::span<const storage::Resource> resources);
+
+  /// Snapshots all worker caches (to carry into the next iteration).
+  [[nodiscard]] std::vector<std::vector<storage::Resource>> cache_snapshots() const;
+
+  /// Schedules worker `w` to die at simulated time `at` (fault injection).
+  void fail_worker_at(cluster::WorkerIndex w, Tick at);
+
+  /// Executes the workload to quiescence (or the horizon) and returns the
+  /// run report. `jobs` arrive at their `created_at` times. Callable once.
+  metrics::RunReport run(std::span<const workflow::Job> jobs);
+
+  // --- accessors (tests, benches) ---------------------------------------
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] msg::Broker& broker() noexcept { return *broker_; }
+  [[nodiscard]] net::NetworkModel& network() noexcept { return *network_; }
+  [[nodiscard]] metrics::MetricsCollector& metrics() noexcept { return metrics_; }
+  [[nodiscard]] sched::Scheduler& scheduler() noexcept { return *scheduler_; }
+  [[nodiscard]] cluster::WorkerNode& worker(cluster::WorkerIndex w);
+  [[nodiscard]] std::size_t worker_count() const noexcept { return workers_.size(); }
+  [[nodiscard]] std::uint64_t jobs_submitted() const noexcept { return submitted_; }
+  [[nodiscard]] std::uint64_t jobs_completed() const noexcept { return completed_; }
+  [[nodiscard]] std::uint64_t jobs_reassigned() const noexcept { return reassigned_; }
+
+ private:
+  void master_handle_completion(const cluster::CompletionReport& report,
+                                const workflow::Job& job);
+  void submit_job(workflow::Job job);
+
+  EngineConfig config_;
+  SeedSequencer seeds_;
+  sim::Simulator sim_;
+  std::unique_ptr<net::NetworkModel> network_;
+  std::unique_ptr<net::FlowNetwork> flow_network_;  ///< only in shared mode
+  std::unique_ptr<msg::Broker> broker_;
+  metrics::MetricsCollector metrics_;
+  std::unique_ptr<sched::Scheduler> scheduler_;
+  std::vector<std::unique_ptr<cluster::WorkerNode>> workers_;
+  std::vector<net::NodeId> worker_nodes_;
+  net::NodeId master_node_ = net::kInvalidNode;
+  std::shared_ptr<const workflow::Workflow> workflow_;
+  /// Jobs submitted but not yet completed, recoverable by id.
+  std::unordered_map<workflow::JobId, workflow::Job> live_jobs_;
+  RandomStream expansion_rng_;
+  workflow::JobId next_job_id_ = 1;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t reassigned_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace dlaja::core

@@ -1,0 +1,86 @@
+#include "core/experiment.hpp"
+
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dlaja::core {
+
+std::string ExperimentSpec::workload_name() const {
+  return custom_workload ? custom_workload->name : workload::job_config_name(job_config);
+}
+
+std::string ExperimentSpec::fleet_name() const {
+  return custom_fleet ? "custom" : cluster::fleet_preset_name(fleet);
+}
+
+namespace {
+
+[[nodiscard]] std::unique_ptr<sched::Scheduler> build_scheduler(const ExperimentSpec& spec) {
+  if (spec.make_scheduler) return spec.make_scheduler();
+  return sched::make_scheduler(spec.scheduler, spec.seed);
+}
+
+[[nodiscard]] std::vector<cluster::WorkerConfig> build_fleet(const ExperimentSpec& spec) {
+  if (spec.custom_fleet) return *spec.custom_fleet;
+  return cluster::make_fleet(spec.fleet, spec.worker_count);
+}
+
+/// Distinct engine seed per iteration so noise draws differ between
+/// iterations (the workload itself is generated from the base seed only).
+[[nodiscard]] std::uint64_t iteration_seed(std::uint64_t base, int iteration) {
+  std::uint64_t state = base ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(iteration + 1));
+  return splitmix64(state);
+}
+
+}  // namespace
+
+std::vector<metrics::RunReport> run_experiment(const ExperimentSpec& spec) {
+  const workload::WorkloadSpec wspec =
+      spec.custom_workload ? *spec.custom_workload : workload::make_workload_spec(spec.job_config);
+  const SeedSequencer workload_seeds(spec.seed);
+  const workload::GeneratedWorkload workload =
+      workload::generate_workload(wspec, workload_seeds);
+
+  std::vector<metrics::RunReport> reports;
+  reports.reserve(static_cast<std::size_t>(spec.iterations));
+  std::vector<std::vector<storage::Resource>> carried;
+
+  for (int iteration = 0; iteration < spec.iterations; ++iteration) {
+    EngineConfig engine_config;
+    engine_config.seed = iteration_seed(spec.seed, iteration);
+    engine_config.noise = spec.noise;
+    engine_config.estimation = spec.estimation;
+    engine_config.probe_speeds = spec.probe_speeds;
+
+    Engine engine(build_fleet(spec), build_scheduler(spec), engine_config);
+    if (spec.carry_cache) {
+      for (std::size_t w = 0; w < carried.size() && w < engine.worker_count(); ++w) {
+        engine.preload_cache(static_cast<cluster::WorkerIndex>(w), carried[w]);
+      }
+    }
+
+    metrics::RunReport report = engine.run(workload.jobs);
+    report.workload = workload.name;
+    report.worker_config = spec.fleet_name();
+    report.iteration = iteration;
+    reports.push_back(std::move(report));
+
+    if (spec.carry_cache) carried = engine.cache_snapshots();
+  }
+  return reports;
+}
+
+std::vector<metrics::RunReport> run_matrix(std::span<const ExperimentSpec> specs,
+                                           std::size_t threads) {
+  std::vector<std::vector<metrics::RunReport>> per_cell(specs.size());
+  ThreadPool pool(threads);
+  pool.parallel_for(specs.size(),
+                    [&](std::size_t i) { per_cell[i] = run_experiment(specs[i]); });
+  std::vector<metrics::RunReport> all;
+  for (auto& cell : per_cell) {
+    for (auto& report : cell) all.push_back(std::move(report));
+  }
+  return all;
+}
+
+}  // namespace dlaja::core

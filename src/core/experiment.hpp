@@ -1,0 +1,72 @@
+#pragma once
+// Experiment orchestration: the §6.3 methodology as a library.
+//
+// One *experiment cell* is (scheduler × job config × fleet preset) run for
+// `iterations` consecutive iterations of the same workload, with worker
+// caches carried across iterations — the paper runs all combinations "in
+// three iterations each" precisely so that later iterations exercise
+// locality against files saved by earlier ones. Cells are independent and
+// deterministic, so a matrix of cells fans out across a thread pool.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cluster/config.hpp"
+#include "core/engine.hpp"
+#include "metrics/report.hpp"
+#include "sched/factory.hpp"
+#include "workload/generator.hpp"
+
+namespace dlaja::core {
+
+struct ExperimentSpec {
+  /// Scheduler factory name ("bidding", "baseline", ...). Ignored when
+  /// `make_scheduler` is set.
+  std::string scheduler = "bidding";
+
+  /// Custom scheduler constructor (for ablations with non-default configs).
+  std::function<std::unique_ptr<sched::Scheduler>()> make_scheduler;
+
+  /// Workload: one of the §6.3.1 presets, or a fully custom spec.
+  workload::JobConfig job_config = workload::JobConfig::kAllDiffEqual;
+  std::optional<workload::WorkloadSpec> custom_workload;
+
+  /// Worker fleet: preset + count, or a fully custom fleet.
+  cluster::FleetPreset fleet = cluster::FleetPreset::kAllEqual;
+  std::size_t worker_count = 5;
+  std::optional<std::vector<cluster::WorkerConfig>> custom_fleet;
+
+  /// Iterations with cache carry-over (paper: 3).
+  int iterations = 3;
+  bool carry_cache = true;
+
+  /// Base seed. The workload derives from it directly (identical across
+  /// iterations); engine substreams additionally mix in the iteration.
+  std::uint64_t seed = 42;
+
+  /// Engine knobs.
+  net::NoiseConfig noise = net::NoiseConfig::throttle(0.10, 0.30);
+  cluster::SpeedEstimator::Mode estimation = cluster::SpeedEstimator::Mode::kNominal;
+  bool probe_speeds = false;
+
+  /// Resolved names for reports.
+  [[nodiscard]] std::string workload_name() const;
+  [[nodiscard]] std::string fleet_name() const;
+};
+
+/// Runs one cell: `iterations` sequential runs of the same workload, caches
+/// carried over when `carry_cache`. Returns one report per iteration.
+[[nodiscard]] std::vector<metrics::RunReport> run_experiment(const ExperimentSpec& spec);
+
+/// Runs many cells concurrently (each cell stays internally sequential).
+/// Results are concatenated in cell order regardless of completion order.
+/// `threads` = 0 uses hardware concurrency.
+[[nodiscard]] std::vector<metrics::RunReport> run_matrix(std::span<const ExperimentSpec> specs,
+                                                         std::size_t threads = 0);
+
+}  // namespace dlaja::core

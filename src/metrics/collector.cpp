@@ -1,0 +1,65 @@
+#include "metrics/collector.hpp"
+
+#include <stdexcept>
+
+namespace dlaja::metrics {
+
+JobRecord& MetricsCollector::job(workflow::JobId id) {
+  const auto [it, inserted] = jobs_.try_emplace(id);
+  if (inserted) {
+    it->second.id = id;
+    order_.push_back(id);
+  }
+  return it->second;
+}
+
+const JobRecord* MetricsCollector::find_job(workflow::JobId id) const {
+  const auto it = jobs_.find(id);
+  return it != jobs_.end() ? &it->second : nullptr;
+}
+
+WorkerRecord& MetricsCollector::worker(std::uint32_t index) {
+  if (index >= workers_.size()) {
+    throw std::out_of_range("MetricsCollector::worker: bad index");
+  }
+  return workers_[index];
+}
+
+std::vector<const JobRecord*> MetricsCollector::jobs_in_arrival_order() const {
+  std::vector<const JobRecord*> result;
+  result.reserve(order_.size());
+  for (const workflow::JobId id : order_) result.push_back(&jobs_.at(id));
+  return result;
+}
+
+std::uint64_t MetricsCollector::total_cache_misses() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& [id, record] : jobs_) {
+    if (record.cache_miss) ++total;
+  }
+  return total;
+}
+
+MegaBytes MetricsCollector::total_data_load_mb() const noexcept {
+  MegaBytes total = 0.0;
+  for (const auto& [id, record] : jobs_) total += record.downloaded_mb;
+  return total;
+}
+
+Tick MetricsCollector::last_completion() const noexcept {
+  Tick last = 0;
+  for (const auto& [id, record] : jobs_) {
+    if (record.completed() && record.finished > last) last = record.finished;
+  }
+  return last;
+}
+
+std::uint64_t MetricsCollector::completed_jobs() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& [id, record] : jobs_) {
+    if (record.completed()) ++total;
+  }
+  return total;
+}
+
+}  // namespace dlaja::metrics

@@ -1,0 +1,105 @@
+#include "metrics/report.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace dlaja::metrics {
+
+RunReport make_report(const MetricsCollector& collector, Tick end_time) {
+  RunReport report;
+  report.exec_time_s = seconds_from_ticks(end_time);
+  report.cache_misses = collector.total_cache_misses();
+  report.data_load_mb = collector.total_data_load_mb();
+  report.jobs_submitted = collector.job_count();
+  report.jobs_completed = collector.completed_jobs();
+  report.workers = collector.workers();
+
+  RunningStats turnaround, alloc_latency, queue_wait;
+  std::vector<double> turnarounds;
+  std::uint64_t hits = 0, misses = 0;
+  for (const JobRecord* job : collector.jobs_in_arrival_order()) {
+    if (!job->completed()) continue;
+    if (job->arrived != kNeverTick) {
+      const double t = seconds_from_ticks(job->finished - job->arrived);
+      turnaround.add(t);
+      turnarounds.push_back(t);
+      if (job->assigned != kNeverTick) {
+        alloc_latency.add(seconds_from_ticks(job->assigned - job->arrived));
+      }
+    }
+    if (job->assigned != kNeverTick && job->started != kNeverTick) {
+      queue_wait.add(seconds_from_ticks(job->started - job->assigned));
+    }
+    if (job->cache_miss) {
+      ++misses;
+    } else if (job->downloaded_mb == 0.0 && job->worker != static_cast<std::uint32_t>(-1)) {
+      ++hits;
+    }
+  }
+  report.avg_turnaround_s = turnaround.mean();
+  report.avg_alloc_latency_s = alloc_latency.mean();
+  report.avg_queue_wait_s = queue_wait.mean();
+  const Summary turnaround_summary = summarize(turnarounds);
+  report.p50_turnaround_s = turnaround_summary.p50;
+  report.p95_turnaround_s = turnaround_summary.p95;
+  report.p99_turnaround_s = turnaround_summary.p99;
+  const std::uint64_t resource_jobs = hits + misses;
+  report.cache_hit_rate =
+      resource_jobs > 0 ? static_cast<double>(hits) / static_cast<double>(resource_jobs) : 0.0;
+
+  std::vector<double> busy;
+  busy.reserve(report.workers.size());
+  for (const WorkerRecord& w : report.workers) {
+    busy.push_back(static_cast<double>(w.busy_ticks));
+  }
+  report.fairness_index = jain_fairness(busy);
+  return report;
+}
+
+double jain_fairness(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  double sum = 0.0, sum_sq = 0.0;
+  for (const double x : values) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq <= 0.0) return 0.0;
+  return sum * sum / (static_cast<double>(values.size()) * sum_sq);
+}
+
+void write_reports_csv(std::ostream& out, const std::vector<RunReport>& reports) {
+  CsvWriter csv(out);
+  csv.write("scheduler", "workload", "worker_config", "iteration", "seed", "exec_time_s",
+            "cache_misses", "data_load_mb", "jobs_submitted", "jobs_completed",
+            "avg_turnaround_s", "p50_turnaround_s", "p95_turnaround_s", "p99_turnaround_s",
+            "avg_alloc_latency_s", "avg_queue_wait_s", "cache_hit_rate", "fairness_index",
+            "messages_delivered");
+  for (const RunReport& r : reports) {
+    csv.write(r.scheduler, r.workload, r.worker_config, r.iteration, r.seed, r.exec_time_s,
+              r.cache_misses, r.data_load_mb, r.jobs_submitted, r.jobs_completed,
+              r.avg_turnaround_s, r.p50_turnaround_s, r.p95_turnaround_s, r.p99_turnaround_s,
+              r.avg_alloc_latency_s, r.avg_queue_wait_s, r.cache_hit_rate, r.fairness_index,
+              r.messages_delivered);
+  }
+}
+
+void Aggregator::add(const std::string& key, const RunReport& report) {
+  const auto [it, inserted] = cells_.try_emplace(key);
+  if (inserted) order_.push_back(key);
+  it->second.exec_time_s.add(report.exec_time_s);
+  it->second.cache_misses.add(static_cast<double>(report.cache_misses));
+  it->second.data_load_mb.add(report.data_load_mb);
+  it->second.alloc_latency_s.add(report.avg_alloc_latency_s);
+}
+
+const AggregateCell& Aggregator::cell(const std::string& key) const {
+  const auto it = cells_.find(key);
+  if (it == cells_.end()) throw std::out_of_range("Aggregator: unknown key " + key);
+  return it->second;
+}
+
+bool Aggregator::has(const std::string& key) const { return cells_.count(key) > 0; }
+
+}  // namespace dlaja::metrics

@@ -1,0 +1,90 @@
+#pragma once
+// Run-level summaries and multi-run aggregation.
+
+#include <iosfwd>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "metrics/collector.hpp"
+#include "util/stats.hpp"
+
+namespace dlaja::metrics {
+
+/// Immutable summary of one simulation run, in report units (seconds, MB).
+struct RunReport {
+  // Identity (filled by the experiment runner).
+  std::string scheduler;
+  std::string workload;
+  std::string worker_config;
+  int iteration = 0;
+  std::uint64_t seed = 0;
+
+  // The paper's three metrics.
+  double exec_time_s = 0.0;  ///< end-to-end execution time
+  std::uint64_t cache_misses = 0;
+  double data_load_mb = 0.0;
+
+  // Supporting detail.
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_completed = 0;
+  double avg_turnaround_s = 0.0;    ///< mean (finished - arrived)
+  double p50_turnaround_s = 0.0;    ///< median per-job turnaround
+  double p95_turnaround_s = 0.0;    ///< tail per-job turnaround
+  double p99_turnaround_s = 0.0;
+  double avg_alloc_latency_s = 0.0; ///< mean (assigned - arrived): scheduling overhead
+  double avg_queue_wait_s = 0.0;    ///< mean (started - assigned)
+  double cache_hit_rate = 0.0;      ///< hits / (hits + misses) over resource jobs
+
+  /// Jain's fairness index over per-worker busy time in [1/N, 1]: 1 means
+  /// perfectly even load. The paper (§3) frames data-aware scheduling as
+  /// "compromising the fairness of task allocation" — this quantifies it.
+  double fairness_index = 0.0;
+
+  std::vector<WorkerRecord> workers;
+
+  // Messaging cost.
+  std::uint64_t messages_delivered = 0;
+};
+
+/// Derives a RunReport from a collector. `end_time` is the simulated end of
+/// the run (usually last completion; kept explicit so empty runs report 0).
+[[nodiscard]] RunReport make_report(const MetricsCollector& collector, Tick end_time);
+
+/// Jain's fairness index: (sum x)^2 / (n * sum x^2); 0 for empty/all-zero.
+[[nodiscard]] double jain_fairness(std::span<const double> values) noexcept;
+
+/// Writes a header + one row per report as CSV.
+void write_reports_csv(std::ostream& out, const std::vector<RunReport>& reports);
+
+/// Mean/stddev of the three paper metrics over a group of runs.
+struct AggregateCell {
+  RunningStats exec_time_s;
+  RunningStats cache_misses;
+  RunningStats data_load_mb;
+  RunningStats alloc_latency_s;
+};
+
+/// Groups runs by a caller-chosen key (e.g. "scheduler|workload") and
+/// accumulates the paper metrics for each group.
+class Aggregator {
+ public:
+  /// Folds `report` into the group `key`.
+  void add(const std::string& key, const RunReport& report);
+
+  /// Cell for `key`; throws std::out_of_range if the key was never added.
+  [[nodiscard]] const AggregateCell& cell(const std::string& key) const;
+
+  /// True if any run was recorded under `key`.
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// All keys in insertion order.
+  [[nodiscard]] const std::vector<std::string>& keys() const noexcept { return order_; }
+
+ private:
+  std::map<std::string, AggregateCell> cells_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace dlaja::metrics

@@ -1,0 +1,115 @@
+#include "metrics/timeline.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/csv.hpp"
+
+namespace dlaja::metrics {
+
+std::vector<std::vector<Interval>> busy_intervals(const MetricsCollector& collector,
+                                                  std::size_t worker_count) {
+  std::vector<std::vector<Interval>> result(worker_count);
+  for (const JobRecord* job : collector.jobs_in_arrival_order()) {
+    if (job->started == kNeverTick || job->finished == kNeverTick) continue;
+    if (job->worker >= worker_count) continue;
+    result[job->worker].push_back(Interval{job->started, job->finished, job->id});
+  }
+  for (auto& intervals : result) {
+    std::sort(intervals.begin(), intervals.end(),
+              [](const Interval& a, const Interval& b) { return a.begin < b.begin; });
+  }
+  return result;
+}
+
+double utilization(const std::vector<Interval>& intervals, Tick horizon) {
+  if (horizon <= 0) return 0.0;
+  Tick busy = 0;
+  for (const Interval& interval : intervals) {
+    const Tick begin = std::max<Tick>(interval.begin, 0);
+    const Tick end = std::min(interval.end, horizon);
+    if (end > begin) busy += end - begin;
+  }
+  return static_cast<double>(busy) / static_cast<double>(horizon);
+}
+
+Tick longest_idle_gap(const std::vector<Interval>& intervals, Tick horizon) {
+  Tick cursor = 0;
+  Tick longest = 0;
+  for (const Interval& interval : intervals) {
+    if (interval.begin > cursor) longest = std::max(longest, interval.begin - cursor);
+    cursor = std::max(cursor, interval.end);
+  }
+  if (horizon > cursor) longest = std::max(longest, horizon - cursor);
+  return longest;
+}
+
+UtilizationReport utilization_report(const MetricsCollector& collector,
+                                     std::size_t worker_count, Tick horizon) {
+  UtilizationReport report;
+  const auto intervals = busy_intervals(collector, worker_count);
+  report.per_worker.reserve(worker_count);
+  double total = 0.0;
+  double min_util = worker_count > 0 ? 1.0 : 0.0;
+  for (const auto& worker_intervals : intervals) {
+    const double u = utilization(worker_intervals, horizon);
+    report.per_worker.push_back(u);
+    total += u;
+    min_util = std::min(min_util, u);
+    report.longest_gap = std::max(report.longest_gap,
+                                  longest_idle_gap(worker_intervals, horizon));
+  }
+  report.mean = worker_count > 0 ? total / static_cast<double>(worker_count) : 0.0;
+  report.min = min_util;
+  return report;
+}
+
+std::vector<ConcurrencyPoint> concurrency_series(const MetricsCollector& collector,
+                                                 std::size_t worker_count, Tick horizon,
+                                                 Tick step) {
+  std::vector<ConcurrencyPoint> series;
+  if (step <= 0 || horizon <= 0) return series;
+  const auto intervals = busy_intervals(collector, worker_count);
+  // Per-worker cursor into its sorted interval list.
+  std::vector<std::size_t> cursor(worker_count, 0);
+  for (Tick at = 0; at <= horizon; at += step) {
+    std::uint32_t busy = 0;
+    for (std::size_t w = 0; w < worker_count; ++w) {
+      auto& c = cursor[w];
+      const auto& list = intervals[w];
+      while (c < list.size() && list[c].end <= at) ++c;
+      if (c < list.size() && list[c].begin <= at && at < list[c].end) ++busy;
+    }
+    series.push_back(ConcurrencyPoint{at, busy});
+  }
+  return series;
+}
+
+void write_concurrency_csv(std::ostream& out, const std::vector<ConcurrencyPoint>& series) {
+  CsvWriter csv(out);
+  csv.write("time_s", "busy_workers");
+  for (const ConcurrencyPoint& point : series) {
+    csv.write(seconds_from_ticks(point.at), static_cast<std::uint64_t>(point.busy_workers));
+  }
+}
+
+void write_jobs_csv(std::ostream& out, const MetricsCollector& collector) {
+  CsvWriter csv(out);
+  csv.write("job_id", "worker", "arrived_s", "assigned_s", "started_s", "finished_s",
+            "cache_miss", "downloaded_mb", "bids_received", "offers_rejected");
+  const auto stamp = [](Tick t) {
+    return t == kNeverTick ? std::string{} : std::to_string(seconds_from_ticks(t));
+  };
+  for (const JobRecord* job : collector.jobs_in_arrival_order()) {
+    csv.write(job->id,
+              job->worker == static_cast<std::uint32_t>(-1)
+                  ? std::string{}
+                  : std::to_string(job->worker),
+              stamp(job->arrived), stamp(job->assigned), stamp(job->started),
+              stamp(job->finished), job->cache_miss ? "1" : "0", job->downloaded_mb,
+              static_cast<std::uint64_t>(job->bids_received),
+              static_cast<std::uint64_t>(job->offers_rejected));
+  }
+}
+
+}  // namespace dlaja::metrics

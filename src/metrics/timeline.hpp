@@ -1,0 +1,67 @@
+#pragma once
+// Timeline analysis: reconstructs per-worker busy intervals from the job
+// records and derives utilisation, idle gaps and a cluster-concurrency
+// series. Used by the deeper benches to show *where* a scheduler loses
+// time (idle tails vs transfer stalls), which aggregate counters hide.
+
+#include <iosfwd>
+#include <vector>
+
+#include "metrics/collector.hpp"
+
+namespace dlaja::metrics {
+
+/// One busy interval of a worker (a job's start..finish).
+struct Interval {
+  Tick begin = 0;
+  Tick end = 0;
+  workflow::JobId job = 0;
+
+  [[nodiscard]] Tick length() const noexcept { return end - begin; }
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// Busy intervals per worker, sorted by start time. Jobs without a start
+/// or finish timestamp are skipped.
+[[nodiscard]] std::vector<std::vector<Interval>> busy_intervals(
+    const MetricsCollector& collector, std::size_t worker_count);
+
+/// Fraction of [0, horizon] the intervals cover (intervals are naturally
+/// disjoint per worker — the worker is a FIFO server). 0 if horizon == 0.
+[[nodiscard]] double utilization(const std::vector<Interval>& intervals, Tick horizon);
+
+/// Longest idle gap inside [0, horizon] (including leading/trailing gaps).
+[[nodiscard]] Tick longest_idle_gap(const std::vector<Interval>& intervals, Tick horizon);
+
+/// Per-worker utilisation summary of a run.
+struct UtilizationReport {
+  std::vector<double> per_worker;   ///< busy fraction per worker
+  double mean = 0.0;                ///< average across workers
+  double min = 0.0;                 ///< the most idle worker
+  Tick longest_gap = 0;             ///< worst idle gap anywhere
+};
+
+/// Computes the utilisation report against `horizon` (use the run's
+/// last_completion()).
+[[nodiscard]] UtilizationReport utilization_report(const MetricsCollector& collector,
+                                                   std::size_t worker_count, Tick horizon);
+
+/// One sample of cluster concurrency.
+struct ConcurrencyPoint {
+  Tick at = 0;
+  std::uint32_t busy_workers = 0;
+};
+
+/// Number of busy workers sampled every `step` ticks over [0, horizon].
+[[nodiscard]] std::vector<ConcurrencyPoint> concurrency_series(
+    const MetricsCollector& collector, std::size_t worker_count, Tick horizon, Tick step);
+
+/// CSV export: time_s,busy_workers.
+void write_concurrency_csv(std::ostream& out, const std::vector<ConcurrencyPoint>& series);
+
+/// Per-job Gantt export (one row per recorded job, arrival order):
+/// job_id,worker,arrived_s,assigned_s,started_s,finished_s,cache_miss,
+/// downloaded_mb,bids_received,offers_rejected. Unset timestamps are empty.
+void write_jobs_csv(std::ostream& out, const MetricsCollector& collector);
+
+}  // namespace dlaja::metrics

@@ -1,0 +1,113 @@
+#include "msg/broker.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace dlaja::msg {
+
+SubscriptionId Broker::subscribe(const std::string& topic, net::NodeId node, Handler handler) {
+  const std::uint64_t id = next_subscription_++;
+  topics_[topic].push_back(Subscription{id, node, std::move(handler)});
+  subscription_topics_.emplace(id, topic);
+  return SubscriptionId{id};
+}
+
+bool Broker::unsubscribe(SubscriptionId id) {
+  const auto topic_it = subscription_topics_.find(id.value);
+  if (topic_it == subscription_topics_.end()) return false;
+  auto& subs = topics_[topic_it->second];
+  subs.erase(std::remove_if(subs.begin(), subs.end(),
+                            [&](const Subscription& s) { return s.id == id.value; }),
+             subs.end());
+  subscription_topics_.erase(topic_it);
+  return true;
+}
+
+void Broker::deliver_later(net::NodeId from, net::NodeId to,
+                           std::function<void(Message&&)> sink, std::any payload) {
+  Message message;
+  message.id = next_message_++;
+  message.from = from;
+  message.sent_at = sim_.now();
+  message.payload = std::move(payload);
+  const Tick delay = net_.sample_message_delay(from, to);
+  sim_.schedule_after(delay, [this, to, sink = std::move(sink),
+                              message = std::move(message)]() mutable {
+    if (node_down(to)) {
+      ++stats_.dropped;
+      return;
+    }
+    // `delivered` is counted by the sink iff a live handler was invoked.
+    sink(std::move(message));
+  });
+}
+
+std::size_t Broker::publish(const std::string& topic, net::NodeId from, std::any payload) {
+  ++stats_.published;
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) return 0;
+  std::size_t fanout = 0;
+  for (const Subscription& sub : it->second) {
+    if (node_down(sub.node)) continue;
+    const std::uint64_t sub_id = sub.id;
+    const std::string topic_name = topic;
+    // Capture the subscription id, not the handler: a subscriber that
+    // unsubscribes while a message is in flight must not be invoked.
+    deliver_later(
+        from, sub.node,
+        [this, topic_name, sub_id](Message&& message) {
+          const auto topic_it = topics_.find(topic_name);
+          if (topic_it == topics_.end()) return;
+          for (const Subscription& live : topic_it->second) {
+            if (live.id == sub_id) {
+              ++stats_.delivered;
+              live.handler(message);
+              return;
+            }
+          }
+        },
+        payload);
+    ++fanout;
+  }
+  return fanout;
+}
+
+void Broker::register_mailbox(net::NodeId node, const std::string& name, Handler handler) {
+  mailboxes_[node][name] = std::move(handler);
+}
+
+void Broker::remove_mailbox(net::NodeId node, const std::string& name) {
+  const auto it = mailboxes_.find(node);
+  if (it != mailboxes_.end()) it->second.erase(name);
+}
+
+void Broker::send(net::NodeId from, net::NodeId to, const std::string& name,
+                  std::any payload) {
+  ++stats_.sent;
+  deliver_later(
+      from, to,
+      [this, to, name](Message&& message) {
+        const auto node_it = mailboxes_.find(to);
+        if (node_it == mailboxes_.end()) {
+          ++stats_.dropped;
+          return;
+        }
+        const auto box_it = node_it->second.find(name);
+        if (box_it == node_it->second.end()) {
+          ++stats_.dropped;
+          return;
+        }
+        ++stats_.delivered;
+        box_it->second(message);
+      },
+      std::move(payload));
+}
+
+void Broker::set_node_down(net::NodeId node, bool down) { down_[node] = down; }
+
+bool Broker::node_down(net::NodeId node) const {
+  const auto it = down_.find(node);
+  return it != down_.end() && it->second;
+}
+
+}  // namespace dlaja::msg

@@ -1,0 +1,110 @@
+#pragma once
+// Messaging substrate: a simulated broker offering topic broadcast
+// (publish/subscribe) and point-to-point mailboxes.
+//
+// Models the dedicated messaging instance in the paper's 7-instance AWS
+// deployment (Crossflow runs over ActiveMQ). Every delivery is an event on
+// the simulator, delayed by the network model's sampled control-plane
+// latency between sender and receiver.
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "util/units.hpp"
+
+namespace dlaja::msg {
+
+/// An in-flight message. `payload` carries an arbitrary typed value; the
+/// receiver knows the concrete type from the topic/mailbox contract.
+struct Message {
+  std::uint64_t id = 0;
+  net::NodeId from = net::kInvalidNode;
+  Tick sent_at = 0;
+  std::any payload;
+};
+
+/// Handler invoked on delivery (at the receiver, in simulated time).
+using Handler = std::function<void(const Message&)>;
+
+/// Handle returned by subscribe(), usable to unsubscribe.
+struct SubscriptionId {
+  std::uint64_t value = 0;
+  [[nodiscard]] bool valid() const noexcept { return value != 0; }
+};
+
+/// Delivery counters for observability and the micro benchmarks.
+struct BrokerStats {
+  std::uint64_t published = 0;   ///< publish() calls
+  std::uint64_t sent = 0;        ///< send() calls
+  std::uint64_t delivered = 0;   ///< handler invocations
+  std::uint64_t dropped = 0;     ///< sends to missing mailboxes / dead nodes
+};
+
+/// The broker. Owned by the Engine; one per simulated cluster.
+class Broker {
+ public:
+  Broker(sim::Simulator& simulator, net::NetworkModel& network)
+      : sim_(simulator), net_(network) {}
+
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  /// Subscribes `node` to `topic`; `handler` runs for every later publish.
+  SubscriptionId subscribe(const std::string& topic, net::NodeId node, Handler handler);
+
+  /// Removes a subscription. Returns false if unknown.
+  bool unsubscribe(SubscriptionId id);
+
+  /// Broadcasts `payload` on `topic`. Each current subscriber receives its
+  /// own copy after an independently sampled delay. Returns the number of
+  /// subscribers the message was fanned out to.
+  std::size_t publish(const std::string& topic, net::NodeId from, std::any payload);
+
+  /// Registers the point-to-point mailbox `name` at `node` (e.g. a worker's
+  /// job queue). Overwrites any previous handler for (node, name).
+  void register_mailbox(net::NodeId node, const std::string& name, Handler handler);
+
+  /// Removes a mailbox; later sends to it count as dropped.
+  void remove_mailbox(net::NodeId node, const std::string& name);
+
+  /// Sends `payload` to mailbox `name` at `to`. Returns false (and counts a
+  /// drop) if the mailbox does not exist *at delivery time*.
+  void send(net::NodeId from, net::NodeId to, const std::string& name, std::any payload);
+
+  /// Marks a node dead: its subscriptions/mailboxes stop receiving, and
+  /// in-flight messages to it are dropped at delivery time. Used by the
+  /// fault-injection tests.
+  void set_node_down(net::NodeId node, bool down);
+
+  [[nodiscard]] bool node_down(net::NodeId node) const;
+
+  [[nodiscard]] const BrokerStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Subscription {
+    std::uint64_t id;
+    net::NodeId node;
+    Handler handler;
+  };
+
+  void deliver_later(net::NodeId from, net::NodeId to, std::function<void(Message&&)> sink,
+                     std::any payload);
+
+  sim::Simulator& sim_;
+  net::NetworkModel& net_;
+  std::unordered_map<std::string, std::vector<Subscription>> topics_;
+  std::unordered_map<std::uint64_t, std::string> subscription_topics_;
+  std::unordered_map<net::NodeId, std::unordered_map<std::string, Handler>> mailboxes_;
+  std::unordered_map<net::NodeId, bool> down_;
+  std::uint64_t next_subscription_ = 1;
+  std::uint64_t next_message_ = 1;
+  BrokerStats stats_;
+};
+
+}  // namespace dlaja::msg

@@ -1,0 +1,242 @@
+#include "msr/msr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "util/csv.hpp"
+
+namespace dlaja::msr {
+
+void CoOccurrenceCounter::record(std::uint32_t library, storage::ResourceId repository) {
+  auto& libs = repo_libraries_[repository];
+  if (std::find(libs.begin(), libs.end(), library) == libs.end()) {
+    libs.push_back(library);
+  }
+  ++hits_;
+}
+
+std::uint64_t CoOccurrenceCounter::co_occurrences(std::uint32_t a, std::uint32_t b) const {
+  std::uint64_t count = 0;
+  for (const auto& [repo, libs] : repo_libraries_) {
+    const bool has_a = std::find(libs.begin(), libs.end(), a) != libs.end();
+    const bool has_b = std::find(libs.begin(), libs.end(), b) != libs.end();
+    if (has_a && has_b) ++count;
+  }
+  return count;
+}
+
+std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t>
+CoOccurrenceCounter::matrix() const {
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t> result;
+  for (const auto& [repo, libs] : repo_libraries_) {
+    for (std::size_t i = 0; i < libs.size(); ++i) {
+      for (std::size_t j = i + 1; j < libs.size(); ++j) {
+        const auto a = std::min(libs[i], libs[j]);
+        const auto b = std::max(libs[i], libs[j]);
+        ++result[{a, b}];
+      }
+    }
+  }
+  return result;
+}
+
+void CoOccurrenceCounter::write_csv(std::ostream& out) const {
+  using Entry = std::pair<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t>;
+  std::vector<Entry> entries;
+  for (const auto& entry : matrix()) entries.push_back(entry);
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  CsvWriter csv(out);
+  csv.write("library_a", "library_b", "co_occurrences");
+  for (const Entry& entry : entries) {
+    csv.write(static_cast<std::uint64_t>(entry.first.first),
+              static_cast<std::uint64_t>(entry.first.second), entry.second);
+  }
+}
+
+std::size_t MsrPipeline::analyzer_job_count() const {
+  std::size_t total = 0;
+  for (const auto& repos : matches) total += repos.size();
+  return total;
+}
+
+MsrPipeline build_msr_pipeline(const MsrConfig& config, const SeedSequencer& seeds) {
+  MsrPipeline pipeline;
+  pipeline.results = std::make_shared<CoOccurrenceCounter>();
+
+  // --- Synthetic GitHub -------------------------------------------------
+  RandomStream repo_rng = seeds.stream("msr/repos");
+  for (std::size_t r = 0; r < config.repository_count; ++r) {
+    pipeline.catalog.add(repo_rng.bounded_pareto(config.repo_min_mb, config.repo_max_mb,
+                                                 config.repo_pareto_alpha));
+  }
+
+  // Dependency structure: library popularity is Zipf-like, so library 0
+  // matches ~3x the base rate and the tail matches rarely.
+  RandomStream match_rng = seeds.stream("msr/matches");
+  pipeline.matches.resize(config.library_count);
+  for (std::uint32_t lib = 0; lib < config.library_count; ++lib) {
+    const double popularity = 3.0 / (1.0 + std::log1p(static_cast<double>(lib)));
+    const double p = std::min(0.9, config.match_probability * popularity);
+    for (std::size_t r = 0; r < config.repository_count; ++r) {
+      if (match_rng.bernoulli(p)) {
+        pipeline.matches[lib].push_back(static_cast<storage::ResourceId>(r + 1));
+      }
+    }
+  }
+
+  // --- Workflow graph (Fig. 1) ------------------------------------------
+  auto wf = std::make_shared<workflow::Workflow>();
+
+  // Captured by the expanders below; the workflow may outlive `pipeline`'s
+  // stack frame, so copy what is needed.
+  const auto matches = pipeline.matches;
+  // RepositoryCatalog is cheap to copy (vector of doubles).
+  const auto catalog = pipeline.catalog;
+  const auto results = pipeline.results;
+  const Tick analyze_fixed = ticks_from_seconds(config.analyze_fixed_s);
+
+  workflow::TaskSpec searcher;
+  searcher.name = "RepositorySearcher";
+  searcher.data_intensive = false;
+
+  workflow::TaskSpec analyzer;
+  analyzer.name = "RepositoryAnalyzer";
+  analyzer.data_intensive = true;
+
+  workflow::TaskSpec aggregator;
+  aggregator.name = "CoOccurrenceAggregator";
+  aggregator.data_intensive = false;
+
+  pipeline.searcher = wf->add_task(std::move(searcher));
+  pipeline.analyzer = wf->add_task(std::move(analyzer));
+  pipeline.aggregator = wf->add_task(std::move(aggregator));
+  wf->connect(pipeline.searcher, pipeline.analyzer);
+  wf->connect(pipeline.analyzer, pipeline.aggregator);
+
+  // Searcher expander: one analyzer job per matching repository. The
+  // library index travels in the job key ("lib:<n>").
+  const workflow::TaskId analyzer_id = pipeline.analyzer;
+  wf->set_expander(
+      pipeline.searcher,
+      [matches, catalog, analyzer_id, analyze_fixed](const workflow::Job& done,
+                                                     RandomStream&) {
+        const auto lib = static_cast<std::uint32_t>(std::stoul(done.key.substr(4)));
+        std::vector<workflow::Job> out;
+        for (const storage::ResourceId repo : matches.at(lib)) {
+          workflow::Job job;
+          job.task = analyzer_id;
+          job.resource = repo;
+          job.resource_size_mb = catalog.size_of(repo);
+          job.process_mb = job.resource_size_mb;  // scan the full clone
+          job.fixed_cost = analyze_fixed;
+          job.key = done.key + "@repo:" + std::to_string(repo);
+          out.push_back(std::move(job));
+        }
+        return out;
+      });
+
+  // Analyzer expander: record the hit and emit one (cheap) aggregation job.
+  const workflow::TaskId aggregator_id = pipeline.aggregator;
+  wf->set_expander(
+      pipeline.analyzer,
+      [results, aggregator_id](const workflow::Job& done, RandomStream&) {
+        const auto at = done.key.find("lib:");
+        const auto end = done.key.find('@');
+        if (at != std::string::npos && end != std::string::npos && results) {
+          const auto lib = static_cast<std::uint32_t>(
+              std::stoul(done.key.substr(at + 4, end - at - 4)));
+          results->record(lib, done.resource);
+        }
+        workflow::Job job;
+        job.task = aggregator_id;
+        job.fixed_cost = ticks_from_millis(50.0);
+        job.key = done.key + "#agg";
+        return std::vector<workflow::Job>{job};
+      });
+
+  pipeline.workflow = std::move(wf);
+
+  // --- Input stream: one searcher job per library -----------------------
+  RandomStream arrival_rng = seeds.stream("msr/arrivals");
+  Tick arrival = 0;
+  for (std::uint32_t lib = 0; lib < config.library_count; ++lib) {
+    workflow::Job job;
+    job.id = lib + 1;
+    job.task = pipeline.searcher;
+    job.fixed_cost = ticks_from_seconds(config.search_s);
+    job.created_at = arrival;
+    job.key = "lib:" + std::to_string(lib);
+    pipeline.seed_jobs.push_back(std::move(job));
+    arrival += ticks_from_seconds(arrival_rng.exponential(config.library_arrival_mean_s));
+  }
+  return pipeline;
+}
+
+workload::GeneratedWorkload flatten_to_workload(const MsrPipeline& pipeline,
+                                                const MsrConfig& config) {
+  workload::GeneratedWorkload result;
+  result.name = "msr-analyzers";
+  // Rebuild a catalog with the same ids/sizes (catalog ids are dense).
+  for (storage::ResourceId id = 1; id <= pipeline.catalog.count(); ++id) {
+    result.catalog.add(pipeline.catalog.size_of(id));
+  }
+
+  struct Pending {
+    Tick arrival;
+    std::uint32_t lib;
+    storage::ResourceId repo;
+  };
+  std::vector<Pending> pending;
+  for (const workflow::Job& seed : pipeline.seed_jobs) {
+    const auto lib = static_cast<std::uint32_t>(std::stoul(seed.key.substr(4)));
+    const Tick arrival = seed.created_at + ticks_from_seconds(config.search_s);
+    for (const storage::ResourceId repo : pipeline.matches.at(lib)) {
+      pending.push_back(Pending{arrival, lib, repo});
+    }
+  }
+  std::sort(pending.begin(), pending.end(), [](const Pending& a, const Pending& b) {
+    if (a.arrival != b.arrival) return a.arrival < b.arrival;
+    if (a.lib != b.lib) return a.lib < b.lib;
+    return a.repo < b.repo;
+  });
+
+  workflow::JobId next_id = 1;
+  for (const Pending& p : pending) {
+    workflow::Job job;
+    job.id = next_id++;
+    job.task = pipeline.analyzer;
+    job.resource = p.repo;
+    job.resource_size_mb = result.catalog.size_of(p.repo);
+    job.process_mb = job.resource_size_mb;
+    job.fixed_cost = ticks_from_seconds(config.analyze_fixed_s);
+    job.created_at = p.arrival;
+    job.key = "lib:" + std::to_string(p.lib) + "@repo:" + std::to_string(p.repo);
+    result.jobs.push_back(std::move(job));
+  }
+  return result;
+}
+
+std::vector<cluster::WorkerConfig> make_msr_fleet(std::size_t worker_count) {
+  std::vector<cluster::WorkerConfig> fleet;
+  fleet.reserve(worker_count);
+  // t3.micro-class nodes in different regions: mildly heterogeneous
+  // bandwidth and disk speeds (deterministic pattern).
+  constexpr MbPerSec kNet[] = {55.0, 40.0, 48.0, 34.0, 60.0};
+  constexpr MbPerSec kRw[] = {110.0, 85.0, 95.0, 70.0, 120.0};
+  for (std::size_t i = 0; i < worker_count; ++i) {
+    cluster::WorkerConfig w;
+    w.name = "msr-worker-" + std::to_string(i);
+    w.network_mbps = kNet[i % std::size(kNet)];
+    w.rw_mbps = kRw[i % std::size(kRw)];
+    w.latency_ms = 8.0 + 4.0 * static_cast<double>(i % 3);
+    w.latency_jitter_ms = 4.0;
+    fleet.push_back(std::move(w));
+  }
+  return fleet;
+}
+
+}  // namespace dlaja::msr

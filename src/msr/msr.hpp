@@ -1,0 +1,126 @@
+#pragma once
+// The MSR (mining software repositories) application model — the paper's
+// motivating pipeline (Fig. 1) and the workload behind Tables 1-3.
+//
+// A stream of NPM libraries enters the pipeline. For each library the
+// RepositorySearcher queries a (synthetic) GitHub for large favoured
+// repositories whose package.json depends on it, producing one
+// (library, repository) job per match. The RepositoryAnalyzer clones the
+// repository (data-intensive: this is where locality matters) and scans it;
+// the terminal aggregation stage counts library co-occurrences.
+//
+// GitHub, the repositories and the dependency structure are synthetic but
+// deterministic per seed: repository sizes follow a bounded-Pareto
+// distribution over the paper's "large-scale" range (>500 MB), and
+// library popularity is skewed so some libraries match many repositories.
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/config.hpp"
+#include "util/rng.hpp"
+#include "workflow/workflow.hpp"
+#include "workload/catalog.hpp"
+#include "workload/generator.hpp"
+
+namespace dlaja::msr {
+
+struct MsrConfig {
+  /// Libraries streamed into the pipeline (paper: popular NPM packages).
+  std::size_t library_count = 30;
+
+  /// Large-scale repositories in the synthetic GitHub.
+  std::size_t repository_count = 90;
+
+  /// Repository sizes: bounded Pareto [min, max] MB with shape alpha.
+  /// Defaults give a mean around 1.5-2 GB, matching the per-clone volumes
+  /// implied by Tables 2 and 3 (~2.2 GB per miss).
+  MegaBytes repo_min_mb = 500.0;
+  MegaBytes repo_max_mb = 8192.0;
+  double repo_pareto_alpha = 1.05;
+
+  /// Base probability that a repository depends on a given library;
+  /// scaled by the library's popularity (Zipf-like, so the top libraries
+  /// match many repositories — those are the locality opportunities).
+  double match_probability = 0.15;
+
+  /// Fixed costs: the GitHub search API call per library, and the per-job
+  /// overhead of an analysis (process spawn, result upload).
+  double search_s = 2.0;
+  double analyze_fixed_s = 1.0;
+
+  /// Mean inter-arrival of libraries at the pipeline entry.
+  double library_arrival_mean_s = 10.0;
+};
+
+/// Counts co-occurrences of libraries across repositories — the pipeline's
+/// business result (step 4 of the §2 protocol). Fed by the aggregator
+/// task's expander as analyses complete.
+class CoOccurrenceCounter {
+ public:
+  /// Records that `library` was found in `repository`.
+  void record(std::uint32_t library, storage::ResourceId repository);
+
+  /// Number of repositories in which both libraries were found.
+  [[nodiscard]] std::uint64_t co_occurrences(std::uint32_t a, std::uint32_t b) const;
+
+  /// Total (library, repository) hits recorded.
+  [[nodiscard]] std::uint64_t total_hits() const noexcept { return hits_; }
+
+  /// The co-occurrence matrix as (libA, libB) -> count, libA < libB.
+  [[nodiscard]] std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t> matrix() const;
+
+  /// Step 4 of the §2 protocol: "Calculate the number of times libraries
+  /// appear together and store the results in a CSV file". One row per
+  /// co-occurring pair: library_a,library_b,co_occurrences (descending).
+  void write_csv(std::ostream& out) const;
+
+ private:
+  std::map<storage::ResourceId, std::vector<std::uint32_t>> repo_libraries_;
+  std::uint64_t hits_ = 0;
+};
+
+/// A fully built MSR pipeline, ready to hand to an Engine.
+struct MsrPipeline {
+  std::shared_ptr<workflow::Workflow> workflow;
+  workflow::TaskId searcher = 0;
+  workflow::TaskId analyzer = 0;
+  workflow::TaskId aggregator = 0;
+
+  /// One searcher job per library, with arrival times — the input stream.
+  std::vector<workflow::Job> seed_jobs;
+
+  /// The synthetic GitHub's repositories.
+  workload::RepositoryCatalog catalog;
+
+  /// Precomputed dependency structure: matches[lib] = repos containing it.
+  std::vector<std::vector<storage::ResourceId>> matches;
+
+  /// Business results accumulator (shared with the workflow's expanders).
+  std::shared_ptr<CoOccurrenceCounter> results;
+
+  /// Total analyzer jobs this pipeline will generate.
+  [[nodiscard]] std::size_t analyzer_job_count() const;
+};
+
+/// Builds the pipeline deterministically from the config and seeds.
+[[nodiscard]] MsrPipeline build_msr_pipeline(const MsrConfig& config,
+                                             const SeedSequencer& seeds);
+
+/// The AWS-like fleet used by the §6.4 experiments: five t3.micro-class
+/// workers with mildly heterogeneous bandwidth/rw speeds.
+[[nodiscard]] std::vector<cluster::WorkerConfig> make_msr_fleet(std::size_t worker_count = 5);
+
+/// Flattens the pipeline's *analyzer* jobs into a standalone workload
+/// (arrival = the library's arrival plus the search latency), so the MSR
+/// job mix can be replayed through the generic experiment/trace tooling
+/// without running the searcher stage. Job ids are 1..N in arrival order.
+[[nodiscard]] workload::GeneratedWorkload flatten_to_workload(const MsrPipeline& pipeline,
+                                                              const MsrConfig& config);
+
+}  // namespace dlaja::msr

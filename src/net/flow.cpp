@@ -1,0 +1,157 @@
+#include "net/flow.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace dlaja::net {
+
+namespace {
+constexpr MbPerSec kDefaultNodeCapacity = 50.0;
+constexpr double kEpsilonMb = 1e-9;  // volumes below this count as finished
+}  // namespace
+
+FlowNetwork::FlowNetwork(sim::Simulator& simulator, MbPerSec origin_capacity_mbps)
+    : sim_(simulator), origin_capacity_(origin_capacity_mbps) {}
+
+void FlowNetwork::set_node_capacity(NodeId node, MbPerSec capacity_mbps) {
+  node_capacity_[node] = capacity_mbps;
+}
+
+void FlowNetwork::advance_progress() {
+  const Tick now = sim_.now();
+  if (now <= last_update_) return;
+  const double elapsed_s = seconds_from_ticks(now - last_update_);
+  for (auto& [id, flow] : flows_) {
+    flow.remaining_mb = std::max(0.0, flow.remaining_mb - flow.rate * elapsed_s);
+  }
+  last_update_ = now;
+}
+
+void FlowNetwork::reallocate_and_reschedule() {
+  if (next_completion_.valid()) {
+    sim_.cancel(next_completion_);
+    next_completion_ = {};
+  }
+
+  // --- fire anything that has (numerically) finished. Handlers run as
+  // fresh zero-delay events so they may start new flows without
+  // re-entering this function mid-computation. ----------------------------
+  std::vector<std::uint64_t> done;
+  for (const auto& [id, flow] : flows_) {
+    if (flow.remaining_mb <= kEpsilonMb) done.push_back(id);
+  }
+  for (const std::uint64_t id : done) {
+    auto handler = std::move(flows_.at(id).on_done);
+    flows_.erase(id);
+    if (handler) sim_.schedule_after(0, std::move(handler));
+  }
+  if (flows_.empty()) return;
+
+  // --- max-min fair rates (progressive filling over two constraint
+  // families: per-node capacity and the origin's total capacity) ----------
+  std::unordered_map<NodeId, std::vector<std::uint64_t>> by_node;
+  for (const auto& [id, flow] : flows_) by_node[flow.node].push_back(id);
+
+  std::unordered_map<std::uint64_t, double> rate;
+  std::unordered_map<NodeId, double> node_residual;
+  std::unordered_map<NodeId, std::size_t> node_unfrozen;
+  for (const auto& [node, ids] : by_node) {
+    const auto it = node_capacity_.find(node);
+    node_residual[node] = it != node_capacity_.end() ? it->second : kDefaultNodeCapacity;
+    node_unfrozen[node] = ids.size();
+  }
+  double origin_residual = origin_capacity_;
+  std::size_t unfrozen_total = flows_.size();
+
+  while (unfrozen_total > 0) {
+    // The tightest constraint determines the next fair-share level.
+    double level = std::numeric_limits<double>::infinity();
+    for (const auto& [node, residual] : node_residual) {
+      if (node_unfrozen[node] > 0) {
+        level = std::min(level, residual / static_cast<double>(node_unfrozen[node]));
+      }
+    }
+    if (origin_residual < std::numeric_limits<double>::infinity()) {
+      level = std::min(level, origin_residual / static_cast<double>(unfrozen_total));
+    }
+    assert(level < std::numeric_limits<double>::infinity());
+
+    // Freeze every flow in constraints saturated at this level.
+    bool froze = false;
+    for (const auto& [node, ids] : by_node) {
+      if (node_unfrozen[node] == 0) continue;
+      const double share = node_residual[node] / static_cast<double>(node_unfrozen[node]);
+      if (share <= level + 1e-12) {
+        for (const std::uint64_t id : ids) {
+          if (rate.count(id)) continue;
+          rate[id] = share;
+          origin_residual -= share;
+          --unfrozen_total;
+          froze = true;
+        }
+        node_residual[node] = 0.0;
+        node_unfrozen[node] = 0;
+      }
+    }
+    if (!froze) {
+      // The origin is the bottleneck: everyone left gets the origin share.
+      const double share = origin_residual / static_cast<double>(unfrozen_total);
+      for (const auto& [id, flow] : flows_) {
+        if (rate.count(id)) continue;
+        rate[id] = share;
+        node_residual[flow.node] -= share;
+        --node_unfrozen[flow.node];
+      }
+      unfrozen_total = 0;
+    }
+  }
+
+  Tick soonest = kNeverTick;
+  for (auto& [id, flow] : flows_) {
+    flow.rate = std::max(rate[id], 1e-9);
+    const Tick eta = sim_.now() + transfer_ticks(flow.remaining_mb, flow.rate);
+    soonest = std::min(soonest, eta);
+  }
+  // Fire no earlier than one tick ahead so progress strictly advances.
+  soonest = std::max(soonest, sim_.now() + 1);
+  next_completion_ = sim_.schedule_at(soonest, [this] {
+    advance_progress();
+    reallocate_and_reschedule();
+  });
+}
+
+FlowId FlowNetwork::start_flow(NodeId node, MegaBytes volume, std::function<void()> on_done) {
+  advance_progress();
+  const std::uint64_t id = next_id_++;
+  Flow flow;
+  flow.node = node;
+  flow.remaining_mb = std::max(volume, 0.0);
+  flow.on_done = std::move(on_done);
+  flows_.emplace(id, std::move(flow));
+  reallocate_and_reschedule();
+  return FlowId{id};
+}
+
+bool FlowNetwork::cancel_flow(FlowId id) {
+  const auto it = flows_.find(id.value);
+  if (it == flows_.end()) return false;
+  advance_progress();
+  flows_.erase(it);
+  reallocate_and_reschedule();
+  return true;
+}
+
+MbPerSec FlowNetwork::current_rate(FlowId id) const {
+  const auto it = flows_.find(id.value);
+  return it != flows_.end() ? it->second.rate : 0.0;
+}
+
+MegaBytes FlowNetwork::remaining_mb(FlowId id) const {
+  const auto it = flows_.find(id.value);
+  if (it == flows_.end()) return 0.0;
+  const double elapsed_s = seconds_from_ticks(sim_.now() - last_update_);
+  return std::max(0.0, it->second.remaining_mb - it->second.rate * elapsed_s);
+}
+
+}  // namespace dlaja::net

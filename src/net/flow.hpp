@@ -1,0 +1,86 @@
+#pragma once
+// Flow-level network model with max-min fair bandwidth sharing.
+//
+// The basic NetworkModel gives every transfer the downloading node's full
+// bandwidth — concurrent clones never contend. This model adds the two
+// contention points that make "network bandwidth a scarce resource"
+// (paper §1): each node's download capacity is shared by its concurrent
+// flows, and the *origin* (the repository host, e.g. GitHub) has a global
+// upload capacity shared by every clone in flight anywhere in the cluster.
+//
+// Rates follow max-min fairness (progressive filling); the simulation is
+// progress-based: on every flow arrival/completion the remaining volumes
+// are advanced at the old rates, rates are recomputed, and the next
+// completion event is rescheduled.
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <unordered_map>
+
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "util/units.hpp"
+
+namespace dlaja::net {
+
+/// Handle of an active flow.
+struct FlowId {
+  std::uint64_t value = 0;
+  [[nodiscard]] bool valid() const noexcept { return value != 0; }
+  friend bool operator==(FlowId, FlowId) = default;
+};
+
+class FlowNetwork {
+ public:
+  /// `origin_capacity_mbps` caps the sum of all flow rates (the repository
+  /// host's upload). Use infinity for no origin bottleneck.
+  FlowNetwork(sim::Simulator& simulator, MbPerSec origin_capacity_mbps);
+
+  FlowNetwork(const FlowNetwork&) = delete;
+  FlowNetwork& operator=(const FlowNetwork&) = delete;
+
+  /// Sets a node's download capacity (shared by its concurrent flows).
+  void set_node_capacity(NodeId node, MbPerSec capacity_mbps);
+
+  /// Starts a transfer of `volume` MB to `node`; `on_done` fires at the
+  /// simulated completion. Returns a handle usable with cancel_flow().
+  FlowId start_flow(NodeId node, MegaBytes volume, std::function<void()> on_done);
+
+  /// Aborts a flow (its on_done never fires). Returns false if unknown
+  /// or already completed.
+  bool cancel_flow(FlowId id);
+
+  /// Current max-min rate of a flow (0 if unknown).
+  [[nodiscard]] MbPerSec current_rate(FlowId id) const;
+
+  /// Remaining volume of a flow as of now (0 if unknown).
+  [[nodiscard]] MegaBytes remaining_mb(FlowId id) const;
+
+  [[nodiscard]] std::size_t active_flows() const noexcept { return flows_.size(); }
+  [[nodiscard]] MbPerSec origin_capacity() const noexcept { return origin_capacity_; }
+
+ private:
+  struct Flow {
+    NodeId node = kInvalidNode;
+    double remaining_mb = 0.0;
+    double rate = 0.0;  // MB/s under the current allocation
+    std::function<void()> on_done;
+  };
+
+  /// Advances all remaining volumes to now() at the current rates.
+  void advance_progress();
+
+  /// Recomputes max-min rates and reschedules the next completion event.
+  void reallocate_and_reschedule();
+
+  sim::Simulator& sim_;
+  MbPerSec origin_capacity_;
+  std::unordered_map<NodeId, MbPerSec> node_capacity_;
+  std::unordered_map<std::uint64_t, Flow> flows_;
+  std::uint64_t next_id_ = 1;
+  Tick last_update_ = 0;
+  sim::EventId next_completion_{};
+};
+
+}  // namespace dlaja::net

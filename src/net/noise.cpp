@@ -1,0 +1,74 @@
+#include "net/noise.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dlaja::net {
+
+NoiseConfig NoiseConfig::uniform(double lo, double hi) noexcept {
+  NoiseConfig c;
+  c.kind = Kind::kUniform;
+  c.uniform_lo = lo;
+  c.uniform_hi = hi;
+  return c;
+}
+
+NoiseConfig NoiseConfig::lognormal(double sigma) noexcept {
+  NoiseConfig c;
+  c.kind = Kind::kLognormal;
+  c.lognormal_sigma = sigma;
+  return c;
+}
+
+NoiseConfig NoiseConfig::throttle(double probability, double factor) noexcept {
+  NoiseConfig c;
+  c.kind = Kind::kThrottle;
+  c.throttle_probability = probability;
+  c.throttle_factor = factor;
+  return c;
+}
+
+double NoiseModel::sample(RandomStream& rng) const noexcept {
+  constexpr double kFloor = 1e-3;
+  double factor = 1.0;
+  switch (config_.kind) {
+    case NoiseConfig::Kind::kNone:
+      factor = 1.0;
+      break;
+    case NoiseConfig::Kind::kUniform:
+      factor = rng.uniform(config_.uniform_lo, config_.uniform_hi);
+      break;
+    case NoiseConfig::Kind::kLognormal:
+      factor = rng.lognormal(0.0, config_.lognormal_sigma);
+      break;
+    case NoiseConfig::Kind::kThrottle:
+      factor = rng.uniform(config_.jitter_lo, config_.jitter_hi);
+      if (rng.bernoulli(config_.throttle_probability)) {
+        factor *= config_.throttle_factor;
+      }
+      break;
+  }
+  return std::max(factor, kFloor);
+}
+
+std::string NoiseModel::describe() const {
+  char buf[96];
+  switch (config_.kind) {
+    case NoiseConfig::Kind::kNone:
+      return "none";
+    case NoiseConfig::Kind::kUniform:
+      std::snprintf(buf, sizeof buf, "uniform[%.2f,%.2f]", config_.uniform_lo,
+                    config_.uniform_hi);
+      return buf;
+    case NoiseConfig::Kind::kLognormal:
+      std::snprintf(buf, sizeof buf, "lognormal(sigma=%.2f)", config_.lognormal_sigma);
+      return buf;
+    case NoiseConfig::Kind::kThrottle:
+      std::snprintf(buf, sizeof buf, "throttle(p=%.2f,factor=%.2f)",
+                    config_.throttle_probability, config_.throttle_factor);
+      return buf;
+  }
+  return "?";
+}
+
+}  // namespace dlaja::net

@@ -1,0 +1,68 @@
+#pragma once
+// Multiplicative noise schemes.
+//
+// The paper (§6.3.1) preconfigures worker speeds that are used for *bids*,
+// then subjects the speeds to a noise scheme during *execution* "to better
+// replicate real-world network throttling scenarios and ensure bidding costs
+// differed from actual execution times". A NoiseModel produces the
+// per-operation multiplicative factor applied to a nominal speed.
+
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace dlaja::net {
+
+/// Configuration of a multiplicative noise scheme.
+struct NoiseConfig {
+  enum class Kind {
+    kNone,       ///< factor == 1 (estimates are exact)
+    kUniform,    ///< factor ~ U[lo, hi]
+    kLognormal,  ///< factor ~ LogNormal with unit median, spread sigma
+    kThrottle,   ///< mostly mild jitter; with probability p a deep throttle
+  };
+
+  Kind kind = Kind::kNone;
+
+  // kUniform
+  double uniform_lo = 0.8;
+  double uniform_hi = 1.2;
+
+  // kLognormal: exp(N(0, sigma)) — median 1.
+  double lognormal_sigma = 0.25;
+
+  // kThrottle: base jitter U[jitter_lo, jitter_hi]; with probability
+  // throttle_probability the factor is additionally multiplied by
+  // throttle_factor (e.g. an AWS burst-credit exhaustion or congested link).
+  double jitter_lo = 0.9;
+  double jitter_hi = 1.1;
+  double throttle_probability = 0.10;
+  double throttle_factor = 0.30;
+
+  /// Shorthand constructors for the common schemes.
+  [[nodiscard]] static NoiseConfig none() noexcept { return {}; }
+  [[nodiscard]] static NoiseConfig uniform(double lo, double hi) noexcept;
+  [[nodiscard]] static NoiseConfig lognormal(double sigma) noexcept;
+  [[nodiscard]] static NoiseConfig throttle(double probability, double factor) noexcept;
+};
+
+/// Samples multiplicative speed factors per NoiseConfig. Factors are clamped
+/// to a small positive floor so a sampled speed never reaches zero.
+class NoiseModel {
+ public:
+  explicit NoiseModel(NoiseConfig config = {}) noexcept : config_(config) {}
+
+  /// Draws one factor using the caller-supplied stream (so each worker's
+  /// noise is an independent deterministic substream).
+  [[nodiscard]] double sample(RandomStream& rng) const noexcept;
+
+  [[nodiscard]] const NoiseConfig& config() const noexcept { return config_; }
+
+  /// Human-readable description, e.g. "lognormal(sigma=0.25)".
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  NoiseConfig config_;
+};
+
+}  // namespace dlaja::net

@@ -1,0 +1,82 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dlaja::net {
+
+RegionId Topology::add_region(std::string name, double internal_latency_ms) {
+  const auto id = static_cast<RegionId>(names_.size());
+  names_.push_back(std::move(name));
+  internal_ms_.push_back(internal_latency_ms);
+  // Grow the pair table: new row of (id) unset entries.
+  pair_ms_.resize(pair_ms_.size() + id, -1.0);
+  return id;
+}
+
+std::size_t Topology::index(RegionId a, RegionId b) const {
+  // Upper triangle, a < b: offset = b*(b-1)/2 + a.
+  const RegionId lo = std::min(a, b);
+  const RegionId hi = std::max(a, b);
+  return static_cast<std::size_t>(hi) * (hi - 1) / 2 + lo;
+}
+
+void Topology::set_latency(RegionId a, RegionId b, double latency_ms) {
+  if (a >= names_.size() || b >= names_.size()) {
+    throw std::out_of_range("Topology::set_latency: unknown region");
+  }
+  if (a == b) {
+    internal_ms_[a] = latency_ms;
+    return;
+  }
+  pair_ms_[index(a, b)] = latency_ms;
+}
+
+double Topology::latency_ms(RegionId a, RegionId b) const {
+  if (a >= names_.size() || b >= names_.size()) {
+    throw std::out_of_range("Topology::latency_ms: unknown region");
+  }
+  if (a == b) return internal_ms_[a];
+  const double set = pair_ms_[index(a, b)];
+  if (set >= 0.0) return set;
+  return 0.5 * (internal_ms_[a] + internal_ms_[b]) + 50.0;
+}
+
+const std::string& Topology::name(RegionId id) const {
+  if (id >= names_.size()) throw std::out_of_range("Topology::name: unknown region");
+  return names_[id];
+}
+
+RegionId Topology::random_region(RandomStream& rng) const {
+  if (names_.empty()) throw std::logic_error("Topology: no regions");
+  return static_cast<RegionId>(
+      rng.uniform_int(0, static_cast<std::int64_t>(names_.size()) - 1));
+}
+
+Topology make_aws_like_topology() {
+  Topology topology;
+  const RegionId us = topology.add_region("us-east", 1.0);
+  const RegionId eu = topology.add_region("eu-west", 1.0);
+  const RegionId ap = topology.add_region("ap-south", 1.5);
+  topology.set_latency(us, eu, 40.0);
+  topology.set_latency(us, ap, 110.0);
+  topology.set_latency(eu, ap, 130.0);
+  return topology;
+}
+
+std::vector<RegionId> scatter_nodes(const Topology& topology, std::size_t count,
+                                    RandomStream& rng) {
+  std::vector<RegionId> regions;
+  regions.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) regions.push_back(topology.random_region(rng));
+  return regions;
+}
+
+LinkConfig regionalize(const LinkConfig& base, const Topology& topology, RegionId region,
+                       RegionId broker_region) {
+  LinkConfig link = base;
+  link.latency_ms = topology.latency_ms(region, broker_region);
+  return link;
+}
+
+}  // namespace dlaja::net

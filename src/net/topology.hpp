@@ -1,0 +1,66 @@
+#pragma once
+// Geographic topology: regions with pairwise base latencies.
+//
+// The paper's testbed was "geographically distributed, and their locations
+// were randomly determined during configuration startup" (§6.2). A
+// Topology assigns each node a region; control-plane latency between two
+// nodes is the inter-region base latency plus per-node jitter. This layers
+// under NetworkModel: build a Topology, then derive per-node LinkConfigs.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "util/rng.hpp"
+
+namespace dlaja::net {
+
+/// Identifier of a region within a Topology.
+using RegionId = std::uint32_t;
+
+/// A set of regions and the one-way base latencies between them (ms).
+class Topology {
+ public:
+  /// Adds a region; `internal_latency_ms` is the one-way latency between
+  /// two nodes of the same region.
+  RegionId add_region(std::string name, double internal_latency_ms = 1.0);
+
+  /// Sets the one-way base latency between two distinct regions
+  /// (symmetric). Throws std::out_of_range for unknown ids.
+  void set_latency(RegionId a, RegionId b, double latency_ms);
+
+  /// One-way base latency between two regions (same region -> internal).
+  /// Unset distinct pairs default to the mean of the two internal
+  /// latencies plus 50 ms (a conservative WAN hop).
+  [[nodiscard]] double latency_ms(RegionId a, RegionId b) const;
+
+  [[nodiscard]] std::size_t region_count() const noexcept { return names_.size(); }
+  [[nodiscard]] const std::string& name(RegionId id) const;
+
+  /// Picks a region uniformly at random (the paper randomises placement).
+  [[nodiscard]] RegionId random_region(RandomStream& rng) const;
+
+ private:
+  [[nodiscard]] std::size_t index(RegionId a, RegionId b) const;
+
+  std::vector<std::string> names_;
+  std::vector<double> internal_ms_;
+  std::vector<double> pair_ms_;  // dense upper-triangular, -1 = unset
+};
+
+/// A classic three-continent AWS-like topology: us-east, eu-west,
+/// ap-south; 1 ms internal, 40/110/130 ms between.
+[[nodiscard]] Topology make_aws_like_topology();
+
+/// Assigns each of `count` nodes a random region and returns the regions.
+[[nodiscard]] std::vector<RegionId> scatter_nodes(const Topology& topology,
+                                                  std::size_t count, RandomStream& rng);
+
+/// Derives a LinkConfig for a node in `region` talking to a broker in
+/// `broker_region`: the link keeps `base`'s bandwidth/jitter but its
+/// latency becomes the inter-region base latency.
+[[nodiscard]] LinkConfig regionalize(const LinkConfig& base, const Topology& topology,
+                                     RegionId region, RegionId broker_region);
+
+}  // namespace dlaja::net

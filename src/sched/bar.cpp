@@ -1,0 +1,184 @@
+#include "sched/bar.hpp"
+
+#include <algorithm>
+#include <any>
+#include <cassert>
+#include <limits>
+
+namespace dlaja::sched {
+
+using cluster::JobAssignment;
+using cluster::WorkerIndex;
+
+void BarScheduler::attach(const SchedulerContext& ctx) {
+  ctx_ = ctx;
+  known_.assign(ctx_.worker_count(), {});
+  est_free_at_.assign(ctx_.worker_count(), 0);
+  for (WorkerIndex w = 0; w < ctx_.worker_count(); ++w) {
+    cluster::WorkerNode* worker = ctx_.workers[w];
+    ctx_.broker->register_mailbox(
+        ctx_.worker_nodes[w], cluster::mailboxes::kJobs,
+        [worker](const msg::Message& message) {
+          worker->enqueue(std::any_cast<const JobAssignment&>(message.payload).job);
+        });
+  }
+}
+
+bool BarScheduler::is_local(WorkerIndex w, const workflow::Job& job) const {
+  return !job.needs_resource() || known_[w].count(job.resource) > 0;
+}
+
+double BarScheduler::cost_s(WorkerIndex w, const workflow::Job& job) const {
+  const cluster::WorkerConfig& config = ctx_.workers[w]->config();
+  double cost = job.process_mb / std::max(config.rw_mbps, 1e-9) +
+                seconds_from_ticks(job.fixed_cost);
+  if (!is_local(w, job)) {
+    cost += job.resource_size_mb / std::max(config.network_mbps, 1e-9);
+  }
+  return cost;
+}
+
+double BarScheduler::load_s(WorkerIndex w) const {
+  const Tick remaining = est_free_at_[w] - ctx_.sim->now();
+  return remaining > 0 ? seconds_from_ticks(remaining) : 0.0;
+}
+
+void BarScheduler::submit(const workflow::Job& job) {
+  batch_.push_back(job);
+  if (!batch_scheduled_) {
+    batch_scheduled_ = true;
+    ctx_.sim->schedule_after(ticks_from_seconds(config_.batch_window_s), [this] {
+      batch_scheduled_ = false;
+      process_batch();
+    });
+  }
+}
+
+void BarScheduler::on_completion(const cluster::CompletionReport& report) {
+  (void)report;  // loads decay with simulated time via est_free_at_
+}
+
+void BarScheduler::process_batch() {
+  if (batch_.empty()) return;
+  ++stats_.batches;
+  std::vector<workflow::Job> jobs;
+  jobs.swap(batch_);
+  // Largest first: classic LPT ordering tightens the phase-2 makespan.
+  std::sort(jobs.begin(), jobs.end(), [](const workflow::Job& a, const workflow::Job& b) {
+    if (a.process_mb != b.process_mb) return a.process_mb > b.process_mb;
+    return a.id < b.id;
+  });
+
+  const std::size_t n = ctx_.worker_count();
+  // Working copy of loads; assignment[i] = worker for jobs[i].
+  std::vector<double> load(n);
+  for (WorkerIndex w = 0; w < n; ++w) {
+    load[w] = ctx_.workers[w]->failed() ? std::numeric_limits<double>::infinity()
+                                        : load_s(w);
+  }
+  std::vector<WorkerIndex> assignment(jobs.size(), cluster::kNoWorker);
+  // The batch evolves the placement map as it assigns (a job's download
+  // makes the resource local for later jobs in the same batch).
+  std::vector<std::unordered_set<storage::ResourceId>> local = known_;
+
+  // --- phase 1: maximum locality ---------------------------------------
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const workflow::Job& job = jobs[i];
+    WorkerIndex best = cluster::kNoWorker;
+    double best_finish = std::numeric_limits<double>::infinity();
+    // Least-loaded holder first.
+    for (WorkerIndex w = 0; w < n; ++w) {
+      if (ctx_.workers[w]->failed()) continue;
+      if (!job.needs_resource() || local[w].count(job.resource) > 0) {
+        const double finish = load[w] + cost_s(w, job);
+        if (finish < best_finish) {
+          best_finish = finish;
+          best = w;
+        }
+      }
+    }
+    if (best != cluster::kNoWorker) {
+      ++stats_.local_assignments;
+    } else {
+      // No holder: globally least completion time (cost_s charges the
+      // transfer for non-local placements).
+      for (WorkerIndex w = 0; w < n; ++w) {
+        if (ctx_.workers[w]->failed()) continue;
+        const double finish = load[w] + cost_s(w, job);
+        if (finish < best_finish) {
+          best_finish = finish;
+          best = w;
+        }
+      }
+      ++stats_.remote_assignments;
+    }
+    if (best == cluster::kNoWorker) best = 0;  // all workers failed
+    assignment[i] = best;
+    // Recompute against the evolving local map: the transfer may now be free.
+    double cost = jobs[i].process_mb /
+                      std::max(ctx_.workers[best]->config().rw_mbps, 1e-9) +
+                  seconds_from_ticks(jobs[i].fixed_cost);
+    if (job.needs_resource() && local[best].count(job.resource) == 0) {
+      cost += job.resource_size_mb /
+              std::max(ctx_.workers[best]->config().network_mbps, 1e-9);
+      local[best].insert(job.resource);
+    }
+    load[best] += cost;
+  }
+
+  // --- phase 2: balance-reduce ------------------------------------------
+  for (std::uint32_t move = 0; move < config_.max_rebalance_moves; ++move) {
+    const auto max_it = std::max_element(load.begin(), load.end());
+    const auto min_it = std::min_element(load.begin(), load.end());
+    const auto from = static_cast<WorkerIndex>(max_it - load.begin());
+    const auto to = static_cast<WorkerIndex>(min_it - load.begin());
+    if (from == to) break;
+    // Find a job on `from` whose move shrinks the makespan.
+    bool moved = false;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (assignment[i] != from) continue;
+      const double cost_from = cost_s(from, jobs[i]);
+      // Moving to `to` pays a transfer unless `to` holds the data.
+      double cost_to = jobs[i].process_mb /
+                           std::max(ctx_.workers[to]->config().rw_mbps, 1e-9) +
+                       seconds_from_ticks(jobs[i].fixed_cost);
+      if (jobs[i].needs_resource() && local[to].count(jobs[i].resource) == 0) {
+        cost_to += jobs[i].resource_size_mb /
+                   std::max(ctx_.workers[to]->config().network_mbps, 1e-9);
+      }
+      const double new_from = load[from] - cost_from;
+      const double new_to = load[to] + cost_to;
+      if (std::max(new_from, new_to) + 1e-9 < load[from]) {
+        assignment[i] = to;
+        load[from] = new_from;
+        load[to] = new_to;
+        if (jobs[i].needs_resource()) local[to].insert(jobs[i].resource);
+        ++stats_.rebalance_moves;
+        moved = true;
+        break;
+      }
+    }
+    if (!moved) break;
+  }
+
+  // --- dispatch -----------------------------------------------------------
+  for (std::size_t i = 0; i < jobs.size(); ++i) dispatch(assignment[i], jobs[i]);
+  // Refresh drain estimates from the final plan.
+  for (WorkerIndex w = 0; w < n; ++w) {
+    if (!ctx_.workers[w]->failed()) {
+      est_free_at_[w] = ctx_.sim->now() + ticks_from_seconds(load[w]);
+    }
+  }
+}
+
+void BarScheduler::dispatch(WorkerIndex w, const workflow::Job& job) {
+  assert(w < ctx_.worker_count());
+  if (job.needs_resource()) known_[w].insert(job.resource);
+  metrics::JobRecord& record = ctx_.metrics->job(job.id);
+  record.assigned = ctx_.sim->now();
+  record.worker = w;
+  ctx_.broker->send(ctx_.master_node, ctx_.worker_nodes[w], cluster::mailboxes::kJobs,
+                    JobAssignment{job});
+}
+
+}  // namespace dlaja::sched

@@ -1,0 +1,91 @@
+#pragma once
+// The Baseline scheduler: Crossflow's opinionated-worker job allocation
+// (paper §4), used as the comparison point for the Bidding Scheduler.
+//
+// Workers pull jobs from the master and evaluate each pulled job against
+// their acceptance criteria — here, data locality: a worker accepts a job
+// whose resource it holds locally and *declines* a job it would have to
+// download. Workers track the jobs they declined and must accept them on a
+// later offer, so every job completes even though the first round of offers
+// for an unseen resource is rejected by everyone (paper constraint #1).
+//
+// Crossflow performs "impromptu task allocation as jobs arrive": workers
+// do not wait to be idle before pulling — they keep a small local prefetch
+// of accepted jobs (`prefetch_depth`). Pulling early means the acceptance
+// decision is made before clones from in-flight jobs exist, which is
+// exactly what produces the redundant clones the paper observes.
+
+#include <unordered_map>
+#include <vector>
+
+#include "sched/pull_base.hpp"
+
+namespace dlaja::sched {
+
+struct BaselineConfig {
+  /// Number of times a worker may decline the same job before it must
+  /// accept (paper: once).
+  std::uint32_t max_declines_per_worker = 1;
+
+  /// How many accepted jobs a worker holds beyond the one being processed
+  /// (Crossflow consumers prefetch from the message queue). 0 = pull only
+  /// when idle.
+  std::uint32_t prefetch_depth = 1;
+
+  /// Where a declined job re-enters the master's queue. false (default)
+  /// re-offers the declined job immediately at the head — §4's "returned
+  /// to the master so another worker can consider it" — which fixes its
+  /// placement while clones are still scarce (the redundant-clone
+  /// behaviour the paper observes). true defers it behind the backlog
+  /// (ActiveMQ redelivery-at-tail), which incidentally *helps* locality
+  /// by letting clones appear before the job resurfaces.
+  bool requeue_to_back = false;
+};
+
+class BaselineScheduler final : public PullSchedulerBase {
+ public:
+  explicit BaselineScheduler(BaselineConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "baseline"; }
+
+  void on_worker_idle(cluster::WorkerIndex w) override { worker_request(w); }
+  void on_worker_capacity(cluster::WorkerIndex w) override { worker_request(w); }
+
+  /// Offer/decline counters.
+  struct Stats {
+    std::uint64_t offers_made = 0;
+    std::uint64_t offers_declined = 0;
+    std::uint64_t forced_accepts = 0;  ///< accepted only because of the decline cap
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ protected:
+  void attach_extra() override;
+  void handle_work_request(cluster::WorkerIndex w) override;
+
+ private:
+  /// Worker-side: true if `w` can take one more job into its local queue.
+  [[nodiscard]] bool has_capacity(cluster::WorkerIndex w) const;
+
+  /// Worker-side: sends a WorkRequest after one heartbeat, unless one is
+  /// already pending (scheduled, in flight, or parked at the master).
+  void worker_request(cluster::WorkerIndex w);
+
+  /// Worker-side: evaluate an offer against the acceptance criteria.
+  void worker_handle_offer(cluster::WorkerIndex w, const cluster::JobOffer& offer);
+
+  /// Master-side: handle the worker's accept/decline.
+  void master_handle_response(const cluster::OfferResponse& response);
+
+  BaselineConfig config_;
+  Stats stats_;
+  /// Worker-side memory of declined jobs: declines_[w][job] = count.
+  std::vector<std::unordered_map<workflow::JobId, std::uint32_t>> declines_;
+  /// Worker-side: a request is scheduled/in flight/parked for this worker.
+  std::vector<bool> request_pending_;
+  /// Master-side: offers in flight (job travelling with the offer).
+  std::unordered_map<std::uint64_t, workflow::Job> in_flight_;
+  std::uint64_t next_offer_ = 1;
+};
+
+}  // namespace dlaja::sched

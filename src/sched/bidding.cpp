@@ -1,0 +1,202 @@
+#include "sched/bidding.hpp"
+
+#include <any>
+#include <cassert>
+#include <limits>
+
+#include "util/log.hpp"
+
+namespace dlaja::sched {
+
+using cluster::BidRequest;
+using cluster::BidSubmission;
+using cluster::JobAssignment;
+using cluster::WorkerIndex;
+
+void BiddingScheduler::attach(const SchedulerContext& ctx) {
+  ctx_ = ctx;
+  correction_.assign(ctx_.worker_count(), 1.0);
+
+  // Worker side: every worker listens for bid broadcasts and for direct
+  // job assignments.
+  for (WorkerIndex w = 0; w < ctx_.worker_count(); ++w) {
+    cluster::WorkerNode* worker = ctx_.workers[w];
+    ctx_.broker->subscribe(
+        cluster::topics::kBidRequests, ctx_.worker_nodes[w],
+        [this, w](const msg::Message& message) {
+          worker_handle_bid_request(w, std::any_cast<const BidRequest&>(message.payload));
+        });
+    ctx_.broker->register_mailbox(
+        ctx_.worker_nodes[w], cluster::mailboxes::kJobs,
+        [worker](const msg::Message& message) {
+          worker->enqueue(std::any_cast<const JobAssignment&>(message.payload).job);
+        });
+  }
+
+  // Master side: collect bids.
+  ctx_.broker->register_mailbox(
+      ctx_.master_node, cluster::mailboxes::kBids, [this](const msg::Message& message) {
+        master_receive_bid(std::any_cast<const BidSubmission&>(message.payload));
+      });
+}
+
+void BiddingScheduler::submit(const workflow::Job& job) {
+  if (config_.serialize_contests && !contests_.empty()) {
+    backlog_.push_back(job);  // the master finishes the current contest first
+    return;
+  }
+  open_contest(job);
+}
+
+void BiddingScheduler::open_contest(const workflow::Job& job) {
+  // Listing 1, sendJob: publish for bidding and open the contest.
+  const std::uint64_t contest_id = next_contest_++;
+  Contest& contest = contests_[contest_id];
+  contest.job = job;
+  ++stats_.contests_opened;
+
+  metrics::JobRecord& record = ctx_.metrics->job(job.id);
+  record.contest_opened = ctx_.sim->now();
+
+  ctx_.broker->publish(cluster::topics::kBidRequests, ctx_.master_node,
+                       BidRequest{contest_id, job});
+  contest.timeout = ctx_.sim->schedule_after(ticks_from_seconds(config_.window_s),
+                                             [this, contest_id] {
+                                               ++stats_.contests_closed_timeout;
+                                               close_contest(contest_id);
+                                             });
+}
+
+void BiddingScheduler::worker_handle_bid_request(WorkerIndex w, const BidRequest& request) {
+  cluster::WorkerNode* worker = ctx_.workers[w];
+  if (worker->failed()) return;
+
+  // Listing 2, sendBid: backlog + transfer estimate + processing estimate.
+  double cost_s = worker->estimate_bid_s(request.job);
+  if (config_.learn_correction) cost_s *= correction_[w];
+
+  // The bidding thread needs time to compute the estimate and may straggle;
+  // the reply then crosses the network back to the master.
+  const Tick delay = worker->sample_bid_delay();
+  const BidSubmission bid{request.contest, request.job.id, w, cost_s};
+  ctx_.sim->schedule_after(delay, [this, w, bid] {
+    cluster::WorkerNode* again = ctx_.workers[w];
+    if (again->failed()) return;
+    ++ctx_.metrics->worker(w).bids_submitted;
+    ctx_.broker->send(ctx_.worker_nodes[w], ctx_.master_node, cluster::mailboxes::kBids,
+                      bid);
+  });
+}
+
+void BiddingScheduler::master_receive_bid(const BidSubmission& bid) {
+  // Listing 1, receiveBid.
+  const auto it = contests_.find(bid.contest);
+  if (it == contests_.end()) {
+    ++stats_.late_bids_ignored;  // contest already closed
+    return;
+  }
+  Contest& contest = it->second;
+  contest.bids.push_back(bid);
+
+  // biddingFinished: all active workers have bid (the timeout branch is the
+  // scheduled event from submit()).
+  if (contest.bids.size() >= ctx_.active_workers()) {
+    ++stats_.contests_closed_full;
+    close_contest(bid.contest);
+  }
+}
+
+cluster::WorkerIndex BiddingScheduler::preferred_worker(
+    const std::vector<BidSubmission>& bids) {
+  assert(!bids.empty());
+  WorkerIndex best = bids.front().worker;
+  double best_cost = bids.front().cost_s;
+  for (const BidSubmission& bid : bids) {
+    if (bid.cost_s < best_cost) {
+      best_cost = bid.cost_s;
+      best = bid.worker;
+    }
+  }
+  return best;
+}
+
+cluster::WorkerIndex BiddingScheduler::arbitrary_worker() {
+  const std::size_t n = ctx_.worker_count();
+  for (std::size_t probe = 0; probe < n; ++probe) {
+    const auto w = static_cast<WorkerIndex>(fallback_cursor_++ % n);
+    if (!ctx_.workers[w]->failed()) return w;
+  }
+  return 0;  // all workers failed; the assignment will be dropped anyway
+}
+
+void BiddingScheduler::close_contest(std::uint64_t contest_id) {
+  const auto it = contests_.find(contest_id);
+  if (it == contests_.end()) return;  // already closed by the other path
+  Contest contest = std::move(it->second);
+  contests_.erase(it);
+  ctx_.sim->cancel(contest.timeout);
+
+  WorkerIndex winner;
+  double winning_cost = -1.0;
+  if (contest.bids.empty()) {
+    winner = arbitrary_worker();
+    ++stats_.fallback_assignments;
+    DLAJA_LOG(kDebug, "bidding") << "no bids for job " << contest.job.id
+                                 << "; arbitrary assignment to worker " << winner;
+  } else {
+    winner = preferred_worker(contest.bids);
+    winning_cost = 0.0;
+    for (const BidSubmission& bid : contest.bids) {
+      if (bid.worker == winner) {
+        winning_cost = bid.cost_s;
+        break;
+      }
+    }
+  }
+
+  metrics::JobRecord& record = ctx_.metrics->job(contest.job.id);
+  record.assigned = ctx_.sim->now();
+  record.worker = winner;
+  record.winning_bid_s = winning_cost;
+  record.bids_received = static_cast<std::uint32_t>(contest.bids.size());
+  ++ctx_.metrics->worker(winner).bids_won;
+
+  if (config_.learn_correction && winning_cost > 0.0) {
+    winning_estimate_s_[contest.job.id] = winning_cost;
+    assigned_at_[contest.job.id] = ctx_.sim->now();
+  }
+
+  ctx_.broker->send(ctx_.master_node, ctx_.worker_nodes[winner], cluster::mailboxes::kJobs,
+                    JobAssignment{contest.job});
+
+  // Serial mode: the next queued job gets its contest now. By this point the
+  // winner's queue (as seen through its future bids) includes this job's
+  // estimate only after the assignment message lands; opening the next
+  // contest immediately still gives workers distinct backlogs because bid
+  // replies travel behind the assignment on the same links.
+  if (config_.serialize_contests && !backlog_.empty()) {
+    const workflow::Job next = backlog_.front();
+    backlog_.pop_front();
+    open_contest(next);
+  }
+}
+
+void BiddingScheduler::on_completion(const cluster::CompletionReport& report) {
+  if (!config_.learn_correction) return;
+  const auto est_it = winning_estimate_s_.find(report.job_id);
+  const auto at_it = assigned_at_.find(report.job_id);
+  if (est_it == winning_estimate_s_.end() || at_it == assigned_at_.end()) return;
+  const double estimate_s = est_it->second;
+  const double actual_s = seconds_from_ticks(ctx_.sim->now() - at_it->second);
+  winning_estimate_s_.erase(est_it);
+  assigned_at_.erase(at_it);
+  if (estimate_s <= 0.0 || actual_s <= 0.0 || report.worker >= correction_.size()) return;
+  const double ratio = actual_s / estimate_s;
+  double& corr = correction_[report.worker];
+  corr = (1.0 - config_.correction_alpha) * corr + config_.correction_alpha * ratio;
+  // Keep the correction in a sane band; a single pathological job must not
+  // blind a worker to all future contests.
+  corr = std::min(std::max(corr, 0.25), 4.0);
+}
+
+}  // namespace dlaja::sched

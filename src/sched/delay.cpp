@@ -1,0 +1,53 @@
+#include "sched/delay.hpp"
+
+#include <algorithm>
+
+namespace dlaja::sched {
+
+using cluster::WorkerIndex;
+
+void DelayScheduler::attach_extra() { known_.assign(ctx_.worker_count(), {}); }
+
+cluster::WorkerIndex DelayScheduler::choose_parked(const std::deque<WorkerIndex>& parked) {
+  for (const WorkerIndex w : parked) {
+    for (const workflow::Job& job : queue_) {
+      if (!job.needs_resource() || known_[w].count(job.resource) > 0) return w;
+    }
+  }
+  return parked.front();
+}
+
+void DelayScheduler::handle_work_request(WorkerIndex w) {
+  // Prefer any pending job local to the requester.
+  const auto local_it = std::find_if(queue_.begin(), queue_.end(), [&](const workflow::Job& job) {
+    return !job.needs_resource() || known_[w].count(job.resource) > 0;
+  });
+  if (local_it != queue_.end()) {
+    const workflow::Job job = *local_it;
+    queue_.erase(local_it);
+    skip_count_.erase(job.id);
+    ++stats_.local_assignments;
+    if (job.needs_resource()) known_[w].insert(job.resource);
+    assign_to(w, job);
+    return;
+  }
+
+  // No local job. The head job accumulates a skip; once the budget is
+  // spent, locality is abandoned for it.
+  workflow::Job& head = queue_.front();
+  std::uint32_t& skips = skip_count_[head.id];
+  if (skips < config_.max_skips) {
+    ++skips;
+    ++stats_.skips;
+    send_no_work(w);
+    return;
+  }
+  const workflow::Job job = head;
+  queue_.pop_front();
+  skip_count_.erase(job.id);
+  ++stats_.expired_assignments;
+  if (job.needs_resource()) known_[w].insert(job.resource);
+  assign_to(w, job);
+}
+
+}  // namespace dlaja::sched

@@ -1,0 +1,57 @@
+#pragma once
+// Delay scheduling (Zaharia et al., EuroSys 2010) — the classic technique
+// the paper cites for postponing assignment until a data-local node frees
+// up (§3).
+//
+// When a worker requests work, the master scans the queue for a job local
+// to that worker. The *head* job, if not local, is skipped — but only a
+// bounded number of times; once a job has been skipped `max_skips` times
+// it is handed to the next requester regardless of locality. This directly
+// models "the allocation will be postponed, which can occur a fixed number
+// of times", including the pathology the paper points out: under load,
+// waiting for locality wastes time.
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sched/pull_base.hpp"
+
+namespace dlaja::sched {
+
+struct DelayConfig {
+  /// How often a job may be passed over before locality is given up.
+  std::uint32_t max_skips = 5;
+};
+
+class DelayScheduler final : public PullSchedulerBase {
+ public:
+  explicit DelayScheduler(DelayConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "delay"; }
+
+  struct Stats {
+    std::uint64_t local_assignments = 0;
+    std::uint64_t skips = 0;
+    std::uint64_t expired_assignments = 0;  ///< skip budget exhausted
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ protected:
+  void attach_extra() override;
+  void handle_work_request(cluster::WorkerIndex w) override;
+
+  /// Prefer a waiting worker that holds the head job's data, so a local
+  /// candidate is consulted before skips are spent.
+  [[nodiscard]] cluster::WorkerIndex choose_parked(
+      const std::deque<cluster::WorkerIndex>& parked) override;
+
+ private:
+  DelayConfig config_;
+  Stats stats_;
+  std::vector<std::unordered_set<storage::ResourceId>> known_;
+  std::unordered_map<workflow::JobId, std::uint32_t> skip_count_;
+};
+
+}  // namespace dlaja::sched

@@ -1,0 +1,53 @@
+#include "sched/factory.hpp"
+
+#include <stdexcept>
+
+#include "sched/bar.hpp"
+#include "sched/baseline.hpp"
+#include "sched/bidding.hpp"
+#include "sched/delay.hpp"
+#include "sched/matchmaking.hpp"
+#include "sched/simple.hpp"
+#include "sched/spark_like.hpp"
+
+namespace dlaja::sched {
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name, std::uint64_t seed) {
+  if (name == "bidding") return std::make_unique<BiddingScheduler>();
+  if (name == "bidding+learned") {
+    BiddingConfig config;
+    config.learn_correction = true;
+    return std::make_unique<BiddingScheduler>(config);
+  }
+  if (name == "baseline") return std::make_unique<BaselineScheduler>();
+  if (name == "spark-like") return std::make_unique<SparkLikeScheduler>();
+  if (name == "spark-like+hash") {
+    SparkLikeConfig config;
+    config.placement = SparkLikeConfig::Placement::kHashByResource;
+    return std::make_unique<SparkLikeScheduler>(config);
+  }
+  if (name == "spark-like+wave") {
+    SparkLikeConfig config;
+    config.wave_barrier = true;
+    return std::make_unique<SparkLikeScheduler>(config);
+  }
+  if (name == "matchmaking") return std::make_unique<MatchmakingScheduler>();
+  if (name == "delay") return std::make_unique<DelayScheduler>();
+  if (name == "bar") return std::make_unique<BarScheduler>();
+  if (name == "random") return std::make_unique<SimplePushScheduler>(PushPolicy::kRandom, seed);
+  if (name == "round-robin") {
+    return std::make_unique<SimplePushScheduler>(PushPolicy::kRoundRobin, seed);
+  }
+  if (name == "least-queue") {
+    return std::make_unique<SimplePushScheduler>(PushPolicy::kLeastQueue, seed);
+  }
+  throw std::invalid_argument("unknown scheduler: " + name);
+}
+
+std::vector<std::string> scheduler_names() {
+  return {"bidding",         "bidding+learned", "baseline",    "spark-like",
+          "spark-like+hash", "spark-like+wave", "matchmaking", "delay",
+          "bar",             "random",          "round-robin", "least-queue"};
+}
+
+}  // namespace dlaja::sched

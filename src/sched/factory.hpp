@@ -1,0 +1,23 @@
+#pragma once
+// Scheduler factory: construct any scheduler by its report name. Used by
+// benches and examples to sweep algorithms uniformly.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace dlaja::sched {
+
+/// Creates a scheduler by name: "bidding", "bidding+learned", "baseline",
+/// "spark-like", "spark-like+hash", "matchmaking", "delay", "random",
+/// "round-robin", "least-queue". Throws std::invalid_argument on unknown
+/// names. `seed` only affects the random policy.
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
+                                                        std::uint64_t seed = 1);
+
+/// All scheduler names the factory accepts.
+[[nodiscard]] std::vector<std::string> scheduler_names();
+
+}  // namespace dlaja::sched

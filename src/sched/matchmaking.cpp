@@ -1,0 +1,59 @@
+#include "sched/matchmaking.hpp"
+
+#include <algorithm>
+
+namespace dlaja::sched {
+
+using cluster::WorkerIndex;
+
+void MatchmakingScheduler::attach_extra() {
+  known_.assign(ctx_.worker_count(), {});
+  missed_once_.assign(ctx_.worker_count(), false);
+}
+
+cluster::WorkerIndex MatchmakingScheduler::choose_parked(
+    const std::deque<WorkerIndex>& parked) {
+  for (const WorkerIndex w : parked) {
+    for (const workflow::Job& job : queue_) {
+      if (!job.needs_resource() || known_[w].count(job.resource) > 0) return w;
+    }
+  }
+  return parked.front();
+}
+
+void MatchmakingScheduler::handle_work_request(WorkerIndex w) {
+  // First choice: a pending job whose resource this worker already holds
+  // (or that needs no resource at all).
+  const auto local_it = std::find_if(queue_.begin(), queue_.end(), [&](const workflow::Job& job) {
+    return !job.needs_resource() || known_[w].count(job.resource) > 0;
+  });
+  if (local_it != queue_.end()) {
+    const workflow::Job job = *local_it;
+    queue_.erase(local_it);
+    missed_once_[w] = false;
+    ++stats_.local_assignments;
+    if (job.needs_resource()) known_[w].insert(job.resource);
+    assign_to(w, job);
+    return;
+  }
+
+  if (!missed_once_[w]) {
+    // "The node will remain idle for a single heartbeat if no such task is
+    // present."
+    missed_once_[w] = true;
+    ++stats_.idle_passes;
+    send_no_work(w);
+    return;
+  }
+
+  // "On the second attempt, it is bound to accept a task even if it does
+  // not have data locally."
+  missed_once_[w] = false;
+  ++stats_.forced_assignments;
+  workflow::Job job = queue_.front();
+  queue_.pop_front();
+  if (job.needs_resource()) known_[w].insert(job.resource);
+  assign_to(w, job);
+}
+
+}  // namespace dlaja::sched

@@ -1,0 +1,51 @@
+#pragma once
+// Matchmaking scheduler (He, Lu & Swanson, CloudCom 2011) — the related-
+// work comparator the paper names for future evaluation (§3, §7).
+//
+// Idle nodes *request* jobs rather than receive them. When a node asks for
+// work, the master hands it a job whose data the node holds locally; if no
+// such job is pending, the node stays idle for one heartbeat. On the
+// node's next unmatched request it must take the head job regardless of
+// locality, bounding the waiting time to one heartbeat.
+//
+// The master's locality knowledge is its own assignment history: it knows
+// which resources each worker fetched for it previously (the same
+// information a MapReduce master has about block placement).
+
+#include <unordered_set>
+#include <vector>
+
+#include "sched/pull_base.hpp"
+
+namespace dlaja::sched {
+
+class MatchmakingScheduler final : public PullSchedulerBase {
+ public:
+  [[nodiscard]] std::string name() const override { return "matchmaking"; }
+
+  struct Stats {
+    std::uint64_t local_assignments = 0;
+    std::uint64_t idle_passes = 0;      ///< first unmatched request -> wait
+    std::uint64_t forced_assignments = 0;  ///< second unmatched -> head job
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ protected:
+  void attach_extra() override;
+  void handle_work_request(cluster::WorkerIndex w) override;
+
+  /// Among waiting workers, prefer one that holds data for a pending job —
+  /// the master-side half of matchmaking ("give each node a task with
+  /// local data whenever possible").
+  [[nodiscard]] cluster::WorkerIndex choose_parked(
+      const std::deque<cluster::WorkerIndex>& parked) override;
+
+ private:
+  Stats stats_;
+  /// Master's view of which resources each worker holds (from assignments).
+  std::vector<std::unordered_set<storage::ResourceId>> known_;
+  /// Whether the worker's previous request already went unmatched.
+  std::vector<bool> missed_once_;
+};
+
+}  // namespace dlaja::sched

@@ -1,0 +1,110 @@
+#include "sched/pull_base.hpp"
+
+#include <algorithm>
+#include <any>
+
+namespace dlaja::sched {
+
+using cluster::JobAssignment;
+using cluster::NoWorkNotice;
+using cluster::WorkerIndex;
+using cluster::WorkRequest;
+
+void PullSchedulerBase::attach(const SchedulerContext& ctx) {
+  ctx_ = ctx;
+  parked_.assign(ctx_.worker_count(), false);
+
+  for (WorkerIndex w = 0; w < ctx_.worker_count(); ++w) {
+    cluster::WorkerNode* worker = ctx_.workers[w];
+    // Direct assignments land in the worker's FIFO queue.
+    ctx_.broker->register_mailbox(
+        ctx_.worker_nodes[w], cluster::mailboxes::kJobs,
+        [worker](const msg::Message& message) {
+          worker->enqueue(std::any_cast<const JobAssignment&>(message.payload).job);
+        });
+    // "Nothing for you": poll again after the heartbeat.
+    ctx_.broker->register_mailbox(
+        ctx_.worker_nodes[w], cluster::mailboxes::kOffers,
+        [this, w](const msg::Message& message) {
+          if (message.payload.type() == typeid(NoWorkNotice)) {
+            worker_request_work_later(w);
+          }
+        });
+  }
+
+  ctx_.broker->register_mailbox(
+      ctx_.master_node, cluster::mailboxes::kWorkRequests,
+      [this](const msg::Message& message) {
+        master_handle_request(std::any_cast<const WorkRequest&>(message.payload).worker);
+      });
+
+  attach_extra();
+}
+
+void PullSchedulerBase::submit(const workflow::Job& job) {
+  queue_.push_back(job);
+  dispatch_parked();
+}
+
+void PullSchedulerBase::on_worker_idle(WorkerIndex w) {
+  // Runs at the worker: poll the master after one heartbeat.
+  worker_request_work_later(w);
+}
+
+void PullSchedulerBase::worker_request_work_later(WorkerIndex w) {
+  cluster::WorkerNode* worker = ctx_.workers[w];
+  const Tick heartbeat = ticks_from_millis(worker->config().heartbeat_ms);
+  ctx_.sim->schedule_after(heartbeat, [this, w] {
+    cluster::WorkerNode* again = ctx_.workers[w];
+    if (again->failed() || !again->idle()) return;
+    ctx_.broker->send(ctx_.worker_nodes[w], ctx_.master_node,
+                      cluster::mailboxes::kWorkRequests, WorkRequest{w});
+  });
+}
+
+void PullSchedulerBase::master_handle_request(WorkerIndex w) {
+  if (queue_.empty()) {
+    park_worker(w);
+    return;
+  }
+  handle_work_request(w);
+}
+
+void PullSchedulerBase::assign_to(WorkerIndex w, const workflow::Job& job) {
+  metrics::JobRecord& record = ctx_.metrics->job(job.id);
+  record.assigned = ctx_.sim->now();
+  record.worker = w;
+  ctx_.broker->send(ctx_.master_node, ctx_.worker_nodes[w], cluster::mailboxes::kJobs,
+                    JobAssignment{job});
+}
+
+void PullSchedulerBase::send_no_work(WorkerIndex w) {
+  ctx_.broker->send(ctx_.master_node, ctx_.worker_nodes[w], cluster::mailboxes::kOffers,
+                    NoWorkNotice{});
+}
+
+void PullSchedulerBase::park_worker(WorkerIndex w) {
+  if (w < parked_.size() && !parked_[w]) {
+    parked_[w] = true;
+    parked_order_.push_back(w);
+  }
+}
+
+void PullSchedulerBase::dispatch_parked() {
+  while (!queue_.empty() && !parked_order_.empty()) {
+    // Drop dead workers from the front before letting the policy choose.
+    while (!parked_order_.empty() && ctx_.workers[parked_order_.front()]->failed()) {
+      parked_[parked_order_.front()] = false;
+      parked_order_.pop_front();
+    }
+    if (parked_order_.empty()) break;
+    const WorkerIndex w = choose_parked(parked_order_);
+    const auto it = std::find(parked_order_.begin(), parked_order_.end(), w);
+    parked_order_.erase(it);
+    parked_[w] = false;
+    if (ctx_.workers[w]->failed()) continue;
+    handle_work_request(w);
+  }
+}
+
+}  // namespace dlaja::sched

@@ -1,0 +1,71 @@
+#pragma once
+// Shared machinery for pull-based schedulers (Baseline, Matchmaking, Delay):
+// idle workers poll the master for work on a heartbeat; the master keeps a
+// FIFO queue of pending jobs and a set of workers waiting for work.
+//
+// Derived classes implement handle_work_request() — the policy deciding
+// what (if anything) a requesting worker gets.
+
+#include <deque>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace dlaja::sched {
+
+class PullSchedulerBase : public Scheduler {
+ public:
+  void attach(const SchedulerContext& ctx) override;
+  void submit(const workflow::Job& job) override;
+  void on_worker_idle(cluster::WorkerIndex w) override;
+  [[nodiscard]] std::size_t pending_jobs() const override { return queue_.size(); }
+
+ protected:
+  /// Policy hook, runs at the master when a WorkRequest from `w` arrives.
+  /// Implementations either hand out work (assign_to / offer machinery) or
+  /// call send_no_work(w) / park_worker(w).
+  virtual void handle_work_request(cluster::WorkerIndex w) = 0;
+
+  /// Hook for derived classes to wire extra mailboxes during attach().
+  virtual void attach_extra() {}
+
+  // --- helpers for derived classes --------------------------------------
+
+  /// Sends the job directly to worker `w`'s queue and records assignment
+  /// metrics. (For schedulers where the master decides; the Baseline's
+  /// offer/response protocol bypasses this.)
+  void assign_to(cluster::WorkerIndex w, const workflow::Job& job);
+
+  /// Tells `w` there is nothing suitable; the worker polls again after its
+  /// heartbeat.
+  void send_no_work(cluster::WorkerIndex w);
+
+  /// Remembers `w` as waiting; it is served as soon as a job arrives.
+  void park_worker(cluster::WorkerIndex w);
+
+  /// Serves parked workers while jobs are pending.
+  void dispatch_parked();
+
+  /// Which parked worker to serve next. Default: FIFO (the front). Locality
+  /// schedulers override this to prefer a waiting worker that holds data
+  /// for a pending job. `parked` is non-empty and contains live workers.
+  [[nodiscard]] virtual cluster::WorkerIndex choose_parked(
+      const std::deque<cluster::WorkerIndex>& parked) {
+    return parked.front();
+  }
+
+  /// Schedules a WorkRequest from worker `w` after its heartbeat. Runs at
+  /// the worker side.
+  void worker_request_work_later(cluster::WorkerIndex w);
+
+  SchedulerContext ctx_;
+  std::deque<workflow::Job> queue_;  ///< master's pending jobs, FIFO
+
+ private:
+  void master_handle_request(cluster::WorkerIndex w);
+
+  std::vector<bool> parked_;          ///< master: waiting workers
+  std::deque<cluster::WorkerIndex> parked_order_;
+};
+
+}  // namespace dlaja::sched

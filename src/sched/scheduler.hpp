@@ -1,0 +1,80 @@
+#pragma once
+// Scheduler interface.
+//
+// A Scheduler implements one job-allocation protocol end to end: the
+// master-side decision logic plus the worker-side message handlers, wired
+// together through the broker exactly as the distributed system would be.
+// The engine owns the nodes and the clock; the scheduler owns the policy.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/protocol.hpp"
+#include "cluster/worker.hpp"
+#include "metrics/collector.hpp"
+#include "msg/broker.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "workflow/workflow.hpp"
+
+namespace dlaja::sched {
+
+/// Everything a scheduler may touch, provided by the engine at attach time.
+/// Master-side logic must confine itself to information a real master would
+/// have (messages it received, assignments it made); worker-side handlers
+/// run "at the worker" and may use that worker's local state.
+struct SchedulerContext {
+  sim::Simulator* sim = nullptr;
+  msg::Broker* broker = nullptr;
+  net::NetworkModel* network = nullptr;
+  metrics::MetricsCollector* metrics = nullptr;
+  net::NodeId master_node = net::kInvalidNode;
+  std::vector<cluster::WorkerNode*> workers;  ///< index == WorkerIndex
+  std::vector<net::NodeId> worker_nodes;      ///< broker node id per worker
+
+  [[nodiscard]] std::size_t worker_count() const noexcept { return workers.size(); }
+
+  /// Workers that are currently alive (the paper's "activeWorkers").
+  [[nodiscard]] std::size_t active_workers() const noexcept {
+    std::size_t n = 0;
+    for (const cluster::WorkerNode* w : workers) {
+      if (w != nullptr && !w->failed()) ++n;
+    }
+    return n;
+  }
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Stable name used in reports ("bidding", "baseline", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Wires topics/mailboxes. Called exactly once, before any submit().
+  virtual void attach(const SchedulerContext& ctx) = 0;
+
+  /// A job arrived at the master (Listing 1, sendJob). The job's metrics
+  /// record already has `arrived` set by the engine.
+  virtual void submit(const workflow::Job& job) = 0;
+
+  /// A completion report reached the master. Default: ignore.
+  virtual void on_completion(const cluster::CompletionReport& report) { (void)report; }
+
+  /// Notification that worker `w` became idle, delivered at the worker
+  /// (pull-based schedulers use it to trigger work requests). Default: ignore.
+  virtual void on_worker_idle(cluster::WorkerIndex w) { (void)w; }
+
+  /// Notification that worker `w` finished a job (a queue slot freed),
+  /// delivered at the worker even when more jobs remain queued. Pull
+  /// schedulers with prefetch use it to top their local queue back up.
+  /// Default: ignore.
+  virtual void on_worker_capacity(cluster::WorkerIndex w) { (void)w; }
+
+  /// Number of jobs the scheduler accepted but has not yet durably handed
+  /// to a worker (used by the engine's quiescence diagnostics).
+  [[nodiscard]] virtual std::size_t pending_jobs() const { return 0; }
+};
+
+}  // namespace dlaja::sched

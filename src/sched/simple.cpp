@@ -1,0 +1,76 @@
+#include "sched/simple.hpp"
+
+#include <any>
+#include <limits>
+
+namespace dlaja::sched {
+
+using cluster::JobAssignment;
+using cluster::WorkerIndex;
+
+std::string SimplePushScheduler::name() const {
+  switch (policy_) {
+    case PushPolicy::kRandom: return "random";
+    case PushPolicy::kRoundRobin: return "round-robin";
+    case PushPolicy::kLeastQueue: return "least-queue";
+  }
+  return "?";
+}
+
+void SimplePushScheduler::attach(const SchedulerContext& ctx) {
+  ctx_ = ctx;
+  for (WorkerIndex w = 0; w < ctx_.worker_count(); ++w) {
+    cluster::WorkerNode* worker = ctx_.workers[w];
+    ctx_.broker->register_mailbox(
+        ctx_.worker_nodes[w], cluster::mailboxes::kJobs,
+        [worker](const msg::Message& message) {
+          worker->enqueue(std::any_cast<const JobAssignment&>(message.payload).job);
+        });
+  }
+}
+
+WorkerIndex SimplePushScheduler::pick() {
+  const std::size_t n = ctx_.worker_count();
+  // Push policies probe forward past failed workers (the master learns of
+  // dead executors out of band, as any real driver does).
+  const auto first_alive_from = [&](WorkerIndex start) {
+    for (std::size_t probe = 0; probe < n; ++probe) {
+      const auto w = static_cast<WorkerIndex>((start + probe) % n);
+      if (!ctx_.workers[w]->failed()) return w;
+    }
+    return start;
+  };
+  switch (policy_) {
+    case PushPolicy::kRandom:
+      return first_alive_from(static_cast<WorkerIndex>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(n) - 1)));
+    case PushPolicy::kRoundRobin:
+      return first_alive_from(static_cast<WorkerIndex>(cursor_++ % n));
+    case PushPolicy::kLeastQueue: {
+      WorkerIndex best = 0;
+      std::size_t best_len = std::numeric_limits<std::size_t>::max();
+      for (WorkerIndex w = 0; w < n; ++w) {
+        const cluster::WorkerNode* worker = ctx_.workers[w];
+        if (worker->failed()) continue;
+        const std::size_t len = worker->queue_length() + (worker->busy() ? 1 : 0);
+        if (len < best_len) {
+          best_len = len;
+          best = w;
+        }
+      }
+      return best;
+    }
+  }
+  return 0;
+}
+
+void SimplePushScheduler::submit(const workflow::Job& job) {
+  const WorkerIndex w = pick();
+  metrics::JobRecord& record = ctx_.metrics->job(job.id);
+  record.assigned = ctx_.sim->now();
+  record.worker = w;
+  ctx_.broker->send(ctx_.master_node, ctx_.worker_nodes[w], cluster::mailboxes::kJobs,
+                    JobAssignment{job});
+}
+
+}  // namespace dlaja::sched

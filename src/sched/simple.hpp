@@ -1,0 +1,39 @@
+#pragma once
+// Simple push schedulers: sanity floors/ceilings for the comparisons.
+//
+//  * random      — assign each arriving job to a uniformly random worker;
+//  * round-robin — rotate (identical to the Spark-like default, kept
+//                  separately so benches can show the equivalence);
+//  * least-queue — omniscient greedy: assign to the worker with the
+//                  shortest local queue. Not realizable distributedly
+//                  (the master would need instant global state) but a
+//                  useful load-balance reference.
+
+#include "sched/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace dlaja::sched {
+
+enum class PushPolicy { kRandom, kRoundRobin, kLeastQueue };
+
+class SimplePushScheduler final : public Scheduler {
+ public:
+  /// `seed` drives the random policy; ignored by the others.
+  explicit SimplePushScheduler(PushPolicy policy, std::uint64_t seed = 1)
+      : policy_(policy), rng_(seed) {}
+
+  [[nodiscard]] std::string name() const override;
+
+  void attach(const SchedulerContext& ctx) override;
+  void submit(const workflow::Job& job) override;
+
+ private:
+  [[nodiscard]] cluster::WorkerIndex pick();
+
+  PushPolicy policy_;
+  RandomStream rng_;
+  SchedulerContext ctx_;
+  std::uint64_t cursor_ = 0;
+};
+
+}  // namespace dlaja::sched

@@ -1,0 +1,87 @@
+#include "sched/spark_like.hpp"
+
+#include <algorithm>
+#include <any>
+
+namespace dlaja::sched {
+
+using cluster::JobAssignment;
+using cluster::WorkerIndex;
+
+void SparkLikeScheduler::attach(const SchedulerContext& ctx) {
+  ctx_ = ctx;
+  for (WorkerIndex w = 0; w < ctx_.worker_count(); ++w) {
+    cluster::WorkerNode* worker = ctx_.workers[w];
+    ctx_.broker->register_mailbox(
+        ctx_.worker_nodes[w], cluster::mailboxes::kJobs,
+        [worker](const msg::Message& message) {
+          worker->enqueue(std::any_cast<const JobAssignment&>(message.payload).job);
+        });
+  }
+}
+
+WorkerIndex SparkLikeScheduler::place(const workflow::Job& job) {
+  const std::size_t n = ctx_.worker_count();
+  // Even Spark's driver knows which executors are lost: placement skips
+  // failed workers (probing forward from the policy's first choice).
+  WorkerIndex start = 0;
+  switch (config_.placement) {
+    case SparkLikeConfig::Placement::kRoundRobin:
+      start = static_cast<WorkerIndex>(cursor_++ % n);
+      break;
+    case SparkLikeConfig::Placement::kHashByResource:
+      start = job.needs_resource() ? static_cast<WorkerIndex>(job.resource % n)
+                                   : static_cast<WorkerIndex>(cursor_++ % n);
+      break;
+  }
+  for (std::size_t probe = 0; probe < n; ++probe) {
+    const auto w = static_cast<WorkerIndex>((start + probe) % n);
+    if (!ctx_.workers[w]->failed()) return w;
+  }
+  return start;  // all dead; the assignment will be dropped anyway
+}
+
+void SparkLikeScheduler::assign(const workflow::Job& job) {
+  const WorkerIndex w = place(job);
+  metrics::JobRecord& record = ctx_.metrics->job(job.id);
+  record.assigned = ctx_.sim->now();
+  record.worker = w;
+  ctx_.broker->send(ctx_.master_node, ctx_.worker_nodes[w], cluster::mailboxes::kJobs,
+                    JobAssignment{job});
+}
+
+void SparkLikeScheduler::dispatch_wave() {
+  const std::size_t wave = std::min(pending_.size(), std::max<std::size_t>(
+                                                         1, ctx_.active_workers()));
+  for (std::size_t i = 0; i < wave; ++i) {
+    assign(pending_.front());
+    pending_.pop_front();
+  }
+  outstanding_ = wave;
+}
+
+void SparkLikeScheduler::schedule_dispatch() {
+  if (dispatch_pending_) return;
+  dispatch_pending_ = true;
+  ctx_.sim->schedule_after(0, [this] {
+    dispatch_pending_ = false;
+    if (outstanding_ == 0 && !pending_.empty()) dispatch_wave();
+  });
+}
+
+void SparkLikeScheduler::submit(const workflow::Job& job) {
+  if (!config_.wave_barrier) {
+    assign(job);
+    return;
+  }
+  pending_.push_back(job);
+  if (outstanding_ == 0) schedule_dispatch();
+}
+
+void SparkLikeScheduler::on_completion(const cluster::CompletionReport& report) {
+  (void)report;
+  if (!config_.wave_barrier || outstanding_ == 0) return;
+  if (--outstanding_ == 0 && !pending_.empty()) schedule_dispatch();
+}
+
+}  // namespace dlaja::sched

@@ -1,0 +1,70 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace dlaja::sim {
+
+EventId Simulator::schedule_at(Tick at, Action action) {
+  assert(action);
+  if (at < now_) at = now_;  // cannot schedule into the past
+  const std::uint64_t id = next_id_++;
+  queue_.push(Entry{at, next_seq_++, id});
+  actions_.emplace(id, std::move(action));
+  return EventId{id};
+}
+
+EventId Simulator::schedule_after(Tick delay, Action action) {
+  if (delay < 0) delay = 0;
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+bool Simulator::cancel(EventId id) {
+  if (!id.valid()) return false;
+  // The heap entry stays behind as a tombstone and is skipped when popped.
+  return actions_.erase(id.value) > 0;
+}
+
+bool Simulator::step() {
+  while (!stopped_ && !queue_.empty()) {
+    const Entry entry = queue_.top();
+    queue_.pop();
+    const auto it = actions_.find(entry.id);
+    if (it == actions_.end()) continue;  // cancelled tombstone
+    Action action = std::move(it->second);
+    actions_.erase(it);
+    assert(entry.at >= now_);
+    now_ = entry.at;
+    ++fired_;
+    action();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run(Tick until, std::size_t max_events) {
+  std::size_t count = 0;
+  while (!stopped_ && count < max_events && !queue_.empty()) {
+    // Peek past tombstones to find the next live event time.
+    const Entry& top = queue_.top();
+    if (actions_.find(top.id) == actions_.end()) {
+      queue_.pop();
+      continue;
+    }
+    if (top.at > until) break;
+    if (step()) ++count;
+  }
+  if (!stopped_ && until != kNeverTick && now_ < until) {
+    // Advance the clock to the horizon even if nothing fired there.
+    bool has_live_event_before_until = false;
+    if (!queue_.empty()) {
+      const Entry& top = queue_.top();
+      has_live_event_before_until =
+          actions_.find(top.id) != actions_.end() && top.at <= until;
+    }
+    if (!has_live_event_before_until) now_ = until;
+  }
+  return count;
+}
+
+}  // namespace dlaja::sim

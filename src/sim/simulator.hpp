@@ -1,0 +1,97 @@
+#pragma once
+// Deterministic discrete-event simulation kernel.
+//
+// All components of the simulated cluster (network transfers, broker message
+// deliveries, job processing, bidding windows) are expressed as events on a
+// single queue ordered by (timestamp, insertion sequence). The sequence
+// tie-break makes runs bit-reproducible regardless of how many events share
+// a timestamp.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace dlaja::sim {
+
+/// Handle for a scheduled event; usable to cancel it before it fires.
+struct EventId {
+  std::uint64_t value = 0;
+  [[nodiscard]] bool valid() const noexcept { return value != 0; }
+  friend bool operator==(EventId, EventId) = default;
+};
+
+/// The simulation engine. Not thread-safe: one Simulator per run, runs fan
+/// out across threads at the experiment level instead.
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] Tick now() const noexcept { return now_; }
+
+  /// Schedules `action` to fire at absolute time `at` (clamped to now()).
+  EventId schedule_at(Tick at, Action action);
+
+  /// Schedules `action` to fire `delay` ticks from now (negative -> now).
+  EventId schedule_after(Tick delay, Action action);
+
+  /// Cancels a pending event. Returns false if it already fired, was already
+  /// cancelled, or the id is invalid.
+  bool cancel(EventId id);
+
+  /// Fires the earliest pending event; returns false if the queue is empty
+  /// or the engine was stopped.
+  bool step();
+
+  /// Runs until the queue drains, `until` is reached (events at t > until
+  /// stay pending and now() advances to `until`), stop() is called, or
+  /// `max_events` events have fired. Returns the number of events fired.
+  std::size_t run(Tick until = kNeverTick, std::size_t max_events = SIZE_MAX);
+
+  /// Requests that run()/step() stop before firing further events.
+  void stop() noexcept { stopped_ = true; }
+
+  /// True once stop() was called (cleared by resume()).
+  [[nodiscard]] bool stopped() const noexcept { return stopped_; }
+
+  /// Clears the stop flag so that run() may continue.
+  void resume() noexcept { stopped_ = false; }
+
+  /// Number of pending (non-cancelled) events.
+  [[nodiscard]] std::size_t pending() const noexcept { return actions_.size(); }
+
+  /// Total events fired since construction.
+  [[nodiscard]] std::uint64_t fired() const noexcept { return fired_; }
+
+ private:
+  struct Entry {
+    Tick at;
+    std::uint64_t seq;  // tie-break: FIFO among same-tick events
+    std::uint64_t id;
+  };
+  struct Later {
+    [[nodiscard]] bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  Tick now_ = 0;
+  bool stopped_ = false;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t fired_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_map<std::uint64_t, Action> actions_;  // absent => cancelled
+};
+
+}  // namespace dlaja::sim

@@ -1,0 +1,90 @@
+#include "storage/cache.hpp"
+
+#include <cassert>
+
+namespace dlaja::storage {
+
+ResourceCache::ResourceCache(CacheConfig config) : config_(config) {}
+
+bool ResourceCache::contains(ResourceId id) const noexcept {
+  return entries_.find(id) != entries_.end();
+}
+
+bool ResourceCache::access(ResourceId id) {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  if (config_.policy == EvictionPolicy::kLru) {
+    order_.splice(order_.begin(), order_, it->second);
+  }
+  return true;
+}
+
+void ResourceCache::admit(const Resource& resource) {
+  const auto it = entries_.find(resource.id);
+  if (it != entries_.end()) {
+    if (config_.policy == EvictionPolicy::kLru) {
+      order_.splice(order_.begin(), order_, it->second);
+    }
+    return;
+  }
+  order_.push_front(resource);
+  entries_.emplace(resource.id, order_.begin());
+  used_mb_ += resource.size_mb;
+  stats_.admitted_mb += resource.size_mb;
+  enforce_capacity();
+}
+
+void ResourceCache::enforce_capacity() {
+  if (config_.policy == EvictionPolicy::kUnbounded) return;
+  // Evict from the back (least recent / oldest) until under capacity, but
+  // never evict the just-admitted front entry even if it alone exceeds the
+  // capacity — a clone in use cannot be deleted out from under its job.
+  while (used_mb_ > config_.capacity_mb && order_.size() > 1) {
+    const Resource victim = order_.back();
+    order_.pop_back();
+    entries_.erase(victim.id);
+    used_mb_ -= victim.size_mb;
+    ++stats_.evictions;
+    stats_.evicted_mb += victim.size_mb;
+  }
+}
+
+bool ResourceCache::evict(ResourceId id) {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  const Resource victim = *it->second;
+  order_.erase(it->second);
+  entries_.erase(it);
+  used_mb_ -= victim.size_mb;
+  ++stats_.evictions;
+  stats_.evicted_mb += victim.size_mb;
+  return true;
+}
+
+void ResourceCache::clear() {
+  order_.clear();
+  entries_.clear();
+  used_mb_ = 0.0;
+}
+
+std::vector<Resource> ResourceCache::snapshot() const {
+  return std::vector<Resource>(order_.begin(), order_.end());
+}
+
+void ResourceCache::restore(std::span<const Resource> resources) {
+  clear();
+  // Iterate in reverse so the first element of `resources` ends up at the
+  // front (most recent), matching what snapshot() produced.
+  for (auto it = resources.rbegin(); it != resources.rend(); ++it) {
+    order_.push_front(*it);
+    entries_.emplace(it->id, order_.begin());
+    used_mb_ += it->size_mb;
+  }
+  assert(entries_.size() == order_.size());
+}
+
+}  // namespace dlaja::storage

@@ -1,0 +1,75 @@
+#pragma once
+// Minimal command-line argument parser for the tools/ binaries.
+//
+// Supports --name value options with defaults, --name boolean flags, and
+// positional arguments; generates a usage string from the declarations.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dlaja {
+
+class ArgParser {
+ public:
+  /// `program` and `summary` head the usage text.
+  ArgParser(std::string program, std::string summary)
+      : program_(std::move(program)), summary_(std::move(summary)) {}
+
+  /// Declares a value option `--name <value>` with a default.
+  void add_option(const std::string& name, std::string default_value, std::string help);
+
+  /// Declares a boolean flag `--name`.
+  void add_flag(const std::string& name, std::string help);
+
+  /// Declares a named positional argument (listed in usage, in order).
+  /// Optional positionals must come after required ones.
+  void add_positional(const std::string& name, std::string help, bool required = true);
+
+  /// Parses argv. Returns false (after printing usage + the error to
+  /// stderr) on unknown options, missing values, or missing required
+  /// positionals. `--help` prints usage and exits the process with 0.
+  bool parse(int argc, char** argv);
+
+  /// Value of an option (its default if not given). Throws
+  /// std::out_of_range for undeclared names.
+  [[nodiscard]] const std::string& get(const std::string& name) const;
+
+  /// Convenience typed getters (throw std::invalid_argument on bad input).
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+
+  /// True if the flag was given (or the option explicitly set).
+  [[nodiscard]] bool given(const std::string& name) const;
+
+  /// Positional values in order (missing optionals are absent).
+  [[nodiscard]] const std::vector<std::string>& positionals() const noexcept {
+    return positionals_;
+  }
+
+  /// The generated usage text.
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  struct Option {
+    std::string value;
+    std::string help;
+    bool is_flag = false;
+    bool seen = false;
+  };
+  struct Positional {
+    std::string name;
+    std::string help;
+    bool required = true;
+  };
+
+  std::string program_;
+  std::string summary_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> option_order_;
+  std::vector<Positional> positional_spec_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace dlaja

@@ -1,0 +1,120 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+namespace dlaja {
+
+namespace {
+[[nodiscard]] bool needs_quoting(std::string_view field) noexcept {
+  return field.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+[[nodiscard]] std::string quote(std::string_view field) {
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (const char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+}  // namespace
+
+std::string csv_encode_row(const CsvRow& row) {
+  std::string out;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    if (needs_quoting(row[i])) {
+      out += quote(row[i]);
+    } else {
+      out += row[i];
+    }
+  }
+  return out;
+}
+
+std::vector<CsvRow> csv_parse(std::string_view text) {
+  std::vector<CsvRow> rows;
+  CsvRow row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;  // row has at least one (possibly empty) field
+
+  const auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  const auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        field_started = true;
+        break;
+      case ',':
+        end_field();
+        field_started = true;  // a comma implies a following field
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        end_row();
+        break;
+      default:
+        field.push_back(c);
+        field_started = true;
+        break;
+    }
+  }
+  if (field_started || !field.empty() || !row.empty()) end_row();
+  return rows;
+}
+
+void CsvWriter::write_row(const CsvRow& row) { out_ << csv_encode_row(row) << '\n'; }
+
+std::string CsvWriter::to_field(double v) {
+  // Shortest representation that round-trips exactly (std::to_chars).
+  char buf[64];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  if (ec != std::errc{}) return "nan";
+  return std::string(buf, end);
+}
+
+std::string CsvWriter::int_field(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  return buf;
+}
+
+std::string CsvWriter::uint_field(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  return buf;
+}
+
+}  // namespace dlaja

@@ -1,0 +1,64 @@
+#pragma once
+// Minimal CSV reader/writer for traces and experiment reports.
+//
+// Supports RFC-4180 style quoting (fields containing commas, quotes or
+// newlines are double-quoted; embedded quotes are doubled).
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace dlaja {
+
+/// One parsed CSV row.
+using CsvRow = std::vector<std::string>;
+
+/// Serializes one row to CSV, quoting fields as required. No trailing newline.
+[[nodiscard]] std::string csv_encode_row(const CsvRow& row);
+
+/// Parses a full CSV document into rows. Handles quoted fields spanning
+/// newlines. A trailing newline does not produce an empty final row.
+[[nodiscard]] std::vector<CsvRow> csv_parse(std::string_view text);
+
+/// Streaming CSV writer over any std::ostream.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Writes one row followed by '\n'.
+  void write_row(const CsvRow& row);
+
+  /// Convenience: writes a row of heterogeneous printable values.
+  template <typename... Ts>
+  void write(const Ts&... values) {
+    CsvRow row;
+    row.reserve(sizeof...(values));
+    (row.push_back(to_field(values)), ...);
+    write_row(row);
+  }
+
+ private:
+  static std::string to_field(const std::string& s) { return s; }
+  static std::string to_field(std::string_view s) { return std::string{s}; }
+  static std::string to_field(const char* s) { return std::string{s}; }
+  static std::string to_field(double v);
+  template <typename T>
+    requires(std::is_integral_v<T> && std::is_signed_v<T>)
+  static std::string to_field(T v) {
+    return int_field(static_cast<std::int64_t>(v));
+  }
+  template <typename T>
+    requires(std::is_integral_v<T> && std::is_unsigned_v<T>)
+  static std::string to_field(T v) {
+    return uint_field(static_cast<std::uint64_t>(v));
+  }
+  static std::string int_field(std::int64_t v);
+  static std::string uint_field(std::uint64_t v);
+
+  std::ostream& out_;
+};
+
+}  // namespace dlaja

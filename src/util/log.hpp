@@ -1,0 +1,54 @@
+#pragma once
+// Tiny leveled logger. Global level, thread-safe sink, zero cost when a
+// message is below the active level. Simulation components log with the
+// simulated timestamp where relevant (see Simulator::log_prefix()).
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace dlaja {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Sets the global log level (default kWarn so tests/benches stay quiet).
+void set_log_level(LogLevel level) noexcept;
+
+/// Current global log level.
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Parses "trace"/"debug"/"info"/"warn"/"error"/"off"; defaults to kWarn.
+[[nodiscard]] LogLevel parse_log_level(std::string_view name) noexcept;
+
+/// Emits one line to stderr under a global mutex.
+void log_emit(LogLevel level, std::string_view component, std::string_view message);
+
+/// Stream-style log statement builder:
+///   DLAJA_LOG(kDebug, "bidding") << "contest closed for job " << id;
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component) : level_(level), component_(component) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_emit(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace dlaja
+
+#define DLAJA_LOG(level, component)                                  \
+  if (::dlaja::LogLevel::level < ::dlaja::log_level()) { /* skip */  \
+  } else                                                             \
+    ::dlaja::detail::LogLine(::dlaja::LogLevel::level, (component))

@@ -1,0 +1,118 @@
+#pragma once
+// Deterministic random-variate library.
+//
+// Every stochastic element of a simulation (workload generation, noise
+// schemes, latency jitter, tie-breaking) draws from a named substream of a
+// single master seed, so that a run is a pure function of its seeds and
+// independent components never perturb each other's sequences.
+
+#include <cstdint>
+#include <string_view>
+
+namespace dlaja {
+
+/// SplitMix64: used for seed scrambling / substream derivation.
+/// Reference: Steele, Lea & Flood, "Fast Splittable Pseudorandom Number
+/// Generators", OOPSLA 2014.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// FNV-1a hash of a string, used to derive substream seeds from names.
+[[nodiscard]] std::uint64_t fnv1a(std::string_view text) noexcept;
+
+/// xoshiro256** PRNG (Blackman & Vigna). Small, fast, and statistically
+/// strong; satisfies the C++ UniformRandomBitGenerator concept.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four words of state from `seed` via SplitMix64.
+  explicit Xoshiro256(std::uint64_t seed = 0xdeadbeefcafef00dULL) noexcept;
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  /// Advances the generator and returns 64 uniformly random bits.
+  result_type operator()() noexcept;
+
+  /// Equivalent to 2^128 calls of operator(); used to split non-overlapping
+  /// parallel substreams.
+  void long_jump() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// A deterministic stream of random variates with convenience distributions.
+///
+/// All distributions are implemented in-repo (not via <random>'s unspecified
+/// algorithms) so sequences are identical across standard libraries.
+class RandomStream {
+ public:
+  explicit RandomStream(std::uint64_t seed) noexcept : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// True with probability p (clamped to [0,1]).
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+
+  /// Standard normal via Marsaglia polar method.
+  [[nodiscard]] double normal() noexcept;
+
+  /// Normal with the given mean/stddev.
+  [[nodiscard]] double normal(double mean, double stddev) noexcept;
+
+  /// Lognormal: exp(N(mu, sigma)). Used by multiplicative noise schemes.
+  [[nodiscard]] double lognormal(double mu, double sigma) noexcept;
+
+  /// Exponential with the given mean (inverse-CDF method).
+  [[nodiscard]] double exponential(double mean) noexcept;
+
+  /// Bounded Pareto on [lo, hi] with shape alpha; heavy-tailed sizes.
+  [[nodiscard]] double bounded_pareto(double lo, double hi, double alpha) noexcept;
+
+  /// Picks an index in [0, weights_size) proportionally to weights[i].
+  /// Weights must be non-negative with a positive sum.
+  [[nodiscard]] std::size_t weighted_index(const double* weights, std::size_t weights_size) noexcept;
+
+  /// Access to the raw engine, e.g. for std::shuffle.
+  [[nodiscard]] Xoshiro256& engine() noexcept { return engine_; }
+
+ private:
+  Xoshiro256 engine_;
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// Derives independent named substreams from a single master seed.
+///
+///   SeedSequencer seeds(42);
+///   RandomStream workload = seeds.stream("workload");
+///   RandomStream noise    = seeds.stream("noise/worker-3");
+///
+/// The same (master seed, name) pair always yields the same stream.
+class SeedSequencer {
+ public:
+  explicit SeedSequencer(std::uint64_t master_seed) noexcept : master_(master_seed) {}
+
+  /// Returns the substream seed for `name` (stable across runs/platforms).
+  [[nodiscard]] std::uint64_t seed_for(std::string_view name) const noexcept;
+
+  /// Convenience: constructs the RandomStream for `name`.
+  [[nodiscard]] RandomStream stream(std::string_view name) const noexcept {
+    return RandomStream{seed_for(name)};
+  }
+
+  [[nodiscard]] std::uint64_t master_seed() const noexcept { return master_; }
+
+ private:
+  std::uint64_t master_;
+};
+
+}  // namespace dlaja

@@ -1,0 +1,60 @@
+#pragma once
+// Streaming and batch statistics used by the metrics layer and the benches.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dlaja {
+
+/// Numerically stable streaming mean/variance (Welford's algorithm).
+class RunningStats {
+ public:
+  /// Folds one observation into the accumulator.
+  void add(double x) noexcept;
+
+  /// Merges another accumulator (parallel reduction; Chan et al.).
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two observations.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return count_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary of a sample: mean, stddev, min/max and percentiles.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Computes a Summary over the sample (copies + sorts internally).
+[[nodiscard]] Summary summarize(std::span<const double> sample);
+
+/// Linear-interpolated percentile of a sorted sample, q in [0, 1].
+[[nodiscard]] double percentile_sorted(std::span<const double> sorted, double q) noexcept;
+
+/// Arithmetic mean; 0 for an empty sample.
+[[nodiscard]] double mean_of(std::span<const double> sample) noexcept;
+
+/// Geometric mean of strictly positive values; 0 for an empty sample.
+[[nodiscard]] double geometric_mean(std::span<const double> sample) noexcept;
+
+}  // namespace dlaja

@@ -1,0 +1,77 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace dlaja {
+
+void TextTable::print(std::ostream& out) const {
+  // Compute column widths over header + rows.
+  std::vector<std::size_t> widths;
+  const auto widen = [&](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::size_t total = widths.empty() ? 0 : 3 * (widths.size() - 1);
+  for (const std::size_t w : widths) total += w;
+
+  const auto print_rule = [&] { out << std::string(total, '-') << '\n'; };
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) out << " | ";
+      if (i == 0) {
+        out << row[i] << std::string(widths[i] - row[i].size(), ' ');
+      } else {
+        out << std::string(widths[i] - row[i].size(), ' ') << row[i];
+      }
+    }
+    out << '\n';
+  };
+
+  if (!title_.empty()) out << "== " << title_ << " ==\n";
+  if (!header_.empty()) {
+    print_row(header_);
+    print_rule();
+  }
+  std::size_t sep_idx = 0;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    while (sep_idx < separators_.size() && separators_[sep_idx] == r) {
+      print_rule();
+      ++sep_idx;
+    }
+    print_row(rows_[r]);
+  }
+  while (sep_idx < separators_.size() && separators_[sep_idx] == rows_.size()) {
+    print_rule();
+    ++sep_idx;
+  }
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream out;
+  print(out);
+  return out.str();
+}
+
+std::string fmt_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+std::string fmt_ratio(double value, int decimals) {
+  return fmt_fixed(value, decimals) + "x";
+}
+
+std::string fmt_percent(double fraction, int decimals) {
+  return fmt_fixed(fraction * 100.0, decimals) + "%";
+}
+
+}  // namespace dlaja

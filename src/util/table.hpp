@@ -1,0 +1,49 @@
+#pragma once
+// Fixed-width text table printer used by the benchmark harnesses to render
+// paper tables/figure series on stdout.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dlaja {
+
+/// Column-aligned text table with an optional title and header row.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Sets the header row (printed with a separator underneath).
+  void set_header(std::vector<std::string> header) { header_ = std::move(header); }
+
+  /// Appends one data row. Rows may have differing lengths.
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Appends a horizontal separator at the current position.
+  void add_separator() { separators_.push_back(rows_.size()); }
+
+  /// Renders the table. First column left-aligned, the rest right-aligned.
+  void print(std::ostream& out) const;
+
+  /// Renders to a string (convenience for tests).
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> separators_;
+};
+
+/// Formats `value` with `decimals` fraction digits (fixed notation).
+[[nodiscard]] std::string fmt_fixed(double value, int decimals = 2);
+
+/// Formats a ratio as e.g. "3.57x".
+[[nodiscard]] std::string fmt_ratio(double value, int decimals = 2);
+
+/// Formats a fraction as a percentage, e.g. 0.245 -> "24.5%".
+[[nodiscard]] std::string fmt_percent(double fraction, int decimals = 1);
+
+}  // namespace dlaja

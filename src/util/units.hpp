@@ -1,0 +1,56 @@
+#pragma once
+// Units used across the dlaja simulation stack.
+//
+// Simulated time is held as an integral count of microseconds ("ticks") so
+// that event ordering is exact and runs are bit-reproducible; data volumes
+// are held in megabytes (the unit the paper reports), and rates in MB/s.
+
+#include <cstdint>
+#include <limits>
+
+namespace dlaja {
+
+/// Simulated time in microseconds since the start of the run.
+using Tick = std::int64_t;
+
+/// Sentinel for "never" / "unset" timestamps.
+inline constexpr Tick kNeverTick = std::numeric_limits<Tick>::max();
+
+/// Number of ticks in one simulated second.
+inline constexpr Tick kTicksPerSecond = 1'000'000;
+
+/// Number of ticks in one simulated millisecond.
+inline constexpr Tick kTicksPerMillisecond = 1'000;
+
+/// Converts seconds (possibly fractional) to ticks, truncating sub-µs.
+[[nodiscard]] constexpr Tick ticks_from_seconds(double seconds) noexcept {
+  return static_cast<Tick>(seconds * static_cast<double>(kTicksPerSecond));
+}
+
+/// Converts milliseconds (possibly fractional) to ticks.
+[[nodiscard]] constexpr Tick ticks_from_millis(double millis) noexcept {
+  return static_cast<Tick>(millis * static_cast<double>(kTicksPerMillisecond));
+}
+
+/// Converts ticks to (fractional) seconds, for reporting.
+[[nodiscard]] constexpr double seconds_from_ticks(Tick t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kTicksPerSecond);
+}
+
+/// Data volume in megabytes. The paper reports all volumes in MB.
+using MegaBytes = double;
+
+/// Transfer / processing rate in megabytes per second.
+using MbPerSec = double;
+
+/// Ticks needed to move `volume` MB at `rate` MB/s. Rates are clamped to a
+/// tiny positive floor so that a mis-configured zero rate yields a huge (but
+/// finite) duration instead of dividing by zero.
+[[nodiscard]] constexpr Tick transfer_ticks(MegaBytes volume, MbPerSec rate) noexcept {
+  constexpr MbPerSec kFloor = 1e-9;
+  const MbPerSec r = rate > kFloor ? rate : kFloor;
+  const double seconds = volume / r;
+  return ticks_from_seconds(seconds >= 0.0 ? seconds : 0.0);
+}
+
+}  // namespace dlaja

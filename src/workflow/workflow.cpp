@@ -1,0 +1,93 @@
+#include "workflow/workflow.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace dlaja::workflow {
+
+TaskId Workflow::add_task(TaskSpec spec) {
+  const auto id = static_cast<TaskId>(tasks_.size());
+  tasks_.push_back(std::move(spec));
+  edges_.emplace_back();
+  return id;
+}
+
+void Workflow::connect(TaskId from, TaskId to) {
+  if (from >= tasks_.size() || to >= tasks_.size()) {
+    throw std::out_of_range("Workflow::connect: unknown task id");
+  }
+  if (from == to) {
+    throw std::invalid_argument("Workflow::connect: self-loop");
+  }
+  auto& outs = edges_[from];
+  if (std::find(outs.begin(), outs.end(), to) == outs.end()) outs.push_back(to);
+}
+
+const TaskSpec& Workflow::task(TaskId id) const {
+  if (id >= tasks_.size()) throw std::out_of_range("Workflow::task: unknown id");
+  return tasks_[id];
+}
+
+void Workflow::set_expander(TaskId id, Expander expand) {
+  if (id >= tasks_.size()) throw std::out_of_range("Workflow::set_expander: unknown id");
+  tasks_[id].expand = std::move(expand);
+}
+
+const std::vector<TaskId>& Workflow::downstream(TaskId id) const {
+  if (id >= edges_.size()) throw std::out_of_range("Workflow::downstream: unknown id");
+  return edges_[id];
+}
+
+bool Workflow::connected(TaskId from, TaskId to) const {
+  if (from >= edges_.size()) return false;
+  const auto& outs = edges_[from];
+  return std::find(outs.begin(), outs.end(), to) != outs.end();
+}
+
+std::vector<TaskId> Workflow::topological_order() const {
+  std::vector<std::size_t> indegree(tasks_.size(), 0);
+  for (const auto& outs : edges_) {
+    for (const TaskId to : outs) ++indegree[to];
+  }
+  std::deque<TaskId> ready;
+  for (TaskId id = 0; id < tasks_.size(); ++id) {
+    if (indegree[id] == 0) ready.push_back(id);
+  }
+  std::vector<TaskId> order;
+  order.reserve(tasks_.size());
+  while (!ready.empty()) {
+    const TaskId id = ready.front();
+    ready.pop_front();
+    order.push_back(id);
+    for (const TaskId to : edges_[id]) {
+      if (--indegree[to] == 0) ready.push_back(to);
+    }
+  }
+  if (order.size() != tasks_.size()) {
+    throw std::logic_error("Workflow: graph contains a cycle");
+  }
+  return order;
+}
+
+std::vector<TaskId> Workflow::sources() const {
+  std::vector<bool> has_in(tasks_.size(), false);
+  for (const auto& outs : edges_) {
+    for (const TaskId to : outs) has_in[to] = true;
+  }
+  std::vector<TaskId> result;
+  for (TaskId id = 0; id < tasks_.size(); ++id) {
+    if (!has_in[id]) result.push_back(id);
+  }
+  return result;
+}
+
+std::vector<TaskId> Workflow::sinks() const {
+  std::vector<TaskId> result;
+  for (TaskId id = 0; id < tasks_.size(); ++id) {
+    if (edges_[id].empty()) result.push_back(id);
+  }
+  return result;
+}
+
+}  // namespace dlaja::workflow

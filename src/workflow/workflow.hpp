@@ -1,0 +1,100 @@
+#pragma once
+// Crossflow-style workflow model: tasks connected by channels, processing
+// streams of jobs.
+//
+// Terminology follows the paper (§2, Fig. 1): a *job* is "a piece of data
+// required to process a task"; *tasks* (e.g. RepositorySearcher) consume
+// jobs from input channels and emit jobs on output channels. Data-intensive
+// tasks additionally require a *resource* (e.g. a cloned repository) to be
+// present on the executing worker.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "storage/cache.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace dlaja::workflow {
+
+/// Identifier of a job instance, unique within a run.
+using JobId = std::uint64_t;
+
+/// Identifier of a task (node of the workflow graph).
+using TaskId = std::uint32_t;
+
+inline constexpr TaskId kInvalidTask = static_cast<TaskId>(-1);
+
+/// One schedulable unit of work flowing through the pipeline.
+struct Job {
+  JobId id = 0;
+  TaskId task = kInvalidTask;        ///< task that must process this job
+  storage::ResourceId resource = 0;  ///< 0 = no data dependency
+  MegaBytes resource_size_mb = 0.0;  ///< size of the resource (download cost)
+  MegaBytes process_mb = 0.0;        ///< data volume to read/analyse
+  Tick fixed_cost = 0;               ///< fixed latency part (e.g. an API call)
+  Tick created_at = 0;               ///< arrival time at the master
+  std::string key;                   ///< correlation key, e.g. "lodash@repo17"
+
+  /// True if executing this job requires the resource locally.
+  [[nodiscard]] bool needs_resource() const noexcept { return resource != 0; }
+};
+
+/// Hook that expands a *completed* job into its downstream jobs (Crossflow's
+/// channels). Invoked at the master when a completion report arrives. The
+/// RandomStream gives deterministic app-level randomness (e.g. how many
+/// matches a repository search returns).
+using Expander = std::function<std::vector<Job>(const Job& completed, RandomStream& rng)>;
+
+/// Static description of one task.
+struct TaskSpec {
+  std::string name;
+  /// Data-intensive tasks require their resource locally (clone on miss).
+  bool data_intensive = true;
+  /// Optional expansion hook; empty = terminal task (results sink).
+  Expander expand;
+};
+
+/// The workflow graph: tasks plus directed channels between them.
+///
+/// The graph is used (a) by applications to express pipelines like Fig. 1
+/// and (b) by the engine to validate that expanded jobs target tasks that
+/// are actually downstream of the completing task.
+class Workflow {
+ public:
+  /// Adds a task; returns its id (dense, starting at 0).
+  TaskId add_task(TaskSpec spec);
+
+  /// Adds a channel from `from` to `to`. Throws std::out_of_range for
+  /// unknown ids and std::invalid_argument for self-loops.
+  void connect(TaskId from, TaskId to);
+
+  [[nodiscard]] std::size_t task_count() const noexcept { return tasks_.size(); }
+  [[nodiscard]] const TaskSpec& task(TaskId id) const;
+
+  /// Installs/replaces the expansion hook of an existing task (hooks often
+  /// need task ids that are only known after the graph is built).
+  void set_expander(TaskId id, Expander expand);
+  [[nodiscard]] const std::vector<TaskId>& downstream(TaskId id) const;
+
+  /// True if a channel `from` -> `to` exists.
+  [[nodiscard]] bool connected(TaskId from, TaskId to) const;
+
+  /// Validates that the graph is a DAG (Kahn's algorithm). Throws
+  /// std::logic_error on a cycle. Returns tasks in a topological order.
+  [[nodiscard]] std::vector<TaskId> topological_order() const;
+
+  /// Tasks with no incoming channel (stream entry points).
+  [[nodiscard]] std::vector<TaskId> sources() const;
+
+  /// Tasks with no outgoing channel (sinks).
+  [[nodiscard]] std::vector<TaskId> sinks() const;
+
+ private:
+  std::vector<TaskSpec> tasks_;
+  std::vector<std::vector<TaskId>> edges_;  // adjacency: edges_[from] = {to...}
+};
+
+}  // namespace dlaja::workflow

@@ -1,0 +1,53 @@
+#include "workload/catalog.hpp"
+
+#include <stdexcept>
+
+namespace dlaja::workload {
+
+const char* size_class_name(SizeClass c) noexcept {
+  switch (c) {
+    case SizeClass::kSmall: return "small";
+    case SizeClass::kMedium: return "medium";
+    case SizeClass::kLarge: return "large";
+  }
+  return "?";
+}
+
+storage::ResourceId RepositoryCatalog::add(MegaBytes size_mb) {
+  if (size_mb < 0.0) throw std::invalid_argument("RepositoryCatalog: negative size");
+  sizes_.push_back(size_mb);
+  return static_cast<storage::ResourceId>(sizes_.size());
+}
+
+storage::ResourceId RepositoryCatalog::add_random(SizeClass cls, RandomStream& rng) {
+  switch (cls) {
+    case SizeClass::kSmall:
+      return add(rng.uniform(ranges_.small_lo, ranges_.small_hi));
+    case SizeClass::kMedium:
+      return add(rng.uniform(ranges_.medium_lo, ranges_.medium_hi));
+    case SizeClass::kLarge:
+      return add(rng.uniform(ranges_.large_lo, ranges_.large_hi));
+  }
+  throw std::invalid_argument("RepositoryCatalog: bad size class");
+}
+
+MegaBytes RepositoryCatalog::size_of(storage::ResourceId id) const {
+  if (id == 0 || id > sizes_.size()) {
+    throw std::out_of_range("RepositoryCatalog: unknown resource id");
+  }
+  return sizes_[id - 1];
+}
+
+MegaBytes RepositoryCatalog::total_mb() const noexcept {
+  MegaBytes total = 0.0;
+  for (const MegaBytes s : sizes_) total += s;
+  return total;
+}
+
+SizeClass RepositoryCatalog::classify(MegaBytes size_mb) const noexcept {
+  if (size_mb < ranges_.medium_lo) return SizeClass::kSmall;
+  if (size_mb < ranges_.large_lo) return SizeClass::kMedium;
+  return SizeClass::kLarge;
+}
+
+}  // namespace dlaja::workload

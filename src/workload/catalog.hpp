@@ -1,0 +1,62 @@
+#pragma once
+// Repository catalog: the universe of cacheable resources a workload draws
+// from. Sizes follow the paper's classes — small / medium / large, ranging
+// between 1 MB and 1 GB for the controlled experiments (§6.3.1); the MSR
+// application model (src/msr) uses larger multi-GB repositories.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/cache.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace dlaja::workload {
+
+/// Size class of a repository.
+enum class SizeClass { kSmall, kMedium, kLarge };
+
+/// Human-readable class name.
+[[nodiscard]] const char* size_class_name(SizeClass c) noexcept;
+
+/// Size ranges per class (MB): small [1, 50), medium [50, 500),
+/// large [500, 1024]. Matches the paper: "small, medium or large, ranging
+/// between 1MB and 1GB"; small < 50 MB, large > 500 MB (§4).
+struct SizeRanges {
+  MegaBytes small_lo = 1.0, small_hi = 50.0;
+  MegaBytes medium_lo = 50.0, medium_hi = 500.0;
+  MegaBytes large_lo = 500.0, large_hi = 1024.0;
+};
+
+/// A growing registry of repositories with stable ids (starting at 1; id 0
+/// is reserved for "no resource").
+class RepositoryCatalog {
+ public:
+  explicit RepositoryCatalog(SizeRanges ranges = {}) : ranges_(ranges) {}
+
+  /// Registers a repository of an explicit size; returns its id.
+  storage::ResourceId add(MegaBytes size_mb);
+
+  /// Registers a repository with a size drawn uniformly from `cls`'s range.
+  storage::ResourceId add_random(SizeClass cls, RandomStream& rng);
+
+  /// Size of repository `id`; throws std::out_of_range for unknown ids.
+  [[nodiscard]] MegaBytes size_of(storage::ResourceId id) const;
+
+  [[nodiscard]] std::size_t count() const noexcept { return sizes_.size(); }
+
+  /// Sum of all registered repository sizes.
+  [[nodiscard]] MegaBytes total_mb() const noexcept;
+
+  [[nodiscard]] const SizeRanges& ranges() const noexcept { return ranges_; }
+
+  /// Classifies a size against the ranges (boundaries go to the larger class).
+  [[nodiscard]] SizeClass classify(MegaBytes size_mb) const noexcept;
+
+ private:
+  SizeRanges ranges_;
+  std::vector<MegaBytes> sizes_;  // index = id - 1
+};
+
+}  // namespace dlaja::workload

@@ -1,0 +1,145 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace dlaja::workload {
+
+std::string job_config_name(JobConfig config) {
+  switch (config) {
+    case JobConfig::kAllDiffEqual: return "all_diff_equal";
+    case JobConfig::kAllDiffLarge: return "all_diff_large";
+    case JobConfig::kAllDiffSmall: return "all_diff_small";
+    case JobConfig::k80Large: return "80%_large";
+    case JobConfig::k80Small: return "80%_small";
+  }
+  return "?";
+}
+
+JobConfig job_config_from_name(const std::string& name) {
+  for (const JobConfig c : all_job_configs()) {
+    if (job_config_name(c) == name) return c;
+  }
+  throw std::invalid_argument("unknown job config: " + name);
+}
+
+std::vector<JobConfig> all_job_configs() {
+  return {JobConfig::kAllDiffEqual, JobConfig::kAllDiffLarge, JobConfig::kAllDiffSmall,
+          JobConfig::k80Large, JobConfig::k80Small};
+}
+
+WorkloadSpec make_workload_spec(JobConfig config) {
+  WorkloadSpec spec;
+  spec.name = job_config_name(config);
+  switch (config) {
+    case JobConfig::kAllDiffEqual:
+      spec.weight_small = spec.weight_medium = spec.weight_large = 1.0;
+      break;
+    case JobConfig::kAllDiffLarge:
+      spec.weight_small = 0.1;
+      spec.weight_medium = 0.2;
+      spec.weight_large = 0.7;
+      break;
+    case JobConfig::kAllDiffSmall:
+      spec.weight_small = 0.7;
+      spec.weight_medium = 0.2;
+      spec.weight_large = 0.1;
+      break;
+    case JobConfig::k80Large:
+      spec.weight_small = 0.1;
+      spec.weight_medium = 0.2;
+      spec.weight_large = 0.7;
+      spec.hot_fraction = 0.8;
+      spec.hot_class = SizeClass::kLarge;
+      break;
+    case JobConfig::k80Small:
+      spec.weight_small = 0.7;
+      spec.weight_medium = 0.2;
+      spec.weight_large = 0.1;
+      spec.hot_fraction = 0.8;
+      spec.hot_class = SizeClass::kSmall;
+      break;
+  }
+  return spec;
+}
+
+MegaBytes GeneratedWorkload::unique_mb() const {
+  std::unordered_set<storage::ResourceId> seen;
+  MegaBytes total = 0.0;
+  for (const workflow::Job& job : jobs) {
+    if (job.needs_resource() && seen.insert(job.resource).second) {
+      total += job.resource_size_mb;
+    }
+  }
+  return total;
+}
+
+MegaBytes GeneratedWorkload::naive_mb() const {
+  MegaBytes total = 0.0;
+  for (const workflow::Job& job : jobs) total += job.resource_size_mb;
+  return total;
+}
+
+GeneratedWorkload generate_workload(const WorkloadSpec& spec, const SeedSequencer& seeds,
+                                    workflow::TaskId task) {
+  if (spec.job_count == 0) throw std::invalid_argument("generate_workload: zero jobs");
+  GeneratedWorkload result;
+  result.name = spec.name;
+  result.catalog = RepositoryCatalog(spec.ranges);
+
+  RandomStream size_rng = seeds.stream("workload/sizes/" + spec.name);
+  RandomStream arrival_rng = seeds.stream("workload/arrivals/" + spec.name);
+  RandomStream hot_rng = seeds.stream("workload/hot/" + spec.name);
+
+  // One shared hot repository per run (the paper: "80% require the same
+  // large repository").
+  storage::ResourceId hot_repo = 0;
+  if (spec.hot_fraction > 0.0) {
+    hot_repo = result.catalog.add_random(spec.hot_class, hot_rng);
+  }
+
+  const double weights[3] = {spec.weight_small, spec.weight_medium, spec.weight_large};
+
+  Tick arrival = 0;
+  for (std::size_t i = 0; i < spec.job_count; ++i) {
+    workflow::Job job;
+    job.id = static_cast<workflow::JobId>(i + 1);
+    job.task = task;
+
+    const auto cls = static_cast<SizeClass>(size_rng.weighted_index(weights, 3));
+    const bool is_hot_class = spec.hot_fraction > 0.0 && cls == spec.hot_class;
+    if (is_hot_class && hot_rng.bernoulli(spec.hot_fraction)) {
+      job.resource = hot_repo;
+    } else {
+      job.resource = result.catalog.add_random(cls, size_rng);
+    }
+    job.resource_size_mb = result.catalog.size_of(job.resource);
+    job.process_mb = job.resource_size_mb;  // scanning the clone reads it all
+    job.fixed_cost = spec.fixed_cost;
+
+    switch (spec.arrival) {
+      case WorkloadSpec::ArrivalProcess::kExponential:
+        arrival += ticks_from_seconds(arrival_rng.exponential(spec.arrival_mean_s));
+        break;
+      case WorkloadSpec::ArrivalProcess::kUniform:
+        arrival += ticks_from_seconds(spec.arrival_mean_s);
+        break;
+      case WorkloadSpec::ArrivalProcess::kBursty:
+        // Jobs inside a burst share an instant; bursts are spaced so the
+        // long-run rate matches arrival_mean_s per job.
+        if (i % std::max<std::size_t>(1, spec.burst_size) == 0) {
+          arrival += ticks_from_seconds(arrival_rng.exponential(
+              spec.arrival_mean_s * static_cast<double>(spec.burst_size)));
+        }
+        break;
+    }
+    job.created_at = arrival;
+    job.key = spec.name + "#" + std::to_string(job.id);
+
+    result.jobs.push_back(std::move(job));
+  }
+  return result;
+}
+
+}  // namespace dlaja::workload

@@ -1,0 +1,101 @@
+#pragma once
+// Workload generation: the five job configurations of §6.3.1 plus a
+// general parameterized generator for the ablation sweeps.
+//
+// Each configuration produces a stream of 120 jobs with arrival times.
+// Repositories vary in size (small/medium/large, 1 MB–1 GB) and jobs are
+// either all-different or repetitive (80% of the dominant class's jobs
+// require the same repository).
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "workflow/workflow.hpp"
+#include "workload/catalog.hpp"
+
+namespace dlaja::workload {
+
+/// The paper's five job configurations (§6.3.1).
+enum class JobConfig {
+  kAllDiffEqual,  ///< equal size mix, all repositories distinct
+  kAllDiffLarge,  ///< mostly large, all distinct
+  kAllDiffSmall,  ///< mostly small, all distinct
+  k80Large,       ///< mostly large; 80% of large jobs share one repository
+  k80Small,       ///< mostly small; 80% of small jobs share one repository
+};
+
+/// "all_diff_equal", "80%_large", ... (paper spelling).
+[[nodiscard]] std::string job_config_name(JobConfig config);
+
+/// Parses a config name; throws std::invalid_argument on unknown names.
+[[nodiscard]] JobConfig job_config_from_name(const std::string& name);
+
+/// All five configs in paper order.
+[[nodiscard]] std::vector<JobConfig> all_job_configs();
+
+/// Fully parameterized workload description.
+struct WorkloadSpec {
+  std::string name = "custom";
+  std::size_t job_count = 120;
+
+  /// Arrival process shape.
+  enum class ArrivalProcess {
+    kExponential,  ///< Poisson stream (default)
+    kUniform,      ///< fixed spacing of arrival_mean_s
+    kBursty,       ///< bursts of burst_size simultaneous jobs — the MSR
+                   ///< pattern, where one search emits many analyzer jobs
+  };
+  ArrivalProcess arrival = ArrivalProcess::kExponential;
+
+  /// Mean inter-arrival time of jobs at the master. The paper streams jobs
+  /// in as upstream tasks emit them; 2 s keeps five workers saturated for
+  /// the 1 MB–1 GB size range. For kBursty this is the *per-job* mean: a
+  /// burst of B jobs follows the previous one after ~B x arrival_mean_s.
+  double arrival_mean_s = 2.0;
+
+  /// Jobs per burst (kBursty only).
+  std::size_t burst_size = 10;
+
+  /// Mixture weights over size classes (need not sum to 1).
+  double weight_small = 1.0;
+  double weight_medium = 1.0;
+  double weight_large = 1.0;
+
+  /// Fraction of the dominant class's jobs that reuse one hot repository
+  /// (0 = all different).
+  double hot_fraction = 0.0;
+  SizeClass hot_class = SizeClass::kLarge;
+
+  /// Fixed per-job cost (e.g. the API call preceding the clone).
+  Tick fixed_cost = ticks_from_millis(200.0);
+
+  /// Size-class boundaries; override to pin sizes (e.g. a sweep point can
+  /// set small_lo == small_hi and weight only the small class).
+  SizeRanges ranges{};
+};
+
+/// The spec corresponding to one of the §6.3.1 configurations.
+[[nodiscard]] WorkloadSpec make_workload_spec(JobConfig config);
+
+/// A generated workload: jobs with `created_at` = arrival time (sorted
+/// ascending), plus the catalog that owns the repository sizes.
+struct GeneratedWorkload {
+  std::string name;
+  std::vector<workflow::Job> jobs;
+  RepositoryCatalog catalog;
+
+  /// Total MB across *distinct* repositories referenced by the jobs.
+  [[nodiscard]] MegaBytes unique_mb() const;
+
+  /// Total MB if every job downloaded its repository (no locality at all).
+  [[nodiscard]] MegaBytes naive_mb() const;
+};
+
+/// Generates a workload deterministically from the spec and seeds. Jobs
+/// target task id `task` and get ids 1..job_count in arrival order.
+[[nodiscard]] GeneratedWorkload generate_workload(const WorkloadSpec& spec,
+                                                  const SeedSequencer& seeds,
+                                                  workflow::TaskId task = 0);
+
+}  // namespace dlaja::workload

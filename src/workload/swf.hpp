@@ -1,0 +1,85 @@
+#pragma once
+// Standard Workload Format (SWF) adapter.
+//
+// SWF is the format of the Parallel Workloads Archive (Feitelson et al.) —
+// the de-facto public trace format for HPC job logs. This adapter maps SWF
+// jobs onto dlaja jobs so that real arrival patterns and job-size
+// distributions can drive the locality schedulers:
+//
+//   * submit time        -> job arrival (created_at)
+//   * executable number  -> the job's data resource: successive runs of
+//     the same application read the same input data, which is exactly the
+//     reuse structure locality scheduling exploits (user id is the
+//     fallback when the log omits executables);
+//   * run time           -> processing volume (run_time x reference rw
+//     speed, so the job takes ~run_time to process at reference speed);
+//   * requested/used memory -> the resource's size (clamped), standing in
+//     for the input data volume, with a deterministic synthetic fallback.
+//
+// Lines beginning with ';' are header comments; data lines hold 18
+// whitespace-separated fields with -1 for unknown values.
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/generator.hpp"
+
+namespace dlaja::workload {
+
+/// One parsed SWF record (fields we consume; -1 = unknown).
+struct SwfJob {
+  std::int64_t job_number = -1;
+  double submit_time_s = -1.0;
+  double run_time_s = -1.0;
+  std::int64_t requested_procs = -1;
+  std::int64_t used_memory_kb = -1;
+  std::int64_t requested_memory_kb = -1;
+  std::int64_t status = -1;
+  std::int64_t user_id = -1;
+  std::int64_t executable = -1;
+};
+
+/// Conversion knobs.
+struct SwfOptions {
+  /// Processing volume = run_time x this speed (MB/s): a job that ran for
+  /// T seconds becomes T x reference_rw_mbps MB of scanning work.
+  MbPerSec reference_rw_mbps = 80.0;
+
+  /// Resource size from memory fields (KB -> MB), clamped to this range;
+  /// jobs with no memory information get a deterministic size derived from
+  /// the resource id within the same range.
+  MegaBytes min_resource_mb = 10.0;
+  MegaBytes max_resource_mb = 4096.0;
+
+  /// Compress/stretch the arrival timeline (0.1 = 10x denser).
+  double time_scale = 1.0;
+
+  /// Cap on converted jobs (0 = all). Failed/cancelled jobs (status 0 or 5
+  /// with run_time <= 0) are skipped regardless.
+  std::size_t max_jobs = 0;
+
+  /// Per-job fixed cost (queueing/launch overhead).
+  Tick fixed_cost = ticks_from_millis(100.0);
+};
+
+/// Parses SWF text into records. Tolerates short lines (missing trailing
+/// fields become -1); throws std::runtime_error on non-numeric fields.
+[[nodiscard]] std::vector<SwfJob> parse_swf(std::istream& in);
+
+/// Converts records into a runnable workload per the mapping above.
+/// Jobs are emitted in submit order with ids 1..N.
+[[nodiscard]] GeneratedWorkload convert_swf(const std::vector<SwfJob>& records,
+                                            const SwfOptions& options = {},
+                                            std::string name = "swf");
+
+/// File convenience: parse + convert. Throws std::runtime_error on I/O.
+[[nodiscard]] GeneratedWorkload load_swf_file(const std::string& path,
+                                              const SwfOptions& options = {});
+
+/// Writes a small synthetic SWF log (deterministic per seed): `jobs` jobs
+/// over `executables` applications with Zipf-ish reuse — handy for demos
+/// and tests when no archive trace is at hand.
+void write_synthetic_swf(std::ostream& out, std::size_t jobs, std::size_t executables,
+                         std::uint64_t seed);
+
+}  // namespace dlaja::workload

@@ -1,0 +1,113 @@
+#include "workload/trace_io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace dlaja::workload {
+
+namespace {
+
+constexpr const char* kHeader[] = {"job_id",     "key",          "resource",
+                                   "resource_mb", "process_mb",  "fixed_cost_us",
+                                   "created_at_us"};
+constexpr std::size_t kColumns = std::size(kHeader);
+
+[[nodiscard]] double parse_double(const std::string& field, const char* what) {
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc{} || ptr != field.data() + field.size()) {
+    throw std::runtime_error(std::string("trace: bad ") + what + ": '" + field + "'");
+  }
+  return value;
+}
+
+[[nodiscard]] std::int64_t parse_int(const std::string& field, const char* what) {
+  std::int64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc{} || ptr != field.data() + field.size()) {
+    throw std::runtime_error(std::string("trace: bad ") + what + ": '" + field + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+void write_trace(std::ostream& out, const GeneratedWorkload& workload) {
+  CsvWriter csv(out);
+  csv.write(kHeader[0], kHeader[1], kHeader[2], kHeader[3], kHeader[4], kHeader[5], kHeader[6]);
+  for (const workflow::Job& job : workload.jobs) {
+    csv.write(job.id, job.key, job.resource, job.resource_size_mb, job.process_mb,
+              job.fixed_cost, job.created_at);
+  }
+}
+
+GeneratedWorkload read_trace(std::istream& in, std::string name) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::vector<CsvRow> rows = csv_parse(buffer.str());
+  if (rows.empty()) throw std::runtime_error("trace: empty input");
+  const CsvRow& header = rows.front();
+  if (header.size() != kColumns || header[0] != kHeader[0]) {
+    throw std::runtime_error("trace: missing or malformed header");
+  }
+
+  GeneratedWorkload workload;
+  workload.name = std::move(name);
+  // resource id -> size, to rebuild the catalog consistently.
+  std::map<storage::ResourceId, MegaBytes> resources;
+
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    const CsvRow& row = rows[r];
+    if (row.size() != kColumns) {
+      throw std::runtime_error("trace: row " + std::to_string(r) + " has " +
+                               std::to_string(row.size()) + " fields, expected " +
+                               std::to_string(kColumns));
+    }
+    workflow::Job job;
+    job.id = static_cast<workflow::JobId>(parse_int(row[0], "job_id"));
+    job.key = row[1];
+    job.resource = static_cast<storage::ResourceId>(parse_int(row[2], "resource"));
+    job.resource_size_mb = parse_double(row[3], "resource_mb");
+    job.process_mb = parse_double(row[4], "process_mb");
+    job.fixed_cost = parse_int(row[5], "fixed_cost_us");
+    job.created_at = parse_int(row[6], "created_at_us");
+
+    if (job.needs_resource()) {
+      const auto [it, inserted] = resources.emplace(job.resource, job.resource_size_mb);
+      if (!inserted && it->second != job.resource_size_mb) {
+        throw std::runtime_error("trace: resource " + std::to_string(job.resource) +
+                                 " has conflicting sizes");
+      }
+    }
+    workload.jobs.push_back(std::move(job));
+  }
+
+  // Rebuild the catalog: ids must be dense from 1 for RepositoryCatalog, so
+  // re-register in id order and remap jobs if the trace had gaps.
+  std::map<storage::ResourceId, storage::ResourceId> remap;
+  for (const auto& [id, size] : resources) remap[id] = workload.catalog.add(size);
+  for (workflow::Job& job : workload.jobs) {
+    if (job.needs_resource()) job.resource = remap.at(job.resource);
+  }
+  return workload;
+}
+
+void save_trace_file(const std::string& path, const GeneratedWorkload& workload) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("trace: cannot open for writing: " + path);
+  write_trace(out, workload);
+  if (!out.flush()) throw std::runtime_error("trace: write failed: " + path);
+}
+
+GeneratedWorkload load_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("trace: cannot open: " + path);
+  return read_trace(in, path);
+}
+
+}  // namespace dlaja::workload

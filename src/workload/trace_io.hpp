@@ -1,0 +1,29 @@
+#pragma once
+// Workload trace persistence: CSV round-trip for generated workloads so
+// experiments can be replayed from files (public-trace style) and so the
+// exact inputs behind a benchmark run can be archived with its results.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workflow/workflow.hpp"
+#include "workload/generator.hpp"
+
+namespace dlaja::workload {
+
+/// Writes the workload as CSV with a header row:
+/// job_id,key,resource,resource_mb,process_mb,fixed_cost_us,created_at_us
+void write_trace(std::ostream& out, const GeneratedWorkload& workload);
+
+/// Parses a trace produced by write_trace. Rebuilds a catalog from the
+/// distinct (resource, size) pairs; throws std::runtime_error on malformed
+/// input (missing header, short rows, non-numeric fields, or conflicting
+/// sizes for the same resource id).
+[[nodiscard]] GeneratedWorkload read_trace(std::istream& in, std::string name = "trace");
+
+/// Convenience file wrappers; throw std::runtime_error on I/O failure.
+void save_trace_file(const std::string& path, const GeneratedWorkload& workload);
+[[nodiscard]] GeneratedWorkload load_trace_file(const std::string& path);
+
+}  // namespace dlaja::workload

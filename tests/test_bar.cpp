@@ -1,0 +1,105 @@
+// Behavioural tests for the BAR-style micro-batch scheduler ([11] in the
+// paper's related work).
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "sched/bar.hpp"
+#include "test_helpers.hpp"
+
+namespace dlaja::sched {
+namespace {
+
+using testutil::distinct_jobs;
+using testutil::noiseless;
+using testutil::repeated_jobs;
+using testutil::resource_job;
+using testutil::uniform_fleet;
+
+TEST(Bar, BatchesArrivalsInsideTheWindow) {
+  BarConfig config;
+  config.batch_window_s = 2.0;
+  auto owned = std::make_unique<BarScheduler>(config);
+  BarScheduler* scheduler = owned.get();
+  core::Engine engine(uniform_fleet(3), std::move(owned), noiseless());
+  // Five jobs within 1 s -> one batch; one more after 10 s -> second batch.
+  std::vector<workflow::Job> jobs;
+  for (std::size_t i = 0; i < 5; ++i) {
+    jobs.push_back(resource_job(i + 1, i + 1, 100.0, 0.2 * static_cast<double>(i)));
+  }
+  jobs.push_back(resource_job(6, 6, 100.0, 10.0));
+  const auto report = engine.run(jobs);
+  EXPECT_EQ(report.jobs_completed, 6u);
+  EXPECT_EQ(scheduler->stats().batches, 2u);
+  // Batch-window latency shows up as allocation latency (~<= 2 s).
+  EXPECT_GT(report.avg_alloc_latency_s, 0.5);
+  EXPECT_LT(report.avg_alloc_latency_s, 2.5);
+}
+
+TEST(Bar, Phase1PrefersDataHolders) {
+  auto owned = std::make_unique<BarScheduler>();
+  BarScheduler* scheduler = owned.get();
+  core::Engine engine(uniform_fleet(3), std::move(owned), noiseless());
+  // Two batches on the same resource: the second batch is local.
+  std::vector<workflow::Job> jobs;
+  jobs.push_back(resource_job(1, 7, 200.0, 0.0));
+  jobs.push_back(resource_job(2, 7, 200.0, 30.0));
+  jobs.push_back(resource_job(3, 7, 200.0, 60.0));
+  const auto report = engine.run(jobs);
+  EXPECT_EQ(report.jobs_completed, 3u);
+  EXPECT_EQ(report.cache_misses, 1u);  // the clone is reused
+  EXPECT_EQ(scheduler->stats().local_assignments, 2u);
+  EXPECT_EQ(scheduler->stats().remote_assignments, 1u);
+}
+
+TEST(Bar, Phase2RebalancesAwayFromOverloadedHolders) {
+  auto owned = std::make_unique<BarScheduler>();
+  BarScheduler* scheduler = owned.get();
+  core::Engine engine(uniform_fleet(2, 50.0, 100.0), std::move(owned), noiseless());
+  // Prime: worker gets resource 7 (batch 1). Then a burst of six jobs on
+  // resource 7 arrives at once: all-local assignment would pile them on
+  // one worker; balance-reduce must push some to the other.
+  std::vector<workflow::Job> jobs;
+  jobs.push_back(resource_job(1, 7, 500.0, 0.0));
+  for (std::size_t i = 0; i < 6; ++i) {
+    jobs.push_back(resource_job(i + 2, 7, 500.0, 30.0));
+  }
+  const auto report = engine.run(jobs);
+  EXPECT_EQ(report.jobs_completed, 7u);
+  EXPECT_GT(scheduler->stats().rebalance_moves, 0u);
+  EXPECT_GE(engine.metrics().worker(0).jobs_completed, 1u);
+  EXPECT_GE(engine.metrics().worker(1).jobs_completed, 1u);
+}
+
+TEST(Bar, WholeWorkloadCompletesWithReasonableBalance) {
+  core::Engine engine(uniform_fleet(4), std::make_unique<BarScheduler>(), noiseless());
+  const auto report = engine.run(distinct_jobs(24, 300.0, 0.5));
+  EXPECT_EQ(report.jobs_completed, 24u);
+  for (std::uint32_t w = 0; w < 4; ++w) {
+    EXPECT_GE(engine.metrics().worker(w).jobs_completed, 3u);
+  }
+}
+
+TEST(Bar, SkipsFailedWorkers) {
+  core::Engine engine(uniform_fleet(3), std::make_unique<BarScheduler>(), noiseless());
+  engine.fail_worker_at(0, 0);
+  std::vector<workflow::Job> jobs = distinct_jobs(6, 100.0);
+  for (auto& job : jobs) job.created_at = ticks_from_seconds(1.0);
+  const auto report = engine.run(jobs);
+  EXPECT_EQ(report.jobs_completed, 6u);
+  EXPECT_EQ(engine.metrics().worker(0).jobs_completed, 0u);
+}
+
+TEST(Bar, DeterministicAcrossRuns) {
+  const auto run_once = [] {
+    core::Engine engine(uniform_fleet(3), std::make_unique<BarScheduler>(), noiseless(5));
+    return engine.run(distinct_jobs(15, 150.0, 0.3));
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.exec_time_s, b.exec_time_s);
+  EXPECT_EQ(a.data_load_mb, b.data_load_mb);
+}
+
+}  // namespace
+}  // namespace dlaja::sched

@@ -1,0 +1,140 @@
+// Behavioural tests for the Crossflow Baseline scheduler (paper §4).
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "sched/baseline.hpp"
+#include "test_helpers.hpp"
+
+namespace dlaja::sched {
+namespace {
+
+using testutil::distinct_jobs;
+using testutil::noiseless;
+using testutil::repeated_jobs;
+using testutil::resource_job;
+using testutil::uniform_fleet;
+
+TEST(Baseline, FreshJobIsDeclinedBeforeBeingForced) {
+  // Paper constraint #1: "when executing the pipeline for the first time,
+  // all worker nodes will end up rejecting repository-related jobs as they
+  // do not possess any clones locally."
+  auto owned = std::make_unique<BaselineScheduler>();
+  BaselineScheduler* scheduler = owned.get();
+  core::Engine engine(uniform_fleet(3), std::move(owned), noiseless());
+  const auto report = engine.run(distinct_jobs(1, 100.0));
+  EXPECT_EQ(report.jobs_completed, 1u);
+  EXPECT_GE(scheduler->stats().offers_declined, 1u);
+  EXPECT_EQ(scheduler->stats().forced_accepts, 1u);
+  EXPECT_GE(engine.metrics().find_job(1)->offers_rejected, 1u);
+}
+
+TEST(Baseline, CachedWorkerAcceptsImmediately) {
+  auto owned = std::make_unique<BaselineScheduler>();
+  BaselineScheduler* scheduler = owned.get();
+  core::Engine engine(uniform_fleet(1), std::move(owned), noiseless());
+  engine.preload_cache(0, std::vector<storage::Resource>{{7, 100.0}});
+  const auto report = engine.run(repeated_jobs(1, 7, 100.0));
+  EXPECT_EQ(report.jobs_completed, 1u);
+  EXPECT_EQ(report.cache_misses, 0u);
+  EXPECT_EQ(scheduler->stats().offers_declined, 0u);
+  EXPECT_EQ(engine.metrics().find_job(1)->offers_rejected, 0u);
+}
+
+TEST(Baseline, SingleWorkerAcceptsOnSecondOffer) {
+  // Reject-once semantics: the only worker declines the unseen job, then
+  // must accept it on the next offer.
+  auto owned = std::make_unique<BaselineScheduler>();
+  BaselineScheduler* scheduler = owned.get();
+  core::Engine engine(uniform_fleet(1), std::move(owned), noiseless());
+  const auto report = engine.run(distinct_jobs(1, 100.0));
+  EXPECT_EQ(report.jobs_completed, 1u);
+  EXPECT_EQ(scheduler->stats().offers_made, 2u);
+  EXPECT_EQ(scheduler->stats().offers_declined, 1u);
+  EXPECT_EQ(engine.metrics().find_job(1)->offers_rejected, 1u);
+  EXPECT_EQ(engine.metrics().worker(0).offers_declined, 1u);
+}
+
+TEST(Baseline, SecondJobOnSameResourceGoesToTheClone) {
+  core::Engine engine(uniform_fleet(3), std::make_unique<BaselineScheduler>(), noiseless());
+  // Two jobs for the same repository, far apart in time so the first has
+  // finished (and its clone exists) before the second arrives.
+  std::vector<workflow::Job> jobs = repeated_jobs(2, 7, 100.0, 60.0);
+  const auto report = engine.run(jobs);
+  EXPECT_EQ(report.jobs_completed, 2u);
+  EXPECT_EQ(report.cache_misses, 1u);  // only the first download
+  EXPECT_EQ(report.data_load_mb, 100.0);
+  EXPECT_EQ(engine.metrics().find_job(1)->worker, engine.metrics().find_job(2)->worker);
+}
+
+TEST(Baseline, NoAssuranceFastWorkerGetsTheBigJobs) {
+  // Paper constraint #2: no assurance that performant workers get the
+  // compute-intensive jobs. Two huge jobs arrive while both workers are
+  // idle: the slow worker is forced to take one even though the fast
+  // worker could have fetched and processed both sooner overall.
+  auto fleet = uniform_fleet(2, 20.0, 50.0);
+  fleet[0].network_mbps = 200.0;  // 10x faster, but baseline can't know
+  fleet[0].rw_mbps = 500.0;
+  core::Engine engine(fleet, std::make_unique<BaselineScheduler>(), noiseless());
+  const auto report = engine.run(distinct_jobs(2, 2000.0, 0.0));
+  EXPECT_EQ(report.jobs_completed, 2u);
+  // The slow worker carried one of the compute-intensive jobs.
+  EXPECT_EQ(engine.metrics().worker(1).jobs_completed, 1u);
+}
+
+TEST(Baseline, MaxDeclinesConfigurable) {
+  BaselineConfig config;
+  config.max_declines_per_worker = 3;
+  auto owned = std::make_unique<BaselineScheduler>(config);
+  BaselineScheduler* scheduler = owned.get();
+  core::Engine engine(uniform_fleet(1), std::move(owned), noiseless());
+  const auto report = engine.run(distinct_jobs(1, 100.0));
+  EXPECT_EQ(report.jobs_completed, 1u);
+  EXPECT_EQ(scheduler->stats().offers_declined, 3u);
+  EXPECT_EQ(scheduler->stats().offers_made, 4u);
+}
+
+TEST(Baseline, ZeroDeclinesActsWorkConserving) {
+  BaselineConfig config;
+  config.max_declines_per_worker = 0;
+  auto owned = std::make_unique<BaselineScheduler>(config);
+  BaselineScheduler* scheduler = owned.get();
+  core::Engine engine(uniform_fleet(2), std::move(owned), noiseless());
+  const auto report = engine.run(distinct_jobs(4, 50.0));
+  EXPECT_EQ(report.jobs_completed, 4u);
+  EXPECT_EQ(scheduler->stats().offers_declined, 0u);
+}
+
+TEST(Baseline, AllocationLatencyReflectsHeartbeatNotBiddingWindow) {
+  core::Engine engine(uniform_fleet(3), std::make_unique<BaselineScheduler>(), noiseless());
+  engine.preload_cache(0, std::vector<storage::Resource>{{7, 50.0}});
+  const auto report = engine.run(repeated_jobs(1, 7, 50.0));
+  EXPECT_EQ(report.jobs_completed, 1u);
+  // Heartbeat (100 ms) + a couple of 10 ms hops; no 1 s contest.
+  EXPECT_LT(report.avg_alloc_latency_s, 0.5);
+}
+
+TEST(Baseline, DeterministicAcrossIdenticalRuns) {
+  const auto run_once = [] {
+    core::Engine engine(uniform_fleet(3), std::make_unique<BaselineScheduler>(),
+                        noiseless(99));
+    return engine.run(distinct_jobs(12, 80.0, 0.5));
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.exec_time_s, b.exec_time_s);
+  EXPECT_EQ(a.cache_misses, b.cache_misses);
+  EXPECT_EQ(a.data_load_mb, b.data_load_mb);
+}
+
+TEST(Baseline, BacklogOfJobsDrainsCompletely) {
+  // Many jobs arriving at once: every one must eventually be accepted
+  // (reject-once guarantees progress).
+  core::Engine engine(uniform_fleet(2), std::make_unique<BaselineScheduler>(), noiseless());
+  const auto report = engine.run(distinct_jobs(40, 30.0));
+  EXPECT_EQ(report.jobs_completed, 40u);
+  EXPECT_EQ(report.cache_misses, 40u);  // all distinct, all downloaded
+}
+
+}  // namespace
+}  // namespace dlaja::sched

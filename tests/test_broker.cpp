@@ -1,0 +1,171 @@
+// Unit tests for the messaging substrate.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "msg/broker.hpp"
+
+namespace dlaja::msg {
+namespace {
+
+class BrokerTest : public ::testing::Test {
+ protected:
+  BrokerTest() : network_(SeedSequencer(42)), broker_(sim_, network_) {
+    net::LinkConfig link;
+    link.latency_ms = 5.0;
+    link.latency_jitter_ms = 0.0;
+    a_ = network_.register_node("a", link);
+    b_ = network_.register_node("b", link);
+    c_ = network_.register_node("c", link);
+  }
+
+  sim::Simulator sim_;
+  net::NetworkModel network_;
+  Broker broker_;
+  net::NodeId a_{}, b_{}, c_{};
+};
+
+TEST_F(BrokerTest, PointToPointDelivery) {
+  std::vector<int> received;
+  broker_.register_mailbox(b_, "box", [&](const Message& m) {
+    received.push_back(std::any_cast<int>(m.payload));
+  });
+  broker_.send(a_, b_, "box", 7);
+  broker_.send(a_, b_, "box", 8);
+  EXPECT_TRUE(received.empty());  // nothing delivered before sim runs
+  sim_.run();
+  EXPECT_EQ(received, (std::vector<int>{7, 8}));
+  EXPECT_EQ(broker_.stats().sent, 2u);
+  EXPECT_EQ(broker_.stats().delivered, 2u);
+}
+
+TEST_F(BrokerTest, DeliveryIncursNetworkLatency) {
+  Tick delivered_at = -1;
+  broker_.register_mailbox(b_, "box", [&](const Message&) { delivered_at = sim_.now(); });
+  broker_.send(a_, b_, "box", 1);
+  sim_.run();
+  EXPECT_EQ(delivered_at, ticks_from_millis(10.0));  // 5ms + 5ms, no jitter
+}
+
+TEST_F(BrokerTest, SendToMissingMailboxCountsDropped) {
+  broker_.send(a_, b_, "nope", 1);
+  sim_.run();
+  EXPECT_EQ(broker_.stats().dropped, 1u);
+  EXPECT_EQ(broker_.stats().delivered, 0u);
+}
+
+TEST_F(BrokerTest, RemoveMailboxDropsLaterSends) {
+  int count = 0;
+  broker_.register_mailbox(b_, "box", [&](const Message&) { ++count; });
+  broker_.send(a_, b_, "box", 1);
+  sim_.run();
+  broker_.remove_mailbox(b_, "box");
+  broker_.send(a_, b_, "box", 2);
+  sim_.run();
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(broker_.stats().dropped, 1u);
+}
+
+TEST_F(BrokerTest, PublishFansOutToAllSubscribers) {
+  int b_count = 0, c_count = 0;
+  broker_.subscribe("topic", b_, [&](const Message&) { ++b_count; });
+  broker_.subscribe("topic", c_, [&](const Message&) { ++c_count; });
+  const std::size_t fanout = broker_.publish("topic", a_, std::string("hello"));
+  EXPECT_EQ(fanout, 2u);
+  sim_.run();
+  EXPECT_EQ(b_count, 1);
+  EXPECT_EQ(c_count, 1);
+}
+
+TEST_F(BrokerTest, PublishWithNoSubscribersIsZeroFanout) {
+  EXPECT_EQ(broker_.publish("empty", a_, 1), 0u);
+  sim_.run();
+  EXPECT_EQ(broker_.stats().delivered, 0u);
+}
+
+TEST_F(BrokerTest, UnsubscribeStopsFutureAndInFlightDeliveries) {
+  int count = 0;
+  const SubscriptionId id = broker_.subscribe("t", b_, [&](const Message&) { ++count; });
+  broker_.publish("t", a_, 1);
+  // Unsubscribe while the message is still in flight: it must not arrive.
+  EXPECT_TRUE(broker_.unsubscribe(id));
+  sim_.run();
+  EXPECT_EQ(count, 0);
+  broker_.publish("t", a_, 2);
+  sim_.run();
+  EXPECT_EQ(count, 0);
+  EXPECT_FALSE(broker_.unsubscribe(id));
+}
+
+TEST_F(BrokerTest, NodeDownDropsInFlightAndFutureMessages) {
+  int count = 0;
+  broker_.register_mailbox(b_, "box", [&](const Message&) { ++count; });
+  broker_.send(a_, b_, "box", 1);
+  broker_.set_node_down(b_, true);
+  sim_.run();
+  EXPECT_EQ(count, 0);
+  EXPECT_EQ(broker_.stats().dropped, 1u);
+
+  broker_.set_node_down(b_, false);
+  broker_.send(a_, b_, "box", 2);
+  sim_.run();
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(BrokerTest, DownSubscriberExcludedFromFanout) {
+  int count = 0;
+  broker_.subscribe("t", b_, [&](const Message&) { ++count; });
+  broker_.set_node_down(b_, true);
+  EXPECT_EQ(broker_.publish("t", a_, 1), 0u);
+  sim_.run();
+  EXPECT_EQ(count, 0);
+}
+
+TEST_F(BrokerTest, MessageCarriesSenderAndTimestamp) {
+  net::NodeId from = net::kInvalidNode;
+  Tick sent_at = -1;
+  broker_.register_mailbox(b_, "box", [&](const Message& m) {
+    from = m.from;
+    sent_at = m.sent_at;
+  });
+  sim_.schedule_at(100, [&] { broker_.send(a_, b_, "box", 1); });
+  sim_.run();
+  EXPECT_EQ(from, a_);
+  EXPECT_EQ(sent_at, 100);
+}
+
+TEST_F(BrokerTest, TypedPayloadsRoundTrip) {
+  struct Payload {
+    int x;
+    std::string s;
+  };
+  Payload got{};
+  broker_.register_mailbox(b_, "box", [&](const Message& m) {
+    got = std::any_cast<Payload>(m.payload);
+  });
+  broker_.send(a_, b_, "box", Payload{42, "hi"});
+  sim_.run();
+  EXPECT_EQ(got.x, 42);
+  EXPECT_EQ(got.s, "hi");
+}
+
+TEST_F(BrokerTest, HandlersMaySendMoreMessages) {
+  // Ping-pong a bounded number of rounds through the broker.
+  int rounds = 0;
+  broker_.register_mailbox(b_, "ping", [&](const Message& m) {
+    broker_.send(b_, a_, "pong", std::any_cast<int>(m.payload) + 1);
+  });
+  broker_.register_mailbox(a_, "pong", [&](const Message& m) {
+    const int v = std::any_cast<int>(m.payload);
+    ++rounds;
+    if (v < 5) broker_.send(a_, b_, "ping", v);
+  });
+  broker_.send(a_, b_, "ping", 0);
+  sim_.run();
+  EXPECT_EQ(rounds, 5);
+}
+
+}  // namespace
+}  // namespace dlaja::msg

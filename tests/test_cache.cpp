@@ -1,0 +1,174 @@
+// Unit tests for the worker-local resource cache.
+
+#include <gtest/gtest.h>
+
+#include "storage/cache.hpp"
+
+namespace dlaja::storage {
+namespace {
+
+TEST(Cache, StartsEmpty) {
+  ResourceCache cache;
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.used_mb(), 0.0);
+  EXPECT_FALSE(cache.contains(1));
+}
+
+TEST(Cache, AdmitThenContains) {
+  ResourceCache cache;
+  cache.admit({1, 100.0});
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.used_mb(), 100.0);
+  EXPECT_EQ(cache.stats().admitted_mb, 100.0);
+}
+
+TEST(Cache, AccessCountsHitsAndMisses) {
+  ResourceCache cache;
+  EXPECT_FALSE(cache.access(1));
+  cache.admit({1, 10.0});
+  EXPECT_TRUE(cache.access(1));
+  EXPECT_FALSE(cache.access(2));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(Cache, ContainsDoesNotTouchStats) {
+  ResourceCache cache;
+  cache.admit({1, 10.0});
+  (void)cache.contains(1);
+  (void)cache.contains(2);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(Cache, ReAdmittingResidentResourceIsIdempotent) {
+  ResourceCache cache;
+  cache.admit({1, 10.0});
+  cache.admit({1, 10.0});
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.used_mb(), 10.0);
+}
+
+TEST(Cache, UnboundedNeverEvicts) {
+  ResourceCache cache;  // default: unbounded
+  for (ResourceId id = 1; id <= 1000; ++id) cache.admit({id, 100.0});
+  EXPECT_EQ(cache.size(), 1000u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed) {
+  CacheConfig config;
+  config.policy = EvictionPolicy::kLru;
+  config.capacity_mb = 30.0;
+  ResourceCache cache(config);
+  cache.admit({1, 10.0});
+  cache.admit({2, 10.0});
+  cache.admit({3, 10.0});
+  EXPECT_TRUE(cache.access(1));  // 1 becomes most recent; 2 is now LRU
+  cache.admit({4, 10.0});        // over capacity -> evict 2
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+  EXPECT_TRUE(cache.contains(4));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().evicted_mb, 10.0);
+}
+
+TEST(Cache, FifoEvictsOldestRegardlessOfAccess) {
+  CacheConfig config;
+  config.policy = EvictionPolicy::kFifo;
+  config.capacity_mb = 30.0;
+  ResourceCache cache(config);
+  cache.admit({1, 10.0});
+  cache.admit({2, 10.0});
+  cache.admit({3, 10.0});
+  EXPECT_TRUE(cache.access(1));  // access must NOT protect 1 under FIFO
+  cache.admit({4, 10.0});
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+}
+
+TEST(Cache, OversizedSingleResourceIsKept) {
+  CacheConfig config;
+  config.policy = EvictionPolicy::kLru;
+  config.capacity_mb = 50.0;
+  ResourceCache cache(config);
+  cache.admit({1, 500.0});  // bigger than the whole capacity
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_EQ(cache.size(), 1u);
+  cache.admit({2, 10.0});  // now 1 (LRU, back) gets evicted
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+}
+
+TEST(Cache, ExplicitEvict) {
+  ResourceCache cache;
+  cache.admit({1, 10.0});
+  EXPECT_TRUE(cache.evict(1));
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_EQ(cache.used_mb(), 0.0);
+  EXPECT_FALSE(cache.evict(1));
+}
+
+TEST(Cache, ClearDropsContentsKeepsStats) {
+  ResourceCache cache;
+  cache.admit({1, 10.0});
+  (void)cache.access(1);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.used_mb(), 0.0);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(Cache, ResetStats) {
+  ResourceCache cache;
+  (void)cache.access(1);
+  cache.reset_stats();
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(Cache, SnapshotRestoreRoundTrip) {
+  ResourceCache cache;
+  cache.admit({1, 10.0});
+  cache.admit({2, 20.0});
+  cache.admit({3, 30.0});
+  const auto snapshot = cache.snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot.front().id, 3u);  // most recent first
+
+  ResourceCache other;
+  other.restore(snapshot);
+  EXPECT_EQ(other.size(), 3u);
+  EXPECT_EQ(other.used_mb(), 60.0);
+  EXPECT_TRUE(other.contains(1));
+  EXPECT_EQ(other.snapshot(), snapshot);  // order preserved
+}
+
+TEST(Cache, RestoreReplacesPreviousContents) {
+  ResourceCache cache;
+  cache.admit({9, 99.0});
+  const std::vector<Resource> fresh{{1, 10.0}};
+  cache.restore(fresh);
+  EXPECT_FALSE(cache.contains(9));
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_EQ(cache.used_mb(), 10.0);
+}
+
+TEST(Cache, RestoredLruOrderGovernsEviction) {
+  CacheConfig config;
+  config.policy = EvictionPolicy::kLru;
+  config.capacity_mb = 20.0;
+  ResourceCache cache(config);
+  // Snapshot order: 3 (most recent), 2, 1 (least recent).
+  const std::vector<Resource> snapshot{{3, 10.0}, {2, 5.0}, {1, 5.0}};
+  cache.restore(snapshot);
+  cache.admit({4, 10.0});  // evicts from the back: 1 then 2
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+  EXPECT_TRUE(cache.contains(4));
+}
+
+}  // namespace
+}  // namespace dlaja::storage

@@ -1,0 +1,172 @@
+// Unit tests for the argument parser and the geographic topology.
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "cluster/config.hpp"
+#include "net/topology.hpp"
+#include "util/cli.hpp"
+
+namespace dlaja {
+namespace {
+
+// --- ArgParser -----------------------------------------------------------
+
+std::vector<char*> argv_of(std::initializer_list<const char*> args,
+                           std::vector<std::string>& storage) {
+  storage.assign(args.begin(), args.end());
+  std::vector<char*> result;
+  for (auto& s : storage) result.push_back(s.data());
+  return result;
+}
+
+TEST(ArgParser, DefaultsApplyWhenAbsent) {
+  ArgParser parser("p", "test");
+  parser.add_option("jobs", "120", "job count");
+  std::vector<std::string> storage;
+  auto argv = argv_of({"p"}, storage);
+  ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(parser.get("jobs"), "120");
+  EXPECT_EQ(parser.get_int("jobs"), 120);
+  EXPECT_FALSE(parser.given("jobs"));
+}
+
+TEST(ArgParser, OptionsAndFlagsParse) {
+  ArgParser parser("p", "test");
+  parser.add_option("seed", "1", "seed");
+  parser.add_flag("verbose", "talk more");
+  std::vector<std::string> storage;
+  auto argv = argv_of({"p", "--seed", "99", "--verbose"}, storage);
+  ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(parser.get_int("seed"), 99);
+  EXPECT_TRUE(parser.given("seed"));
+  EXPECT_TRUE(parser.given("verbose"));
+}
+
+TEST(ArgParser, PositionalsCollected) {
+  ArgParser parser("p", "test");
+  parser.add_positional("command", "what to do");
+  parser.add_positional("file", "input", /*required=*/false);
+  std::vector<std::string> storage;
+  auto argv = argv_of({"p", "run", "x.csv"}, storage);
+  ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+  ASSERT_EQ(parser.positionals().size(), 2u);
+  EXPECT_EQ(parser.positionals()[0], "run");
+}
+
+TEST(ArgParser, ErrorsRejected) {
+  {
+    ArgParser parser("p", "test");
+    std::vector<std::string> storage;
+    auto argv = argv_of({"p", "--bogus"}, storage);
+    EXPECT_FALSE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+  }
+  {
+    ArgParser parser("p", "test");
+    parser.add_option("seed", "1", "seed");
+    std::vector<std::string> storage;
+    auto argv = argv_of({"p", "--seed"}, storage);  // missing value
+    EXPECT_FALSE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+  }
+  {
+    ArgParser parser("p", "test");
+    parser.add_positional("command", "required");
+    std::vector<std::string> storage;
+    auto argv = argv_of({"p"}, storage);
+    EXPECT_FALSE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+  }
+}
+
+TEST(ArgParser, TypedGettersValidate) {
+  ArgParser parser("p", "test");
+  parser.add_option("x", "abc", "not a number");
+  std::vector<std::string> storage;
+  auto argv = argv_of({"p"}, storage);
+  ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_THROW((void)parser.get_int("x"), std::invalid_argument);
+  EXPECT_THROW((void)parser.get_double("x"), std::invalid_argument);
+  EXPECT_THROW((void)parser.get("undeclared"), std::out_of_range);
+}
+
+TEST(ArgParser, UsageListsEverything) {
+  ArgParser parser("prog", "does things");
+  parser.add_option("seed", "1", "the seed");
+  parser.add_flag("fast", "go fast");
+  parser.add_positional("input", "the input");
+  const std::string usage = parser.usage();
+  EXPECT_NE(usage.find("prog"), std::string::npos);
+  EXPECT_NE(usage.find("--seed"), std::string::npos);
+  EXPECT_NE(usage.find("--fast"), std::string::npos);
+  EXPECT_NE(usage.find("input"), std::string::npos);
+}
+
+// --- Topology --------------------------------------------------------------
+
+TEST(Topology, RegionLatencies) {
+  net::Topology topology;
+  const auto a = topology.add_region("a", 1.0);
+  const auto b = topology.add_region("b", 2.0);
+  topology.set_latency(a, b, 75.0);
+  EXPECT_EQ(topology.latency_ms(a, a), 1.0);
+  EXPECT_EQ(topology.latency_ms(b, b), 2.0);
+  EXPECT_EQ(topology.latency_ms(a, b), 75.0);
+  EXPECT_EQ(topology.latency_ms(b, a), 75.0);  // symmetric
+  EXPECT_EQ(topology.name(a), "a");
+  EXPECT_THROW((void)topology.latency_ms(a, 7), std::out_of_range);
+  EXPECT_THROW(topology.set_latency(9, a, 1.0), std::out_of_range);
+}
+
+TEST(Topology, UnsetPairsGetWanDefault) {
+  net::Topology topology;
+  const auto a = topology.add_region("a", 2.0);
+  const auto b = topology.add_region("b", 4.0);
+  EXPECT_DOUBLE_EQ(topology.latency_ms(a, b), 53.0);  // mean(2,4) + 50
+}
+
+TEST(Topology, AwsLikePreset) {
+  const auto topology = net::make_aws_like_topology();
+  EXPECT_EQ(topology.region_count(), 3u);
+  EXPECT_EQ(topology.latency_ms(0, 1), 40.0);
+  EXPECT_EQ(topology.latency_ms(1, 2), 130.0);
+  EXPECT_LT(topology.latency_ms(0, 0), 5.0);
+}
+
+TEST(Topology, ScatterCoversRegions) {
+  const auto topology = net::make_aws_like_topology();
+  RandomStream rng(1);
+  const auto regions = net::scatter_nodes(topology, 300, rng);
+  ASSERT_EQ(regions.size(), 300u);
+  std::array<int, 3> counts{};
+  for (const auto r : regions) {
+    ASSERT_LT(r, 3u);
+    ++counts[r];
+  }
+  for (const int c : counts) EXPECT_GT(c, 50);  // roughly uniform
+}
+
+TEST(Topology, RegionalizeSetsLatencyOnly) {
+  const auto topology = net::make_aws_like_topology();
+  net::LinkConfig base;
+  base.bandwidth_mbps = 77.0;
+  base.latency_jitter_ms = 9.0;
+  const auto link = net::regionalize(base, topology, 2, 0);
+  EXPECT_EQ(link.bandwidth_mbps, 77.0);
+  EXPECT_EQ(link.latency_jitter_ms, 9.0);
+  EXPECT_EQ(link.latency_ms, 110.0);
+}
+
+TEST(Topology, ScatterFleetAdjustsWorkers) {
+  const auto topology = net::make_aws_like_topology();
+  auto fleet = cluster::make_fleet(cluster::FleetPreset::kAllEqual);
+  RandomStream rng(3);
+  const auto regions = cluster::scatter_fleet(fleet, topology, 0, rng);
+  ASSERT_EQ(regions.size(), fleet.size());
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    EXPECT_EQ(fleet[i].latency_ms, topology.latency_ms(regions[i], 0));
+    EXPECT_NE(fleet[i].name.find('@'), std::string::npos);  // region in the name
+  }
+}
+
+}  // namespace
+}  // namespace dlaja

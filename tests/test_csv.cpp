@@ -1,0 +1,94 @@
+// Unit tests for the CSV reader/writer.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace dlaja {
+namespace {
+
+TEST(CsvEncode, PlainFields) {
+  EXPECT_EQ(csv_encode_row({"a", "b", "c"}), "a,b,c");
+  EXPECT_EQ(csv_encode_row({}), "");
+  EXPECT_EQ(csv_encode_row({""}), "");
+}
+
+TEST(CsvEncode, QuotesWhenNeeded) {
+  EXPECT_EQ(csv_encode_row({"a,b"}), "\"a,b\"");
+  EXPECT_EQ(csv_encode_row({"say \"hi\""}), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_encode_row({"line\nbreak"}), "\"line\nbreak\"");
+}
+
+TEST(CsvParse, SimpleRows) {
+  const auto rows = csv_parse("a,b\nc,d\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (CsvRow{"a", "b"}));
+  EXPECT_EQ(rows[1], (CsvRow{"c", "d"}));
+}
+
+TEST(CsvParse, NoTrailingNewline) {
+  const auto rows = csv_parse("a,b");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (CsvRow{"a", "b"}));
+}
+
+TEST(CsvParse, EmptyFields) {
+  const auto rows = csv_parse(",\n,,\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].size(), 2u);
+  EXPECT_EQ(rows[1].size(), 3u);
+  EXPECT_EQ(rows[0][0], "");
+}
+
+TEST(CsvParse, QuotedFieldWithComma) {
+  const auto rows = csv_parse("\"a,b\",c\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (CsvRow{"a,b", "c"}));
+}
+
+TEST(CsvParse, EscapedQuotes) {
+  const auto rows = csv_parse("\"say \"\"hi\"\"\"\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "say \"hi\"");
+}
+
+TEST(CsvParse, QuotedNewline) {
+  const auto rows = csv_parse("\"two\nlines\",x\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "two\nlines");
+}
+
+TEST(CsvParse, ToleratesCrLf) {
+  const auto rows = csv_parse("a,b\r\nc,d\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (CsvRow{"c", "d"}));
+}
+
+TEST(CsvParse, EmptyInput) { EXPECT_TRUE(csv_parse("").empty()); }
+
+TEST(CsvRoundTrip, ArbitraryContent) {
+  const CsvRow original{"plain", "with,comma", "with\"quote", "multi\nline", ""};
+  const auto rows = csv_parse(csv_encode_row(original) + "\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], original);
+}
+
+TEST(CsvWriter, WritesHeterogeneousValues) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write("name", 42, std::int64_t{-7}, 2.5, std::size_t{9});
+  EXPECT_EQ(out.str(), "name,42,-7,2.5,9\n");
+}
+
+TEST(CsvWriter, RowsAccumulate) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row({"a"});
+  writer.write_row({"b"});
+  EXPECT_EQ(out.str(), "a\nb\n");
+}
+
+}  // namespace
+}  // namespace dlaja

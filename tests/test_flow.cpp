@@ -1,0 +1,169 @@
+// Unit tests for the flow-level shared-bandwidth network model.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/engine.hpp"
+#include "net/flow.hpp"
+#include "sched/bidding.hpp"
+#include "test_helpers.hpp"
+
+namespace dlaja::net {
+namespace {
+
+class FlowTest : public ::testing::Test {
+ protected:
+  FlowTest() : flows_(sim_, /*origin_capacity_mbps=*/100.0) {
+    flows_.set_node_capacity(0, 50.0);
+    flows_.set_node_capacity(1, 50.0);
+    flows_.set_node_capacity(2, 200.0);
+  }
+
+  sim::Simulator sim_;
+  FlowNetwork flows_;
+};
+
+TEST_F(FlowTest, SingleFlowRunsAtNodeCapacity) {
+  Tick done_at = -1;
+  flows_.start_flow(0, 100.0, [&] { done_at = sim_.now(); });
+  sim_.run();
+  // 100 MB at 50 MB/s = 2 s.
+  EXPECT_NEAR(seconds_from_ticks(done_at), 2.0, 0.001);
+  EXPECT_EQ(flows_.active_flows(), 0u);
+}
+
+TEST_F(FlowTest, TwoFlowsOnOneNodeShareItsCapacity) {
+  Tick first = -1, second = -1;
+  flows_.start_flow(0, 100.0, [&] { first = sim_.now(); });
+  flows_.start_flow(0, 100.0, [&] { second = sim_.now(); });
+  sim_.run();
+  // Both at 25 MB/s -> both finish around 4 s.
+  EXPECT_NEAR(seconds_from_ticks(first), 4.0, 0.01);
+  EXPECT_NEAR(seconds_from_ticks(second), 4.0, 0.01);
+}
+
+TEST_F(FlowTest, OriginCapacityCapsTotalThroughput) {
+  // Three nodes of 50+50+200 = 300 MB/s demand against a 100 MB/s origin.
+  Tick done[3] = {-1, -1, -1};
+  flows_.start_flow(0, 100.0, [&] { done[0] = sim_.now(); });
+  flows_.start_flow(1, 100.0, [&] { done[1] = sim_.now(); });
+  flows_.start_flow(2, 100.0, [&] { done[2] = sim_.now(); });
+  sim_.run();
+  // Max-min: each gets 100/3 = 33.3 MB/s (under every node cap).
+  for (const Tick t : done) EXPECT_NEAR(seconds_from_ticks(t), 3.0, 0.01);
+}
+
+TEST_F(FlowTest, DepartureSpeedsUpSurvivors) {
+  Tick small_done = -1, big_done = -1;
+  flows_.start_flow(2, 100.0, [&] { small_done = sim_.now(); });  // node cap 200
+  flows_.start_flow(2, 300.0, [&] { big_done = sim_.now(); });
+  sim_.run();
+  // Phase 1: origin 100 shared 50/50. Small finishes at t=2 (100MB@50).
+  EXPECT_NEAR(seconds_from_ticks(small_done), 2.0, 0.01);
+  // Big has 200 MB left, then runs at min(node 200, origin 100) = 100 -> +2 s.
+  EXPECT_NEAR(seconds_from_ticks(big_done), 4.0, 0.01);
+}
+
+TEST_F(FlowTest, MaxMinFreezesNodeConstrainedFlowsFirst) {
+  // Node 0 (cap 50) and node 2 (cap 200) against origin 100:
+  // fair share starts at 50 -> node 0 freezes at 50; node 2 gets the
+  // remaining 50.
+  flows_.set_node_capacity(2, 200.0);
+  const FlowId a = flows_.start_flow(0, 1000.0, nullptr);
+  const FlowId b = flows_.start_flow(2, 1000.0, nullptr);
+  EXPECT_NEAR(flows_.current_rate(a), 50.0, 0.1);
+  EXPECT_NEAR(flows_.current_rate(b), 50.0, 0.1);
+  sim_.run(ticks_from_seconds(1.0));
+  EXPECT_NEAR(flows_.remaining_mb(a), 950.0, 1.0);
+}
+
+TEST_F(FlowTest, CancelFreesBandwidth) {
+  Tick done = -1;
+  const FlowId victim = flows_.start_flow(0, 1000.0, [&] { FAIL() << "cancelled flow ran"; });
+  flows_.start_flow(0, 100.0, [&] { done = sim_.now(); });
+  sim_.run(ticks_from_seconds(1.0));  // 1 s at 25 MB/s each
+  EXPECT_TRUE(flows_.cancel_flow(victim));
+  EXPECT_FALSE(flows_.cancel_flow(victim));
+  sim_.run();
+  // Survivor: 75 MB left at full 50 MB/s -> 1.5 s more.
+  EXPECT_NEAR(seconds_from_ticks(done), 2.5, 0.01);
+}
+
+TEST_F(FlowTest, ZeroVolumeCompletesImmediately) {
+  bool fired = false;
+  flows_.start_flow(0, 0.0, [&] { fired = true; });
+  sim_.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST_F(FlowTest, UnknownNodeGetsDefaultCapacity) {
+  Tick done = -1;
+  flows_.start_flow(77, 100.0, [&] { done = sim_.now(); });  // default 50 MB/s
+  sim_.run();
+  EXPECT_NEAR(seconds_from_ticks(done), 2.0, 0.01);
+}
+
+TEST_F(FlowTest, InfiniteOriginLeavesNodesAsOnlyBottleneck) {
+  sim::Simulator sim;
+  FlowNetwork flows(sim, std::numeric_limits<double>::infinity());
+  flows.set_node_capacity(0, 80.0);
+  Tick done = -1;
+  flows.start_flow(0, 160.0, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(seconds_from_ticks(done), 2.0, 0.01);
+}
+
+TEST_F(FlowTest, CompletionHandlersMayStartNewFlows) {
+  Tick second_done = -1;
+  flows_.start_flow(0, 50.0, [&] {
+    flows_.start_flow(0, 50.0, [&] { second_done = sim_.now(); });
+  });
+  sim_.run();
+  EXPECT_NEAR(seconds_from_ticks(second_done), 2.0, 0.01);
+}
+
+// --- engine integration -------------------------------------------------------
+
+TEST(FlowEngine, SharedBandwidthSlowsConcurrentClones) {
+  const auto exec_with = [](bool shared) {
+    core::EngineConfig config = testutil::noiseless();
+    config.shared_bandwidth = shared;
+    config.origin_capacity_mbps = 60.0;  // tight origin
+    core::Engine engine(testutil::uniform_fleet(4, 50.0, 100.0),
+                        std::make_unique<sched::BiddingScheduler>(), config);
+    return engine.run(testutil::distinct_jobs(8, 500.0)).exec_time_s;
+  };
+  // Four concurrent 50 MB/s clones against a 60 MB/s origin take far
+  // longer than with independent bandwidth.
+  EXPECT_GT(exec_with(true), exec_with(false) * 1.5);
+}
+
+TEST(FlowEngine, AllJobsStillCompleteAndAccountingHolds) {
+  core::EngineConfig config = testutil::noiseless();
+  config.shared_bandwidth = true;
+  config.origin_capacity_mbps = 100.0;
+  core::Engine engine(testutil::uniform_fleet(3),
+                      std::make_unique<sched::BiddingScheduler>(), config);
+  const auto report = engine.run(testutil::distinct_jobs(12, 200.0, 1.0));
+  EXPECT_EQ(report.jobs_completed, 12u);
+  EXPECT_EQ(report.cache_misses, 12u);
+  EXPECT_NEAR(report.data_load_mb, 12 * 200.0, 1e-6);
+}
+
+TEST(FlowEngine, WorkerDeathCancelsItsFlow) {
+  core::EngineConfig config = testutil::noiseless();
+  config.shared_bandwidth = true;
+  config.origin_capacity_mbps = 50.0;
+  core::Engine engine(testutil::uniform_fleet(2),
+                      std::make_unique<sched::BiddingScheduler>(), config);
+  engine.fail_worker_at(0, ticks_from_seconds(2.0));
+  const auto report = engine.run(testutil::distinct_jobs(4, 400.0));
+  // The survivor's transfers speed up once the dead worker's flow is gone;
+  // the run terminates and some jobs are lost.
+  EXPECT_LT(report.jobs_completed, 4u);
+  EXPECT_GT(report.jobs_completed, 0u);
+}
+
+}  // namespace
+}  // namespace dlaja::net

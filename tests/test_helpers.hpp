@@ -1,0 +1,75 @@
+#pragma once
+// Shared helpers for scheduler/engine tests: small deterministic clusters
+// and workloads with explicit shapes.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/config.hpp"
+#include "core/engine.hpp"
+#include "workflow/workflow.hpp"
+
+namespace dlaja::testutil {
+
+/// A fleet of `n` identical workers with the given speeds and no bid
+/// straggles (deterministic unless a test opts in).
+inline std::vector<cluster::WorkerConfig> uniform_fleet(std::size_t n,
+                                                        MbPerSec net_mbps = 50.0,
+                                                        MbPerSec rw_mbps = 100.0) {
+  std::vector<cluster::WorkerConfig> fleet;
+  for (std::size_t i = 0; i < n; ++i) {
+    cluster::WorkerConfig w;
+    w.name = "w" + std::to_string(i);
+    w.network_mbps = net_mbps;
+    w.rw_mbps = rw_mbps;
+    w.latency_ms = 5.0;
+    w.latency_jitter_ms = 0.0;
+    w.bid_straggle_probability = 0.0;
+    fleet.push_back(std::move(w));
+  }
+  return fleet;
+}
+
+/// A job needing `resource` of `size_mb`, arriving at `arrival_s`.
+inline workflow::Job resource_job(workflow::JobId id, storage::ResourceId resource,
+                                  MegaBytes size_mb, double arrival_s = 0.0) {
+  workflow::Job job;
+  job.id = id;
+  job.resource = resource;
+  job.resource_size_mb = size_mb;
+  job.process_mb = size_mb;
+  job.created_at = ticks_from_seconds(arrival_s);
+  job.key = "job-" + std::to_string(id);
+  return job;
+}
+
+/// `n` jobs over distinct resources, spaced `gap_s` apart.
+inline std::vector<workflow::Job> distinct_jobs(std::size_t n, MegaBytes size_mb,
+                                                double gap_s = 0.0) {
+  std::vector<workflow::Job> jobs;
+  for (std::size_t i = 0; i < n; ++i) {
+    jobs.push_back(resource_job(i + 1, i + 1, size_mb, gap_s * static_cast<double>(i)));
+  }
+  return jobs;
+}
+
+/// `n` jobs that all need the same resource, spaced `gap_s` apart.
+inline std::vector<workflow::Job> repeated_jobs(std::size_t n, storage::ResourceId resource,
+                                                MegaBytes size_mb, double gap_s = 0.0) {
+  std::vector<workflow::Job> jobs;
+  for (std::size_t i = 0; i < n; ++i) {
+    jobs.push_back(resource_job(i + 1, resource, size_mb, gap_s * static_cast<double>(i)));
+  }
+  return jobs;
+}
+
+/// Noiseless engine config (estimates match actuals exactly).
+inline core::EngineConfig noiseless(std::uint64_t seed = 42) {
+  core::EngineConfig config;
+  config.seed = seed;
+  config.noise = net::NoiseConfig::none();
+  return config;
+}
+
+}  // namespace dlaja::testutil

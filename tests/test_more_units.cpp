@@ -1,0 +1,202 @@
+// Additional unit coverage: corner cases across the substrates that the
+// behaviour-level suites do not reach directly.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "msg/broker.hpp"
+#include "sched/bidding.hpp"
+#include "sched/matchmaking.hpp"
+#include "test_helpers.hpp"
+
+namespace dlaja {
+namespace {
+
+// --- broker corner cases -------------------------------------------------------
+
+class BrokerCorners : public ::testing::Test {
+ protected:
+  BrokerCorners() : network_(SeedSequencer(1)), broker_(sim_, network_) {
+    a_ = network_.register_node("a", {});
+    b_ = network_.register_node("b", {});
+  }
+  sim::Simulator sim_;
+  net::NetworkModel network_;
+  msg::Broker broker_;
+  net::NodeId a_{}, b_{};
+};
+
+TEST_F(BrokerCorners, OneNodeOnSeveralTopics) {
+  int t1 = 0, t2 = 0;
+  broker_.subscribe("t1", b_, [&](const msg::Message&) { ++t1; });
+  broker_.subscribe("t2", b_, [&](const msg::Message&) { ++t2; });
+  broker_.publish("t1", a_, 1);
+  broker_.publish("t2", a_, 2);
+  broker_.publish("t2", a_, 3);
+  sim_.run();
+  EXPECT_EQ(t1, 1);
+  EXPECT_EQ(t2, 2);
+}
+
+TEST_F(BrokerCorners, SameNodeSubscribedTwiceGetsTwoCopies) {
+  int count = 0;
+  broker_.subscribe("t", b_, [&](const msg::Message&) { ++count; });
+  broker_.subscribe("t", b_, [&](const msg::Message&) { ++count; });
+  EXPECT_EQ(broker_.publish("t", a_, 1), 2u);
+  sim_.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST_F(BrokerCorners, ReRegisteringMailboxReplacesHandler) {
+  int first = 0, second = 0;
+  broker_.register_mailbox(b_, "box", [&](const msg::Message&) { ++first; });
+  broker_.register_mailbox(b_, "box", [&](const msg::Message&) { ++second; });
+  broker_.send(a_, b_, "box", 0);
+  sim_.run();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+TEST_F(BrokerCorners, SelfSendWorks) {
+  bool got = false;
+  broker_.register_mailbox(a_, "me", [&](const msg::Message&) { got = true; });
+  broker_.send(a_, a_, "me", 1);
+  sim_.run();
+  EXPECT_TRUE(got);
+}
+
+// --- simulator corner cases ------------------------------------------------------
+
+TEST(SimulatorCorners, StepReturnsFalseWhenStopped) {
+  sim::Simulator sim;
+  sim.schedule_at(1, [] {});
+  sim.stop();
+  EXPECT_FALSE(sim.step());
+  sim.resume();
+  EXPECT_TRUE(sim.step());
+}
+
+TEST(SimulatorCorners, RunWithHorizonZeroFiresTimeZeroEvents) {
+  sim::Simulator sim;
+  bool fired = false;
+  sim.schedule_at(0, [&] { fired = true; });
+  sim.run(0);
+  EXPECT_TRUE(fired);
+}
+
+// --- network corner cases ---------------------------------------------------------
+
+TEST(NetworkCorners, NoiseFactorStreamIsPerNodeDeterministic) {
+  const auto draws = [](const char* name) {
+    net::NetworkModel net(SeedSequencer(5), net::NoiseConfig::lognormal(0.4));
+    const auto id = net.register_node(name, {});
+    std::vector<double> out;
+    for (int i = 0; i < 10; ++i) out.push_back(net.sample_noise_factor(id));
+    return out;
+  };
+  EXPECT_EQ(draws("w"), draws("w"));
+  EXPECT_NE(draws("w"), draws("v"));
+}
+
+TEST(NetworkCorners, MessageDelayUsesBothEndpointLatencies) {
+  net::NetworkModel net(SeedSequencer(5));
+  net::LinkConfig fast;
+  fast.latency_ms = 1.0;
+  fast.latency_jitter_ms = 0.0;
+  net::LinkConfig slow;
+  slow.latency_ms = 100.0;
+  slow.latency_jitter_ms = 0.0;
+  const auto a = net.register_node("a", fast);
+  const auto b = net.register_node("b", slow);
+  EXPECT_EQ(net.sample_message_delay(a, b), ticks_from_millis(101.0));
+  EXPECT_EQ(net.sample_message_delay(b, a), ticks_from_millis(101.0));
+}
+
+// --- scheduler internals -------------------------------------------------------
+
+TEST(BiddingInternals, PendingJobsCountsBacklogAndContests) {
+  auto fleet = testutil::uniform_fleet(2);
+  for (auto& w : fleet) {
+    w.bid_straggle_probability = 1.0;  // contests run the full window
+    w.bid_straggle_ms = 5000.0;
+  }
+  auto owned = std::make_unique<sched::BiddingScheduler>();
+  sched::BiddingScheduler* scheduler = owned.get();
+  core::Engine engine(fleet, std::move(owned), testutil::noiseless());
+  // Three simultaneous jobs; with every bidder straggling, each contest
+  // runs a full 1 s window, so mid-run the serial backlog is visible.
+  engine.simulator().schedule_at(ticks_from_millis(500.0), [&] {
+    // One contest open, two jobs queued behind it.
+    EXPECT_EQ(scheduler->pending_jobs(), 3u);
+  });
+  const auto report = engine.run(testutil::distinct_jobs(3, 10.0));
+  EXPECT_EQ(report.jobs_completed, 3u);
+  EXPECT_EQ(scheduler->pending_jobs(), 0u);
+  EXPECT_EQ(scheduler->stats().contests_opened, 3u);
+}
+
+TEST(BiddingInternals, LearnedCorrectionStaysWithinClamp) {
+  sched::BiddingConfig config;
+  config.learn_correction = true;
+  config.correction_alpha = 1.0;  // adopt each observation fully
+  core::EngineConfig engine_config;
+  engine_config.seed = 5;
+  // Extreme throttling: actuals are far slower than estimates, pushing the
+  // raw ratio far above the clamp.
+  engine_config.noise = net::NoiseConfig::throttle(0.9, 0.05);
+  core::Engine engine(testutil::uniform_fleet(2),
+                      std::make_unique<sched::BiddingScheduler>(config), engine_config);
+  const auto report = engine.run(testutil::distinct_jobs(12, 400.0, 1.0));
+  // Despite corrections saturating, scheduling stays functional.
+  EXPECT_EQ(report.jobs_completed, 12u);
+}
+
+TEST(MatchmakingInternals, ParkedPreferenceServesTheHolder) {
+  auto owned = std::make_unique<sched::MatchmakingScheduler>();
+  sched::MatchmakingScheduler* scheduler = owned.get();
+  core::Engine engine(testutil::uniform_fleet(3), std::move(owned), testutil::noiseless());
+  // Job 1 (repo 9) is force-assigned somewhere; after everyone is parked,
+  // job 2 (repo 9) must be matched to the holder via choose_parked.
+  std::vector<workflow::Job> jobs;
+  jobs.push_back(testutil::resource_job(1, 9, 100.0, 0.0));
+  jobs.push_back(testutil::resource_job(2, 9, 100.0, 30.0));
+  const auto report = engine.run(jobs);
+  EXPECT_EQ(report.cache_misses, 1u);
+  EXPECT_EQ(scheduler->stats().local_assignments, 1u);
+  EXPECT_EQ(engine.metrics().find_job(1)->worker, engine.metrics().find_job(2)->worker);
+}
+
+// --- experiment spec plumbing ----------------------------------------------------
+
+TEST(ExperimentPlumbing, NoiseAndEstimationReachTheEngine) {
+  core::ExperimentSpec spec;
+  spec.scheduler = "bidding";
+  workload::WorkloadSpec wspec = workload::make_workload_spec(workload::JobConfig::k80Small);
+  wspec.job_count = 10;
+  spec.custom_workload = wspec;
+  spec.iterations = 1;
+  spec.noise = net::NoiseConfig::none();
+  spec.estimation = cluster::SpeedEstimator::Mode::kHistoric;
+  spec.probe_speeds = true;
+  const auto a = core::run_experiment(spec);
+  spec.noise = net::NoiseConfig::lognormal(0.8);
+  const auto b = core::run_experiment(spec);
+  // Different noise schemes produce different runs — the knob is plumbed.
+  EXPECT_NE(a[0].exec_time_s, b[0].exec_time_s);
+}
+
+TEST(ExperimentPlumbing, WorkerCountReachesTheFleet) {
+  core::ExperimentSpec spec;
+  spec.scheduler = "round-robin";
+  workload::WorkloadSpec wspec = workload::make_workload_spec(workload::JobConfig::kAllDiffSmall);
+  wspec.job_count = 14;
+  spec.custom_workload = wspec;
+  spec.worker_count = 7;
+  spec.iterations = 1;
+  const auto reports = core::run_experiment(spec);
+  EXPECT_EQ(reports[0].workers.size(), 7u);
+  for (const auto& w : reports[0].workers) EXPECT_EQ(w.jobs_completed, 2u);
+}
+
+}  // namespace
+}  // namespace dlaja

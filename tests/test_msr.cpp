@@ -1,0 +1,143 @@
+// Tests for the MSR application model (paper §2, §6.4).
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "msr/msr.hpp"
+#include "sched/bidding.hpp"
+#include "sched/baseline.hpp"
+
+namespace dlaja::msr {
+namespace {
+
+MsrConfig tiny_config() {
+  MsrConfig config;
+  config.library_count = 5;
+  config.repository_count = 8;
+  config.repo_min_mb = 50.0;
+  config.repo_max_mb = 200.0;
+  config.match_probability = 0.3;
+  config.library_arrival_mean_s = 2.0;
+  return config;
+}
+
+TEST(CoOccurrence, RecordsAndCounts) {
+  CoOccurrenceCounter counter;
+  counter.record(1, 100);
+  counter.record(2, 100);
+  counter.record(1, 200);
+  counter.record(3, 200);
+  EXPECT_EQ(counter.total_hits(), 4u);
+  EXPECT_EQ(counter.co_occurrences(1, 2), 1u);
+  EXPECT_EQ(counter.co_occurrences(2, 1), 1u);  // symmetric
+  EXPECT_EQ(counter.co_occurrences(1, 3), 1u);
+  EXPECT_EQ(counter.co_occurrences(2, 3), 0u);
+  const auto matrix = counter.matrix();
+  EXPECT_EQ(matrix.at({1, 2}), 1u);
+  EXPECT_EQ(matrix.count({2, 1}), 0u);  // canonical ordering only
+}
+
+TEST(CoOccurrence, DuplicateHitsCollapsePerRepo) {
+  CoOccurrenceCounter counter;
+  counter.record(1, 100);
+  counter.record(1, 100);
+  counter.record(2, 100);
+  EXPECT_EQ(counter.co_occurrences(1, 2), 1u);
+  EXPECT_EQ(counter.total_hits(), 3u);
+}
+
+TEST(MsrPipeline, BuildsDeterministically) {
+  const auto a = build_msr_pipeline(tiny_config(), SeedSequencer(42));
+  const auto b = build_msr_pipeline(tiny_config(), SeedSequencer(42));
+  EXPECT_EQ(a.analyzer_job_count(), b.analyzer_job_count());
+  EXPECT_EQ(a.catalog.count(), 8u);
+  EXPECT_EQ(a.seed_jobs.size(), 5u);
+  ASSERT_EQ(a.matches.size(), b.matches.size());
+  for (std::size_t i = 0; i < a.matches.size(); ++i) EXPECT_EQ(a.matches[i], b.matches[i]);
+}
+
+TEST(MsrPipeline, GraphShapeMatchesFigure1) {
+  const auto pipeline = build_msr_pipeline(tiny_config(), SeedSequencer(42));
+  const auto& wf = *pipeline.workflow;
+  EXPECT_EQ(wf.task_count(), 3u);
+  EXPECT_TRUE(wf.connected(pipeline.searcher, pipeline.analyzer));
+  EXPECT_TRUE(wf.connected(pipeline.analyzer, pipeline.aggregator));
+  EXPECT_FALSE(wf.task(pipeline.searcher).data_intensive);
+  EXPECT_TRUE(wf.task(pipeline.analyzer).data_intensive);
+  EXPECT_EQ(wf.sources(), (std::vector<workflow::TaskId>{pipeline.searcher}));
+  EXPECT_EQ(wf.sinks(), (std::vector<workflow::TaskId>{pipeline.aggregator}));
+}
+
+TEST(MsrPipeline, RepositorySizesAreLargeScale) {
+  MsrConfig config;  // defaults: 500 MB - 8 GB
+  config.library_count = 2;
+  const auto pipeline = build_msr_pipeline(config, SeedSequencer(42));
+  for (storage::ResourceId id = 1; id <= pipeline.catalog.count(); ++id) {
+    EXPECT_GE(pipeline.catalog.size_of(id), 500.0);
+    EXPECT_LE(pipeline.catalog.size_of(id), 8192.0);
+  }
+}
+
+TEST(MsrPipeline, PopularLibrariesMatchMoreRepositories) {
+  MsrConfig config = tiny_config();
+  config.library_count = 20;
+  config.repository_count = 60;
+  const auto pipeline = build_msr_pipeline(config, SeedSequencer(42));
+  // Head libraries (0-4) vs tail (15-19): skew must be visible.
+  std::size_t head = 0, tail = 0;
+  for (std::size_t i = 0; i < 5; ++i) head += pipeline.matches[i].size();
+  for (std::size_t i = 15; i < 20; ++i) tail += pipeline.matches[i].size();
+  EXPECT_GT(head, tail);
+}
+
+TEST(MsrPipeline, EndToEndRunCompletesAllStages) {
+  const auto pipeline = build_msr_pipeline(tiny_config(), SeedSequencer(42));
+  const std::size_t analyzer_jobs = pipeline.analyzer_job_count();
+  ASSERT_GT(analyzer_jobs, 0u);
+
+  core::EngineConfig config;
+  config.seed = 42;
+  config.noise = net::NoiseConfig::none();
+  core::Engine engine(make_msr_fleet(3), std::make_unique<sched::BiddingScheduler>(),
+                      config);
+  engine.set_workflow(pipeline.workflow);
+  const auto report = engine.run(pipeline.seed_jobs);
+
+  // searchers + analyzers + one aggregator per analyzer.
+  const std::size_t expected = pipeline.seed_jobs.size() + 2 * analyzer_jobs;
+  EXPECT_EQ(report.jobs_completed, expected);
+  EXPECT_EQ(pipeline.results->total_hits(), analyzer_jobs);
+  EXPECT_GT(report.data_load_mb, 0.0);
+}
+
+TEST(MsrPipeline, LocalityReducesDataLoadVersusNaive) {
+  const auto pipeline = build_msr_pipeline(tiny_config(), SeedSequencer(42));
+  core::EngineConfig config;
+  config.seed = 42;
+  config.noise = net::NoiseConfig::none();
+  core::Engine engine(make_msr_fleet(3), std::make_unique<sched::BiddingScheduler>(),
+                      config);
+  engine.set_workflow(pipeline.workflow);
+  const auto report = engine.run(pipeline.seed_jobs);
+
+  MegaBytes naive = 0.0;
+  for (std::size_t lib = 0; lib < pipeline.matches.size(); ++lib) {
+    for (const auto repo : pipeline.matches[lib]) naive += pipeline.catalog.size_of(repo);
+  }
+  EXPECT_LT(report.data_load_mb, naive);  // some clones were reused
+}
+
+TEST(MsrFleet, HeterogeneousAndSized) {
+  const auto fleet = make_msr_fleet();
+  EXPECT_EQ(fleet.size(), 5u);
+  double lo = fleet[0].network_mbps, hi = fleet[0].network_mbps;
+  for (const auto& w : fleet) {
+    lo = std::min(lo, w.network_mbps);
+    hi = std::max(hi, w.network_mbps);
+  }
+  EXPECT_GT(hi, lo);  // mild heterogeneity
+  EXPECT_EQ(make_msr_fleet(7).size(), 7u);
+}
+
+}  // namespace
+}  // namespace dlaja::msr

@@ -1,0 +1,151 @@
+// Unit tests for the noise models and the network model.
+
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "net/noise.hpp"
+#include "util/stats.hpp"
+
+namespace dlaja::net {
+namespace {
+
+TEST(NoiseModel, NoneIsIdentity) {
+  NoiseModel noise{NoiseConfig::none()};
+  RandomStream rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(noise.sample(rng), 1.0);
+}
+
+TEST(NoiseModel, UniformStaysInRange) {
+  NoiseModel noise{NoiseConfig::uniform(0.7, 1.3)};
+  RandomStream rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    const double f = noise.sample(rng);
+    EXPECT_GE(f, 0.7);
+    EXPECT_LT(f, 1.3);
+  }
+}
+
+TEST(NoiseModel, LognormalHasUnitMedian) {
+  NoiseModel noise{NoiseConfig::lognormal(0.25)};
+  RandomStream rng(3);
+  int above = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (noise.sample(rng) > 1.0) ++above;
+  }
+  EXPECT_NEAR(above / 20000.0, 0.5, 0.02);
+}
+
+TEST(NoiseModel, ThrottleProducesDeepDips) {
+  NoiseModel noise{NoiseConfig::throttle(0.2, 0.3)};
+  RandomStream rng(4);
+  int throttled = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double f = noise.sample(rng);
+    EXPECT_GT(f, 0.0);
+    if (f < 0.5) ++throttled;  // 0.3 * jitter < 0.5 always; jitter alone never is
+  }
+  EXPECT_NEAR(throttled / 20000.0, 0.2, 0.02);
+}
+
+TEST(NoiseModel, FactorNeverZero) {
+  NoiseModel noise{NoiseConfig::throttle(1.0, 1e-9)};  // always deep-throttle
+  RandomStream rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_GT(noise.sample(rng), 0.0);
+}
+
+TEST(NoiseModel, Describe) {
+  EXPECT_EQ(NoiseModel{NoiseConfig::none()}.describe(), "none");
+  EXPECT_NE(NoiseModel{NoiseConfig::uniform(0.5, 1.5)}.describe().find("uniform"),
+            std::string::npos);
+  EXPECT_NE(NoiseModel{NoiseConfig::lognormal(0.3)}.describe().find("lognormal"),
+            std::string::npos);
+  EXPECT_NE(NoiseModel{NoiseConfig::throttle(0.1, 0.2)}.describe().find("throttle"),
+            std::string::npos);
+}
+
+class NetworkModelTest : public ::testing::Test {
+ protected:
+  SeedSequencer seeds_{42};
+};
+
+TEST_F(NetworkModelTest, RegisterAssignsDenseIds) {
+  NetworkModel net(seeds_);
+  const NodeId a = net.register_node("a", {});
+  const NodeId b = net.register_node("b", {});
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(net.node_count(), 2u);
+  EXPECT_EQ(net.name(a), "a");
+}
+
+TEST_F(NetworkModelTest, BadIdThrows) {
+  NetworkModel net(seeds_);
+  EXPECT_THROW((void)net.link(0), std::out_of_range);
+  net.register_node("a", {});
+  EXPECT_NO_THROW((void)net.link(0));
+  EXPECT_THROW((void)net.name(5), std::out_of_range);
+}
+
+TEST_F(NetworkModelTest, MessageDelayWithinLatencyBounds) {
+  NetworkModel net(seeds_);
+  LinkConfig link;
+  link.latency_ms = 5.0;
+  link.latency_jitter_ms = 2.0;
+  const NodeId a = net.register_node("a", link);
+  const NodeId b = net.register_node("b", link);
+  for (int i = 0; i < 1000; ++i) {
+    const Tick d = net.sample_message_delay(a, b);
+    EXPECT_GE(d, ticks_from_millis(10.0));  // 2 * base
+    EXPECT_LE(d, ticks_from_millis(14.0));  // 2 * (base + jitter)
+  }
+}
+
+TEST_F(NetworkModelTest, NoiselessTransferMatchesNominalBandwidth) {
+  NetworkModel net(seeds_, NoiseConfig::none());
+  LinkConfig link;
+  link.bandwidth_mbps = 50.0;
+  const NodeId a = net.register_node("a", link);
+  EXPECT_EQ(net.sample_transfer_ticks(a, 100.0), 2 * kTicksPerSecond);
+  EXPECT_EQ(net.sample_effective_bandwidth(a), 50.0);
+}
+
+TEST_F(NetworkModelTest, NoisyBandwidthVariesAroundNominal) {
+  NetworkModel net(seeds_, NoiseConfig::uniform(0.8, 1.2));
+  LinkConfig link;
+  link.bandwidth_mbps = 100.0;
+  const NodeId a = net.register_node("a", link);
+  RunningStats stats;
+  for (int i = 0; i < 5000; ++i) stats.add(net.sample_effective_bandwidth(a));
+  EXPECT_NEAR(stats.mean(), 100.0, 2.0);
+  EXPECT_GE(stats.min(), 80.0);
+  EXPECT_LE(stats.max(), 120.0);
+}
+
+TEST_F(NetworkModelTest, NodesDrawFromIndependentStreams) {
+  NetworkModel net1(seeds_, NoiseConfig::uniform(0.5, 1.5));
+  const NodeId a1 = net1.register_node("a", {});
+  (void)net1.register_node("b", {});
+
+  NetworkModel net2(seeds_, NoiseConfig::uniform(0.5, 1.5));
+  const NodeId a2 = net2.register_node("a", {});
+  (void)net2.register_node("c", {});  // different sibling
+
+  // "a"'s draws do not depend on which other nodes exist.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(net1.sample_effective_bandwidth(a1), net2.sample_effective_bandwidth(a2));
+  }
+}
+
+TEST_F(NetworkModelTest, DeterministicAcrossRuns) {
+  const auto draw = [&] {
+    NetworkModel net(SeedSequencer(7), NoiseConfig::lognormal(0.3));
+    const NodeId a = net.register_node("w", {});
+    std::vector<double> out;
+    for (int i = 0; i < 20; ++i) out.push_back(net.sample_effective_bandwidth(a));
+    return out;
+  };
+  EXPECT_EQ(draw(), draw());
+}
+
+}  // namespace
+}  // namespace dlaja::net

@@ -1,0 +1,208 @@
+// Unit tests for the deterministic random-variate library.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace dlaja {
+namespace {
+
+TEST(SplitMix64, AdvancesStateAndIsDeterministic) {
+  std::uint64_t s1 = 123, s2 = 123;
+  const auto a1 = splitmix64(s1);
+  const auto a2 = splitmix64(s2);
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(s1, 123u);
+  EXPECT_NE(splitmix64(s1), a1);  // different state -> different output
+}
+
+TEST(Fnv1a, KnownValuesAndDistinctness) {
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);  // offset basis
+  EXPECT_NE(fnv1a("a"), fnv1a("b"));
+  EXPECT_NE(fnv1a("workload"), fnv1a("noise"));
+  EXPECT_EQ(fnv1a("stable"), fnv1a("stable"));
+}
+
+TEST(Xoshiro256, SameSeedSameSequence) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Xoshiro256, LongJumpProducesDisjointStream) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  b.long_jump();
+  std::set<std::uint64_t> from_a;
+  for (int i = 0; i < 1000; ++i) from_a.insert(a());
+  int collisions = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (from_a.count(b())) ++collisions;
+  }
+  EXPECT_EQ(collisions, 0);
+}
+
+TEST(RandomStream, UniformInUnitInterval) {
+  RandomStream rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RandomStream, UniformRangeRespectsBounds) {
+  RandomStream rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-5.0, 3.0);
+    EXPECT_GE(u, -5.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(RandomStream, UniformMeanIsCentered) {
+  RandomStream rng(3);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.uniform());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+  EXPECT_NEAR(stats.stddev(), std::sqrt(1.0 / 12.0), 0.01);
+}
+
+TEST(RandomStream, UniformIntCoversRangeInclusive) {
+  RandomStream rng(4);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(0, 9);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 9);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RandomStream, UniformIntSingletonRange) {
+  RandomStream rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(7, 7), 7);
+}
+
+TEST(RandomStream, UniformIntNegativeRange) {
+  RandomStream rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-10, -1);
+    EXPECT_GE(v, -10);
+    EXPECT_LE(v, -1);
+  }
+}
+
+TEST(RandomStream, BernoulliRate) {
+  RandomStream rng(7);
+  int heads = 0;
+  for (int i = 0; i < 100000; ++i) heads += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(heads / 100000.0, 0.3, 0.01);
+}
+
+TEST(RandomStream, BernoulliDegenerate) {
+  RandomStream rng(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(RandomStream, NormalMoments) {
+  RandomStream rng(9);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(RandomStream, LognormalIsPositiveWithUnitMedian) {
+  RandomStream rng(10);
+  std::vector<double> sample;
+  for (int i = 0; i < 50000; ++i) {
+    const double v = rng.lognormal(0.0, 0.5);
+    EXPECT_GT(v, 0.0);
+    sample.push_back(v);
+  }
+  std::sort(sample.begin(), sample.end());
+  EXPECT_NEAR(percentile_sorted(sample, 0.5), 1.0, 0.03);
+}
+
+TEST(RandomStream, ExponentialMean) {
+  RandomStream rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) {
+    const double v = rng.exponential(3.0);
+    EXPECT_GE(v, 0.0);
+    stats.add(v);
+  }
+  EXPECT_NEAR(stats.mean(), 3.0, 0.05);
+}
+
+TEST(RandomStream, BoundedParetoStaysInBounds) {
+  RandomStream rng(12);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.bounded_pareto(500.0, 8192.0, 1.05);
+    EXPECT_GE(v, 500.0 * 0.999);
+    EXPECT_LE(v, 8192.0 * 1.001);
+  }
+}
+
+TEST(RandomStream, BoundedParetoIsHeavyTailed) {
+  RandomStream rng(13);
+  std::vector<double> sample;
+  for (int i = 0; i < 50000; ++i) sample.push_back(rng.bounded_pareto(1.0, 1000.0, 1.0));
+  std::sort(sample.begin(), sample.end());
+  // Median far below mean for a heavy tail.
+  EXPECT_LT(percentile_sorted(sample, 0.5), mean_of(sample) * 0.5);
+}
+
+TEST(RandomStream, WeightedIndexProportions) {
+  RandomStream rng(14);
+  const double weights[3] = {1.0, 2.0, 7.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 100000; ++i) ++counts[rng.weighted_index(weights, 3)];
+  EXPECT_NEAR(counts[0] / 100000.0, 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / 100000.0, 0.2, 0.01);
+  EXPECT_NEAR(counts[2] / 100000.0, 0.7, 0.01);
+}
+
+TEST(RandomStream, WeightedIndexZeroWeightNeverPicked) {
+  RandomStream rng(15);
+  const double weights[3] = {1.0, 0.0, 1.0};
+  for (int i = 0; i < 10000; ++i) EXPECT_NE(rng.weighted_index(weights, 3), 1u);
+}
+
+TEST(SeedSequencer, NamedStreamsAreStableAndIndependent) {
+  const SeedSequencer seeds(42);
+  EXPECT_EQ(seeds.seed_for("workload"), seeds.seed_for("workload"));
+  EXPECT_NE(seeds.seed_for("workload"), seeds.seed_for("noise"));
+
+  const SeedSequencer other(43);
+  EXPECT_NE(seeds.seed_for("workload"), other.seed_for("workload"));
+}
+
+TEST(SeedSequencer, StreamsReproduce) {
+  const SeedSequencer seeds(99);
+  RandomStream a = seeds.stream("x");
+  RandomStream b = seeds.stream("x");
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+}  // namespace
+}  // namespace dlaja

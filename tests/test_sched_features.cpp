@@ -1,0 +1,267 @@
+// Tests for scheduler features added while matching the paper's dynamics:
+// serialized bidding contests, worker pending-resource estimates, baseline
+// prefetch/requeue knobs, and the Spark wave-barrier execution mode.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "sched/baseline.hpp"
+#include "sched/bidding.hpp"
+#include "sched/spark_like.hpp"
+#include "test_helpers.hpp"
+
+namespace dlaja::sched {
+namespace {
+
+using testutil::distinct_jobs;
+using testutil::noiseless;
+using testutil::repeated_jobs;
+using testutil::resource_job;
+using testutil::uniform_fleet;
+
+// --- serialized contests -----------------------------------------------------
+
+TEST(BiddingSerial, BurstOfJobsSpreadsAcrossWorkers) {
+  // Ten identical jobs arrive at the same instant. With serialized
+  // contests, each contest sees the queues left by the previous winner, so
+  // the burst spreads; with concurrent contests every bid sees the same
+  // (empty) backlog and one worker wins everything.
+  const auto spread = [](bool serialize) {
+    BiddingConfig config;
+    config.serialize_contests = serialize;
+    // One strictly fastest worker: with concurrent contests every bid sees
+    // an empty backlog, so it wins everything.
+    auto fleet = uniform_fleet(5, 40.0, 80.0);
+    fleet[0].network_mbps = 120.0;
+    fleet[0].rw_mbps = 240.0;
+    core::Engine engine(fleet, std::make_unique<BiddingScheduler>(config), noiseless());
+    std::vector<workflow::Job> jobs;
+    for (std::size_t i = 0; i < 10; ++i) jobs.push_back(resource_job(i + 1, i + 1, 400.0));
+    (void)engine.run(jobs);
+    std::uint64_t max_per_worker = 0;
+    for (std::uint32_t w = 0; w < 5; ++w) {
+      max_per_worker = std::max(max_per_worker, engine.metrics().worker(w).jobs_completed);
+    }
+    return max_per_worker;
+  };
+  EXPECT_LE(spread(true), 6u);    // backlog-aware: the burst spreads
+  EXPECT_EQ(spread(false), 10u);  // one winner takes the whole burst
+}
+
+TEST(BiddingSerial, BacklogDrainsInFifoOrder) {
+  auto owned = std::make_unique<BiddingScheduler>();
+  BiddingScheduler* scheduler = owned.get();
+  core::Engine engine(uniform_fleet(2), std::move(owned), noiseless());
+  const auto report = engine.run(distinct_jobs(20, 100.0));
+  EXPECT_EQ(report.jobs_completed, 20u);
+  EXPECT_EQ(scheduler->stats().contests_opened, 20u);
+  EXPECT_EQ(scheduler->pending_jobs(), 0u);
+}
+
+TEST(BiddingSerial, QueuedContestWaitsForCurrentOne) {
+  // Two jobs at t=0 with an always-straggling fleet: the first contest
+  // runs the full 1 s window; the second starts only after it closes.
+  auto fleet = uniform_fleet(2);
+  for (auto& w : fleet) {
+    w.bid_straggle_probability = 1.0;
+    w.bid_straggle_ms = 5000.0;
+  }
+  core::Engine engine(fleet, std::make_unique<BiddingScheduler>(), noiseless());
+  const auto report = engine.run(distinct_jobs(2, 10.0));
+  EXPECT_EQ(report.jobs_completed, 2u);
+  const auto* first = engine.metrics().find_job(1);
+  const auto* second = engine.metrics().find_job(2);
+  EXPECT_GE(second->contest_opened, first->assigned);
+  EXPECT_GE(second->assigned - second->contest_opened, ticks_from_seconds(0.99));
+}
+
+// --- pending-resource estimates ----------------------------------------------
+
+TEST(PendingResources, FollowUpJobsChaseTheQueuedClone) {
+  // Job 1 (repo 7) wins somewhere and starts a long download; job 2 for
+  // the same repo arrives while the download is still running. The holder
+  // quotes zero transfer because the repo is already pending in its queue,
+  // so job 2 lands on the same worker and the repo is cloned once.
+  core::Engine engine(uniform_fleet(3, 10.0, 100.0), std::make_unique<BiddingScheduler>(),
+                      noiseless());
+  std::vector<workflow::Job> jobs;
+  jobs.push_back(resource_job(1, 7, 600.0, 0.0));   // 60 s download
+  jobs.push_back(resource_job(2, 7, 600.0, 10.0));  // mid-download arrival
+  const auto report = engine.run(jobs);
+  EXPECT_EQ(report.jobs_completed, 2u);
+  EXPECT_EQ(report.cache_misses, 1u);
+  EXPECT_EQ(engine.metrics().find_job(1)->worker, engine.metrics().find_job(2)->worker);
+}
+
+TEST(PendingResources, BacklogChargesEachAbsentResourceOnce) {
+  SeedSequencer seeds(42);
+  sim::Simulator sim;
+  net::NetworkModel network(seeds, net::NoiseConfig::none());
+  cluster::WorkerConfig config;
+  config.name = "w";
+  config.network_mbps = 50.0;
+  config.rw_mbps = 100.0;
+  const auto node = network.register_node(config.name, {});
+  metrics::MetricsCollector metrics(1);
+  cluster::WorkerNode worker(0, config, sim, network, node, metrics, seeds);
+
+  // Three queued jobs on the same absent 100 MB resource: one 2 s transfer
+  // plus three 1 s processing slots.
+  worker.enqueue(testutil::resource_job(1, 7, 100.0));
+  worker.enqueue(testutil::resource_job(2, 7, 100.0));
+  worker.enqueue(testutil::resource_job(3, 7, 100.0));
+  EXPECT_DOUBLE_EQ(worker.backlog_cost_s(), 2.0 + 3.0);
+
+  // A new job on that same resource quotes zero transfer.
+  EXPECT_DOUBLE_EQ(worker.estimate_transfer_s(testutil::resource_job(4, 7, 100.0)), 0.0);
+  // ...but a different absent resource still pays.
+  EXPECT_DOUBLE_EQ(worker.estimate_transfer_s(testutil::resource_job(5, 8, 100.0)), 2.0);
+}
+
+TEST(PendingResources, ClearedAsJobsComplete) {
+  SeedSequencer seeds(42);
+  sim::Simulator sim;
+  net::NetworkModel network(seeds, net::NoiseConfig::none());
+  cluster::WorkerConfig config;
+  config.name = "w";
+  config.network_mbps = 50.0;
+  config.rw_mbps = 100.0;
+  const auto node = network.register_node(config.name, {});
+  metrics::MetricsCollector metrics(1);
+  cluster::WorkerNode worker(0, config, sim, network, node, metrics, seeds);
+
+  worker.enqueue(testutil::resource_job(1, 7, 100.0));
+  EXPECT_TRUE(worker.has_local_or_pending(7));
+  sim.run();
+  // Finished: no longer pending, but now resident in the cache.
+  EXPECT_TRUE(worker.has_local_or_pending(7));
+  EXPECT_TRUE(worker.cache().contains(7));
+}
+
+TEST(PendingResources, CloneCountsAsLocalOnlyAfterDownloadCompletes) {
+  SeedSequencer seeds(42);
+  sim::Simulator sim;
+  net::NetworkModel network(seeds, net::NoiseConfig::none());
+  cluster::WorkerConfig config;
+  config.name = "w";
+  config.network_mbps = 50.0;  // 100 MB -> 2 s
+  config.rw_mbps = 100.0;
+  const auto node = network.register_node(config.name, {});
+  metrics::MetricsCollector metrics(1);
+  cluster::WorkerNode worker(0, config, sim, network, node, metrics, seeds);
+
+  worker.enqueue(testutil::resource_job(1, 7, 100.0));
+  sim.run(ticks_from_seconds(1.0));
+  EXPECT_FALSE(worker.cache().contains(7));  // still downloading
+  sim.run(ticks_from_seconds(2.5));
+  EXPECT_TRUE(worker.cache().contains(7));  // download done, job still processing
+}
+
+// --- baseline prefetch & requeue ----------------------------------------------
+
+TEST(BaselinePrefetch, WorkerHoldsPrefetchedJobWhileBusy) {
+  BaselineConfig config;
+  config.prefetch_depth = 2;
+  core::Engine engine(uniform_fleet(1), std::make_unique<BaselineScheduler>(config),
+                      noiseless());
+  // One worker, three long jobs at once: with depth 2 it holds the current
+  // job plus two prefetched ones.
+  const auto report = engine.run(distinct_jobs(3, 1000.0));
+  EXPECT_EQ(report.jobs_completed, 3u);
+  // All three were assigned long before the first finished (prefetch), so
+  // the last job's allocation latency is far below one service time (~30s).
+  const auto* last = engine.metrics().find_job(3);
+  EXPECT_LT(last->assigned - last->arrived, ticks_from_seconds(5.0));
+}
+
+TEST(BaselinePrefetch, ZeroDepthPullsOnlyWhenIdle) {
+  BaselineConfig config;
+  config.prefetch_depth = 0;
+  core::Engine engine(uniform_fleet(1), std::make_unique<BaselineScheduler>(config),
+                      noiseless());
+  const auto report = engine.run(distinct_jobs(3, 1000.0));
+  EXPECT_EQ(report.jobs_completed, 3u);
+  // The third job cannot be allocated before the second completes
+  // (~2 service times of 30 s each).
+  const auto* last = engine.metrics().find_job(3);
+  EXPECT_GT(last->assigned - last->arrived, ticks_from_seconds(50.0));
+}
+
+TEST(BaselineRequeue, BackDefersDeclinedJobsBehindTheBacklog) {
+  // Two jobs; job 1's resource is cached at worker 0... nowhere. Check the
+  // structural difference: with requeue_to_back, a declined head job is
+  // re-offered after the rest of the queue.
+  BaselineConfig config;
+  config.requeue_to_back = true;
+  auto owned = std::make_unique<BaselineScheduler>(config);
+  BaselineScheduler* scheduler = owned.get();
+  core::Engine engine(uniform_fleet(1), std::move(owned), noiseless());
+  const auto report = engine.run(distinct_jobs(2, 10.0));
+  EXPECT_EQ(report.jobs_completed, 2u);
+  // The single worker declines job 1, then is offered job 2 (not job 1
+  // again), declines it too, then force-accepts both on re-offer.
+  EXPECT_EQ(scheduler->stats().offers_declined, 2u);
+  EXPECT_EQ(scheduler->stats().forced_accepts, 2u);
+}
+
+TEST(BaselineRequeue, FrontReoffersTheSameJobImmediately) {
+  BaselineConfig config;
+  config.requeue_to_back = false;
+  auto owned = std::make_unique<BaselineScheduler>(config);
+  BaselineScheduler* scheduler = owned.get();
+  core::Engine engine(uniform_fleet(1), std::move(owned), noiseless());
+  // Jobs far apart so only job 1 is queued when it is declined.
+  const auto report = engine.run(distinct_jobs(2, 10.0, 120.0));
+  EXPECT_EQ(report.jobs_completed, 2u);
+  EXPECT_EQ(scheduler->stats().offers_declined, 2u);
+  // Job 1 accepted on its immediate second offer, before job 2 exists.
+  EXPECT_LT(seconds_from_ticks(engine.metrics().find_job(1)->assigned), 10.0);
+}
+
+// --- Spark wave barrier -----------------------------------------------------
+
+TEST(SparkWave, DispatchesOneTaskPerWorkerPerWave) {
+  SparkLikeConfig config;
+  config.wave_barrier = true;
+  core::Engine engine(uniform_fleet(3), std::make_unique<SparkLikeScheduler>(config),
+                      noiseless());
+  // Six equal jobs at once: two waves of three.
+  const auto report = engine.run(distinct_jobs(6, 300.0));
+  EXPECT_EQ(report.jobs_completed, 6u);
+  for (std::uint32_t w = 0; w < 3; ++w) {
+    EXPECT_EQ(engine.metrics().worker(w).jobs_completed, 2u);
+  }
+  // Second wave starts only after the first fully completes: job 4's start
+  // is after job 1-3's finish.
+  Tick first_wave_end = 0;
+  for (workflow::JobId id = 1; id <= 3; ++id) {
+    first_wave_end = std::max(first_wave_end, engine.metrics().find_job(id)->finished);
+  }
+  EXPECT_GE(engine.metrics().find_job(4)->assigned, first_wave_end);
+}
+
+TEST(SparkWave, SlowWorkerGatesEveryWave) {
+  auto fleet = uniform_fleet(2, 100.0, 200.0);
+  fleet[1].network_mbps = 10.0;  // 10x slower
+  fleet[1].rw_mbps = 20.0;
+
+  const auto exec_with = [&](bool wave) {
+    SparkLikeConfig config;
+    config.wave_barrier = wave;
+    core::Engine engine(fleet, std::make_unique<SparkLikeScheduler>(config), noiseless());
+    return engine.run(testutil::distinct_jobs(10, 500.0)).exec_time_s;
+  };
+  // Barriers make the fast worker wait for the slow one every wave.
+  EXPECT_GT(exec_with(true), exec_with(false) * 0.99);
+}
+
+TEST(SparkWave, NameReflectsConfig) {
+  SparkLikeConfig config;
+  config.wave_barrier = true;
+  EXPECT_EQ(SparkLikeScheduler(config).name(), "spark-like+wave");
+  config.placement = SparkLikeConfig::Placement::kHashByResource;
+  EXPECT_EQ(SparkLikeScheduler(config).name(), "spark-like+wave+hash");
+}
+
+}  // namespace
+}  // namespace dlaja::sched

@@ -1,0 +1,175 @@
+// Unit tests for the discrete-event simulation kernel.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace dlaja::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, FiresInTimestampOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, SameTickFifoOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  Tick fired_at = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_after(50, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim;
+  Tick fired_at = -1;
+  sim.schedule_at(10, [&] {
+    sim.schedule_after(-5, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 10);
+}
+
+TEST(Simulator, SchedulingInThePastClampsToNow) {
+  Simulator sim;
+  Tick fired_at = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_at(1, [&] { fired_at = sim.now(); });  // in the past
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(Simulator, CancelPreventsFiring) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, CancelTwiceFails) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(10, [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(EventId{}));
+}
+
+TEST(Simulator, CancelAfterFiringFails) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(10, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, RunUntilHorizonLeavesLaterEventsPending) {
+  Simulator sim;
+  bool early = false, late = false;
+  sim.schedule_at(10, [&] { early = true; });
+  sim.schedule_at(100, [&] { late = true; });
+  const std::size_t fired = sim.run(50);
+  EXPECT_EQ(fired, 1u);
+  EXPECT_TRUE(early);
+  EXPECT_FALSE(late);
+  EXPECT_EQ(sim.now(), 50);  // clock advanced to the horizon
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_TRUE(late);
+}
+
+TEST(Simulator, HorizonExactlyOnEventFiresIt) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(50, [&] { fired = true; });
+  sim.run(50);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, MaxEventsBudget) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) sim.schedule_at(i, [&] { ++count; });
+  EXPECT_EQ(sim.run(kNeverTick, 3), 3u);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.pending(), 7u);
+}
+
+TEST(Simulator, StopHaltsAndResumeContinues) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 5; ++i) {
+    sim.schedule_at(i, [&, i] {
+      ++count;
+      if (i == 2) sim.stop();
+    });
+  }
+  sim.run();
+  EXPECT_EQ(count, 2);
+  EXPECT_TRUE(sim.stopped());
+  sim.resume();
+  sim.run();
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Simulator, EventsCanScheduleCascades) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.schedule_after(1, recurse);
+  };
+  sim.schedule_at(0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), 99);
+}
+
+TEST(Simulator, FiredCounterAccumulates) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.fired(), 7u);
+}
+
+TEST(Simulator, CancelledTombstonesDoNotBlockHorizon) {
+  Simulator sim;
+  // A cancelled event earlier than the horizon must not stop the clock from
+  // advancing to the horizon.
+  const EventId id = sim.schedule_at(10, [] {});
+  sim.schedule_at(100, [] {});
+  sim.cancel(id);
+  sim.run(50);
+  EXPECT_EQ(sim.now(), 50);
+}
+
+}  // namespace
+}  // namespace dlaja::sim

@@ -1,0 +1,122 @@
+// Unit tests for streaming and batch statistics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace dlaja {
+namespace {
+
+TEST(RunningStats, EmptyIsAllZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.sum(), 5.0);
+}
+
+TEST(RunningStats, KnownSample) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 4.571428571, 1e-9);  // sample variance, n-1
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all, left, right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10.0;
+    all.add(x);
+    (i < 37 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), mean);
+
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.mean(), mean);
+}
+
+TEST(Percentile, SortedInterpolation) {
+  const std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+  EXPECT_EQ(percentile_sorted(v, 0.0), 10.0);
+  EXPECT_EQ(percentile_sorted(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 1.0 / 3.0), 20.0);
+}
+
+TEST(Percentile, EdgeCases) {
+  EXPECT_EQ(percentile_sorted({}, 0.5), 0.0);
+  const std::vector<double> one{7.0};
+  EXPECT_EQ(percentile_sorted(one, 0.99), 7.0);
+  const std::vector<double> two{1.0, 2.0};
+  EXPECT_EQ(percentile_sorted(two, -0.5), 1.0);  // clamped
+  EXPECT_EQ(percentile_sorted(two, 1.5), 2.0);   // clamped
+}
+
+TEST(Summarize, FullSummary) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.p50, 50.5, 1e-9);
+  EXPECT_NEAR(s.p95, 95.05, 1e-9);
+}
+
+TEST(Summarize, EmptyIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(MeanOf, Basic) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean_of(v), 2.0);
+  EXPECT_EQ(mean_of({}), 0.0);
+}
+
+TEST(GeometricMean, Basic) {
+  const std::vector<double> v{1.0, 100.0};
+  EXPECT_NEAR(geometric_mean(v), 10.0, 1e-9);
+  EXPECT_EQ(geometric_mean({}), 0.0);
+  const std::vector<double> with_zero{1.0, 0.0};
+  EXPECT_EQ(geometric_mean(with_zero), 0.0);
+}
+
+}  // namespace
+}  // namespace dlaja

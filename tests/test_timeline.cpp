@@ -1,0 +1,109 @@
+// Unit tests for the timeline/utilisation analysis.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/engine.hpp"
+#include "metrics/timeline.hpp"
+#include "sched/bidding.hpp"
+#include "test_helpers.hpp"
+
+namespace dlaja::metrics {
+namespace {
+
+MetricsCollector make_collector() {
+  MetricsCollector collector(2);
+  // Worker 0: [0,10) job1, [20,30) job2. Worker 1: [5,15) job3.
+  JobRecord& a = collector.job(1);
+  a.worker = 0;
+  a.started = 0;
+  a.finished = 10;
+  JobRecord& b = collector.job(2);
+  b.worker = 0;
+  b.started = 20;
+  b.finished = 30;
+  JobRecord& c = collector.job(3);
+  c.worker = 1;
+  c.started = 5;
+  c.finished = 15;
+  collector.job(4);  // incomplete: ignored by the timeline
+  return collector;
+}
+
+TEST(Timeline, BusyIntervalsPerWorkerSorted) {
+  const auto collector = make_collector();
+  const auto intervals = busy_intervals(collector, 2);
+  ASSERT_EQ(intervals.size(), 2u);
+  ASSERT_EQ(intervals[0].size(), 2u);
+  EXPECT_EQ(intervals[0][0], (Interval{0, 10, 1}));
+  EXPECT_EQ(intervals[0][1], (Interval{20, 30, 2}));
+  ASSERT_EQ(intervals[1].size(), 1u);
+  EXPECT_EQ(intervals[1][0].job, 3u);
+}
+
+TEST(Timeline, UtilizationFraction) {
+  const auto collector = make_collector();
+  const auto intervals = busy_intervals(collector, 2);
+  EXPECT_DOUBLE_EQ(utilization(intervals[0], 30), 20.0 / 30.0);
+  EXPECT_DOUBLE_EQ(utilization(intervals[1], 30), 10.0 / 30.0);
+  // Horizon shorter than the intervals clips them.
+  EXPECT_DOUBLE_EQ(utilization(intervals[0], 10), 1.0);
+  // Degenerate horizon.
+  EXPECT_EQ(utilization(intervals[0], 0), 0.0);
+}
+
+TEST(Timeline, LongestIdleGap) {
+  const auto collector = make_collector();
+  const auto intervals = busy_intervals(collector, 2);
+  EXPECT_EQ(longest_idle_gap(intervals[0], 30), 10);  // [10,20)
+  EXPECT_EQ(longest_idle_gap(intervals[1], 30), 15);  // trailing [15,30)
+  EXPECT_EQ(longest_idle_gap({}, 30), 30);            // fully idle worker
+}
+
+TEST(Timeline, UtilizationReportAggregates) {
+  const auto collector = make_collector();
+  const auto report = utilization_report(collector, 2, 30);
+  ASSERT_EQ(report.per_worker.size(), 2u);
+  EXPECT_DOUBLE_EQ(report.mean, (20.0 / 30.0 + 10.0 / 30.0) / 2.0);
+  EXPECT_DOUBLE_EQ(report.min, 10.0 / 30.0);
+  EXPECT_EQ(report.longest_gap, 15);
+}
+
+TEST(Timeline, ConcurrencySeries) {
+  const auto collector = make_collector();
+  const auto series = concurrency_series(collector, 2, 30, 5);
+  // Samples at t = 0,5,10,...,30.
+  ASSERT_EQ(series.size(), 7u);
+  EXPECT_EQ(series[0].busy_workers, 1u);  // t=0: only worker 0
+  EXPECT_EQ(series[1].busy_workers, 2u);  // t=5: both
+  EXPECT_EQ(series[2].busy_workers, 1u);  // t=10: only worker 1
+  EXPECT_EQ(series[3].busy_workers, 0u);  // t=15: gap
+  EXPECT_EQ(series[4].busy_workers, 1u);  // t=20: worker 0 again
+  EXPECT_EQ(series[6].busy_workers, 0u);  // t=30: done
+}
+
+TEST(Timeline, ConcurrencyCsvExport) {
+  const auto collector = make_collector();
+  std::ostringstream out;
+  write_concurrency_csv(out, concurrency_series(collector, 2, 30, 10));
+  const std::string text = out.str();
+  EXPECT_NE(text.find("time_s,busy_workers"), std::string::npos);
+  EXPECT_NE(text.find("1e-05,"), std::string::npos);  // t=10 ticks = 1e-5 s
+}
+
+TEST(Timeline, EndToEndUtilizationIsSane) {
+  core::Engine engine(testutil::uniform_fleet(3), std::make_unique<sched::BiddingScheduler>(),
+                      testutil::noiseless());
+  (void)engine.run(testutil::distinct_jobs(12, 200.0, 0.5));
+  const Tick horizon = engine.metrics().last_completion();
+  const auto report = utilization_report(engine.metrics(), 3, horizon);
+  for (const double u : report.per_worker) {
+    EXPECT_GT(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+  EXPECT_GT(report.mean, 0.3);  // a saturated-ish run
+}
+
+}  // namespace
+}  // namespace dlaja::metrics

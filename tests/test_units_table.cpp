@@ -1,0 +1,89 @@
+// Unit tests for units conversions, the text-table printer and the logger.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/log.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace dlaja {
+namespace {
+
+TEST(Units, SecondsRoundTrip) {
+  EXPECT_EQ(ticks_from_seconds(1.0), kTicksPerSecond);
+  EXPECT_EQ(ticks_from_seconds(0.5), kTicksPerSecond / 2);
+  EXPECT_DOUBLE_EQ(seconds_from_ticks(kTicksPerSecond), 1.0);
+  EXPECT_DOUBLE_EQ(seconds_from_ticks(ticks_from_seconds(123.25)), 123.25);
+}
+
+TEST(Units, MillisConversion) {
+  EXPECT_EQ(ticks_from_millis(1.0), kTicksPerMillisecond);
+  EXPECT_EQ(ticks_from_millis(1000.0), kTicksPerSecond);
+  EXPECT_EQ(ticks_from_millis(2.5), 2500);
+}
+
+TEST(Units, TransferTicks) {
+  // 100 MB at 50 MB/s = 2 s.
+  EXPECT_EQ(transfer_ticks(100.0, 50.0), 2 * kTicksPerSecond);
+  // Zero volume is free.
+  EXPECT_EQ(transfer_ticks(0.0, 50.0), 0);
+}
+
+TEST(Units, TransferTicksZeroRateIsHugeButFinite) {
+  const Tick t = transfer_ticks(1.0, 0.0);
+  EXPECT_GT(t, ticks_from_seconds(1e6));
+  EXPECT_LT(t, kNeverTick);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table("T");
+  table.set_header({"name", "value"});
+  table.add_row({"a", "1"});
+  table.add_row({"long-name", "23456"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("== T =="), std::string::npos);
+  EXPECT_NE(out.find("long-name |"), std::string::npos);
+  // Right-aligned numeric column: "1" padded to width of "23456".
+  EXPECT_NE(out.find("    1"), std::string::npos);
+}
+
+TEST(TextTable, SeparatorsAndRowCount) {
+  TextTable table;
+  table.add_row({"a"});
+  table.add_separator();
+  table.add_row({"b"});
+  EXPECT_EQ(table.row_count(), 2u);
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find('-'), std::string::npos);
+}
+
+TEST(Format, Helpers) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(2.0, 0), "2");
+  EXPECT_EQ(fmt_ratio(3.567), "3.57x");
+  EXPECT_EQ(fmt_percent(0.245), "24.5%");
+}
+
+TEST(Log, LevelParsingAndFiltering) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("nonsense"), LogLevel::kWarn);
+
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // A filtered statement must not evaluate its stream arguments.
+  bool evaluated = false;
+  const auto touch = [&] {
+    evaluated = true;
+    return "x";
+  };
+  DLAJA_LOG(kDebug, "test") << touch();
+  EXPECT_FALSE(evaluated);
+  set_log_level(saved);
+}
+
+}  // namespace
+}  // namespace dlaja

@@ -1,0 +1,150 @@
+// Unit tests for the workflow graph model.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "workflow/workflow.hpp"
+
+namespace dlaja::workflow {
+namespace {
+
+[[nodiscard]] TaskSpec named(const char* name, bool data_intensive = true) {
+  TaskSpec spec;
+  spec.name = name;
+  spec.data_intensive = data_intensive;
+  return spec;
+}
+
+TEST(Job, NeedsResource) {
+  Job job;
+  EXPECT_FALSE(job.needs_resource());
+  job.resource = 5;
+  EXPECT_TRUE(job.needs_resource());
+}
+
+TEST(Workflow, AddTaskAssignsDenseIds) {
+  Workflow wf;
+  EXPECT_EQ(wf.add_task(named("a")), 0u);
+  EXPECT_EQ(wf.add_task(named("b")), 1u);
+  EXPECT_EQ(wf.task_count(), 2u);
+  EXPECT_EQ(wf.task(0).name, "a");
+  EXPECT_THROW((void)wf.task(2), std::out_of_range);
+}
+
+TEST(Workflow, ConnectAndQuery) {
+  Workflow wf;
+  const TaskId a = wf.add_task(named("a"));
+  const TaskId b = wf.add_task(named("b"));
+  wf.connect(a, b);
+  EXPECT_TRUE(wf.connected(a, b));
+  EXPECT_FALSE(wf.connected(b, a));
+  EXPECT_EQ(wf.downstream(a).size(), 1u);
+  EXPECT_TRUE(wf.downstream(b).empty());
+}
+
+TEST(Workflow, ConnectValidation) {
+  Workflow wf;
+  const TaskId a = wf.add_task(named("a"));
+  EXPECT_THROW(wf.connect(a, 5), std::out_of_range);
+  EXPECT_THROW(wf.connect(5, a), std::out_of_range);
+  EXPECT_THROW(wf.connect(a, a), std::invalid_argument);
+}
+
+TEST(Workflow, DuplicateEdgesCollapse) {
+  Workflow wf;
+  const TaskId a = wf.add_task(named("a"));
+  const TaskId b = wf.add_task(named("b"));
+  wf.connect(a, b);
+  wf.connect(a, b);
+  EXPECT_EQ(wf.downstream(a).size(), 1u);
+}
+
+TEST(Workflow, TopologicalOrderOfPipeline) {
+  Workflow wf;
+  const TaskId a = wf.add_task(named("search"));
+  const TaskId b = wf.add_task(named("analyze"));
+  const TaskId c = wf.add_task(named("aggregate"));
+  wf.connect(a, b);
+  wf.connect(b, c);
+  const auto order = wf.topological_order();
+  ASSERT_EQ(order.size(), 3u);
+  const auto pos = [&](TaskId id) {
+    return std::find(order.begin(), order.end(), id) - order.begin();
+  };
+  EXPECT_LT(pos(a), pos(b));
+  EXPECT_LT(pos(b), pos(c));
+}
+
+TEST(Workflow, CycleDetection) {
+  Workflow wf;
+  const TaskId a = wf.add_task(named("a"));
+  const TaskId b = wf.add_task(named("b"));
+  const TaskId c = wf.add_task(named("c"));
+  wf.connect(a, b);
+  wf.connect(b, c);
+  wf.connect(c, a);
+  EXPECT_THROW(wf.topological_order(), std::logic_error);
+}
+
+TEST(Workflow, SourcesAndSinks) {
+  Workflow wf;
+  const TaskId a = wf.add_task(named("a"));
+  const TaskId b = wf.add_task(named("b"));
+  const TaskId c = wf.add_task(named("c"));
+  const TaskId lone = wf.add_task(named("lone"));
+  wf.connect(a, b);
+  wf.connect(b, c);
+  const auto sources = wf.sources();
+  const auto sinks = wf.sinks();
+  EXPECT_EQ(sources, (std::vector<TaskId>{a, lone}));
+  EXPECT_EQ(sinks, (std::vector<TaskId>{c, lone}));
+}
+
+TEST(Workflow, DiamondGraph) {
+  Workflow wf;
+  const TaskId src = wf.add_task(named("src"));
+  const TaskId l = wf.add_task(named("left"));
+  const TaskId r = wf.add_task(named("right"));
+  const TaskId sink = wf.add_task(named("sink"));
+  wf.connect(src, l);
+  wf.connect(src, r);
+  wf.connect(l, sink);
+  wf.connect(r, sink);
+  EXPECT_EQ(wf.topological_order().size(), 4u);
+  EXPECT_EQ(wf.sources(), (std::vector<TaskId>{src}));
+  EXPECT_EQ(wf.sinks(), (std::vector<TaskId>{sink}));
+}
+
+TEST(Workflow, SetExpanderInstallsHook) {
+  Workflow wf;
+  const TaskId a = wf.add_task(named("a"));
+  EXPECT_FALSE(static_cast<bool>(wf.task(a).expand));
+  wf.set_expander(a, [](const Job&, RandomStream&) { return std::vector<Job>{}; });
+  EXPECT_TRUE(static_cast<bool>(wf.task(a).expand));
+  EXPECT_THROW(wf.set_expander(9, nullptr), std::out_of_range);
+}
+
+TEST(Workflow, ExpanderProducesDownstreamJobs) {
+  Workflow wf;
+  const TaskId a = wf.add_task(named("a"));
+  const TaskId b = wf.add_task(named("b"));
+  wf.connect(a, b);
+  wf.set_expander(a, [b](const Job& done, RandomStream&) {
+    Job next;
+    next.task = b;
+    next.key = done.key + "-child";
+    return std::vector<Job>{next};
+  });
+  Job done;
+  done.task = a;
+  done.key = "root";
+  RandomStream rng(1);
+  const auto out = wf.task(a).expand(done, rng);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].task, b);
+  EXPECT_EQ(out[0].key, "root-child");
+}
+
+}  // namespace
+}  // namespace dlaja::workflow

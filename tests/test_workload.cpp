@@ -1,0 +1,219 @@
+// Unit tests for the repository catalog, workload generation and trace IO.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+#include "workload/catalog.hpp"
+#include "workload/generator.hpp"
+#include "workload/trace_io.hpp"
+
+namespace dlaja::workload {
+namespace {
+
+// --- catalog --------------------------------------------------------------
+
+TEST(Catalog, IdsStartAtOne) {
+  RepositoryCatalog catalog;
+  EXPECT_EQ(catalog.add(10.0), 1u);
+  EXPECT_EQ(catalog.add(20.0), 2u);
+  EXPECT_EQ(catalog.count(), 2u);
+  EXPECT_EQ(catalog.size_of(1), 10.0);
+  EXPECT_EQ(catalog.total_mb(), 30.0);
+}
+
+TEST(Catalog, UnknownIdThrows) {
+  RepositoryCatalog catalog;
+  EXPECT_THROW((void)catalog.size_of(0), std::out_of_range);
+  EXPECT_THROW((void)catalog.size_of(1), std::out_of_range);
+  EXPECT_THROW(catalog.add(-1.0), std::invalid_argument);
+}
+
+TEST(Catalog, RandomSizesRespectClassRanges) {
+  RepositoryCatalog catalog;
+  RandomStream rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const auto small = catalog.add_random(SizeClass::kSmall, rng);
+    EXPECT_GE(catalog.size_of(small), 1.0);
+    EXPECT_LT(catalog.size_of(small), 50.0);
+    const auto large = catalog.add_random(SizeClass::kLarge, rng);
+    EXPECT_GE(catalog.size_of(large), 500.0);
+    EXPECT_LE(catalog.size_of(large), 1024.0);
+  }
+}
+
+TEST(Catalog, Classify) {
+  RepositoryCatalog catalog;
+  EXPECT_EQ(catalog.classify(10.0), SizeClass::kSmall);
+  EXPECT_EQ(catalog.classify(100.0), SizeClass::kMedium);
+  EXPECT_EQ(catalog.classify(800.0), SizeClass::kLarge);
+  EXPECT_EQ(catalog.classify(50.0), SizeClass::kMedium);   // boundary up
+  EXPECT_EQ(catalog.classify(500.0), SizeClass::kLarge);   // boundary up
+}
+
+// --- generator --------------------------------------------------------------
+
+TEST(Generator, NamesRoundTrip) {
+  for (const JobConfig c : all_job_configs()) {
+    EXPECT_EQ(job_config_from_name(job_config_name(c)), c);
+  }
+  EXPECT_THROW((void)job_config_from_name("bogus"), std::invalid_argument);
+  EXPECT_EQ(all_job_configs().size(), 5u);
+}
+
+TEST(Generator, ProducesRequestedJobCountInArrivalOrder) {
+  const SeedSequencer seeds(42);
+  const auto wl = generate_workload(make_workload_spec(JobConfig::kAllDiffEqual), seeds);
+  EXPECT_EQ(wl.jobs.size(), 120u);
+  for (std::size_t i = 1; i < wl.jobs.size(); ++i) {
+    EXPECT_GE(wl.jobs[i].created_at, wl.jobs[i - 1].created_at);
+    EXPECT_EQ(wl.jobs[i].id, i + 1);
+  }
+}
+
+TEST(Generator, IsDeterministicPerSeed) {
+  const auto a = generate_workload(make_workload_spec(JobConfig::k80Large), SeedSequencer(7));
+  const auto b = generate_workload(make_workload_spec(JobConfig::k80Large), SeedSequencer(7));
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].resource, b.jobs[i].resource);
+    EXPECT_EQ(a.jobs[i].resource_size_mb, b.jobs[i].resource_size_mb);
+    EXPECT_EQ(a.jobs[i].created_at, b.jobs[i].created_at);
+  }
+  const auto c = generate_workload(make_workload_spec(JobConfig::k80Large), SeedSequencer(8));
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.jobs.size() && !any_diff; ++i) {
+    any_diff = a.jobs[i].resource_size_mb != c.jobs[i].resource_size_mb;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generator, AllDiffConfigsHaveDistinctRepositories) {
+  for (const JobConfig c :
+       {JobConfig::kAllDiffEqual, JobConfig::kAllDiffLarge, JobConfig::kAllDiffSmall}) {
+    const auto wl = generate_workload(make_workload_spec(c), SeedSequencer(42));
+    std::set<storage::ResourceId> distinct;
+    for (const auto& job : wl.jobs) distinct.insert(job.resource);
+    EXPECT_EQ(distinct.size(), wl.jobs.size()) << job_config_name(c);
+  }
+}
+
+TEST(Generator, HotConfigsConcentrateOnOneRepository) {
+  const auto wl = generate_workload(make_workload_spec(JobConfig::k80Large), SeedSequencer(42));
+  std::unordered_map<storage::ResourceId, int> counts;
+  int large_jobs = 0;
+  for (const auto& job : wl.jobs) {
+    ++counts[job.resource];
+    if (job.resource_size_mb >= 500.0) ++large_jobs;
+  }
+  int hottest = 0;
+  for (const auto& [id, n] : counts) hottest = std::max(hottest, n);
+  // ~80% of the (dominant) large class shares one repo.
+  EXPECT_GT(hottest, static_cast<int>(0.6 * large_jobs));
+  EXPECT_GT(large_jobs, 60);  // large class dominates (weight 0.7)
+}
+
+TEST(Generator, SizeMixMatchesWeights) {
+  const auto wl =
+      generate_workload(make_workload_spec(JobConfig::kAllDiffSmall), SeedSequencer(42));
+  int small = 0;
+  for (const auto& job : wl.jobs) {
+    if (job.resource_size_mb < 50.0) ++small;
+  }
+  EXPECT_GT(small, 60);  // weight 0.7 of 120, allow sampling slack
+}
+
+TEST(Generator, UniqueVsNaiveVolumes) {
+  const auto all_diff =
+      generate_workload(make_workload_spec(JobConfig::kAllDiffEqual), SeedSequencer(42));
+  EXPECT_DOUBLE_EQ(all_diff.unique_mb(), all_diff.naive_mb());
+
+  const auto hot = generate_workload(make_workload_spec(JobConfig::k80Large), SeedSequencer(42));
+  EXPECT_LT(hot.unique_mb(), hot.naive_mb() * 0.6);  // repetition -> big gap
+}
+
+TEST(Generator, ZeroJobsRejected) {
+  WorkloadSpec spec;
+  spec.job_count = 0;
+  EXPECT_THROW(generate_workload(spec, SeedSequencer(1)), std::invalid_argument);
+}
+
+TEST(Generator, ProcessVolumeEqualsResourceSize) {
+  const auto wl = generate_workload(make_workload_spec(JobConfig::kAllDiffEqual), SeedSequencer(3));
+  for (const auto& job : wl.jobs) {
+    EXPECT_EQ(job.process_mb, job.resource_size_mb);
+    EXPECT_GT(job.resource, 0u);
+  }
+}
+
+// --- trace IO ---------------------------------------------------------------
+
+TEST(TraceIo, RoundTripPreservesJobs) {
+  const auto original =
+      generate_workload(make_workload_spec(JobConfig::k80Small), SeedSequencer(42));
+  std::stringstream buffer;
+  write_trace(buffer, original);
+  const auto loaded = read_trace(buffer, "roundtrip");
+
+  ASSERT_EQ(loaded.jobs.size(), original.jobs.size());
+  for (std::size_t i = 0; i < original.jobs.size(); ++i) {
+    EXPECT_EQ(loaded.jobs[i].id, original.jobs[i].id);
+    EXPECT_EQ(loaded.jobs[i].key, original.jobs[i].key);
+    EXPECT_EQ(loaded.jobs[i].resource_size_mb, original.jobs[i].resource_size_mb);
+    EXPECT_EQ(loaded.jobs[i].process_mb, original.jobs[i].process_mb);
+    EXPECT_EQ(loaded.jobs[i].fixed_cost, original.jobs[i].fixed_cost);
+    EXPECT_EQ(loaded.jobs[i].created_at, original.jobs[i].created_at);
+  }
+  // Repetition structure (which jobs share a repo) survives the round trip.
+  for (std::size_t i = 0; i < original.jobs.size(); ++i) {
+    for (std::size_t j = i + 1; j < original.jobs.size(); ++j) {
+      EXPECT_EQ(original.jobs[i].resource == original.jobs[j].resource,
+                loaded.jobs[i].resource == loaded.jobs[j].resource);
+    }
+  }
+  EXPECT_EQ(loaded.catalog.count(), original.catalog.count());
+}
+
+TEST(TraceIo, RejectsMalformedInput) {
+  {
+    std::stringstream empty;
+    EXPECT_THROW(read_trace(empty), std::runtime_error);
+  }
+  {
+    std::stringstream bad_header("nope,header\n1,2\n");
+    EXPECT_THROW(read_trace(bad_header), std::runtime_error);
+  }
+  {
+    std::stringstream short_row(
+        "job_id,key,resource,resource_mb,process_mb,fixed_cost_us,created_at_us\n1,k\n");
+    EXPECT_THROW(read_trace(short_row), std::runtime_error);
+  }
+  {
+    std::stringstream bad_number(
+        "job_id,key,resource,resource_mb,process_mb,fixed_cost_us,created_at_us\n"
+        "1,k,2,abc,5,0,0\n");
+    EXPECT_THROW(read_trace(bad_number), std::runtime_error);
+  }
+  {
+    std::stringstream conflicting(
+        "job_id,key,resource,resource_mb,process_mb,fixed_cost_us,created_at_us\n"
+        "1,a,2,100,100,0,0\n"
+        "2,b,2,200,200,0,10\n");
+    EXPECT_THROW(read_trace(conflicting), std::runtime_error);
+  }
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const auto original =
+      generate_workload(make_workload_spec(JobConfig::kAllDiffSmall), SeedSequencer(1));
+  const std::string path = testing::TempDir() + "/dlaja_trace_test.csv";
+  save_trace_file(path, original);
+  const auto loaded = load_trace_file(path);
+  EXPECT_EQ(loaded.jobs.size(), original.jobs.size());
+  EXPECT_THROW(load_trace_file("/nonexistent/dir/x.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dlaja::workload

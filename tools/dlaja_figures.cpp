@@ -1,0 +1,180 @@
+// dlaja_figures — regenerate the paper's figures as gnuplot data + scripts.
+//
+//   dlaja_figures --out figures/
+//
+// Produces, under the output directory:
+//   fig3_exec.dat / fig3_misses.dat / fig3_data.dat   (bars per workload)
+//   fig4_exec.dat                                      (per fleet x workload)
+//   a2_crossover.dat                                   (size sweep ratio)
+//   figures.gp                                         (one script, all plots)
+//
+// Run `gnuplot figures.gp` in that directory to render PNGs.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "metrics/report.hpp"
+#include "util/cli.hpp"
+
+using namespace dlaja;
+
+namespace {
+
+std::ofstream open_or_die(const std::filesystem::path& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open " << path << "\n";
+    std::exit(1);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("dlaja_figures", "emit gnuplot data + scripts for the paper's figures");
+  args.add_option("out", "figures", "output directory");
+  args.add_option("jobs", "120", "jobs per run");
+  args.add_option("iters", "3", "iterations per cell");
+  args.add_option("seed", "42", "master seed");
+  args.add_option("threads", "0", "worker threads (0 = all cores)");
+  if (!args.parse(argc, argv)) return 1;
+
+  const std::filesystem::path dir(args.get("out"));
+  std::filesystem::create_directories(dir);
+
+  // --- run the full §6.3 matrix once -------------------------------------
+  std::vector<core::ExperimentSpec> specs;
+  for (const std::string scheduler : {"bidding", "baseline"}) {
+    for (const auto config : workload::all_job_configs()) {
+      for (const auto fleet : cluster::all_fleet_presets()) {
+        core::ExperimentSpec spec;
+        spec.scheduler = scheduler;
+        workload::WorkloadSpec wspec = workload::make_workload_spec(config);
+        wspec.job_count = static_cast<std::size_t>(args.get_int("jobs"));
+        spec.custom_workload = wspec;
+        spec.fleet = fleet;
+        spec.iterations = static_cast<int>(args.get_int("iters"));
+        spec.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+        specs.push_back(std::move(spec));
+      }
+    }
+  }
+  const auto reports =
+      core::run_matrix(specs, static_cast<std::size_t>(args.get_int("threads")));
+  metrics::Aggregator by_workload, by_cell;
+  for (const auto& r : reports) {
+    by_workload.add(r.scheduler + "|" + r.workload, r);
+    by_cell.add(r.scheduler + "|" + r.workload + "|" + r.worker_config, r);
+  }
+
+  // --- Fig. 3 data ---------------------------------------------------------
+  const auto fig3 = [&](const char* file, auto metric) {
+    auto out = open_or_die(dir / file);
+    out << "# workload bidding baseline\n";
+    for (const auto config : workload::all_job_configs()) {
+      const std::string name = workload::job_config_name(config);
+      out << '"' << name << "\" " << metric(by_workload.cell("bidding|" + name)) << ' '
+          << metric(by_workload.cell("baseline|" + name)) << '\n';
+    }
+  };
+  fig3("fig3_exec.dat", [](const metrics::AggregateCell& c) { return c.exec_time_s.mean(); });
+  fig3("fig3_misses.dat",
+       [](const metrics::AggregateCell& c) { return c.cache_misses.mean(); });
+  fig3("fig3_data.dat", [](const metrics::AggregateCell& c) { return c.data_load_mb.mean(); });
+
+  // --- Fig. 4 data ---------------------------------------------------------
+  {
+    auto out = open_or_die(dir / "fig4_exec.dat");
+    out << "# cell bidding baseline\n";
+    for (const auto fleet : cluster::all_fleet_presets()) {
+      for (const auto config : workload::all_job_configs()) {
+        const std::string key =
+            workload::job_config_name(config) + "\\n" + cluster::fleet_preset_name(fleet);
+        const std::string suffix = "|" + workload::job_config_name(config) + "|" +
+                                   cluster::fleet_preset_name(fleet);
+        out << '"' << key << "\" " << by_cell.cell("bidding" + suffix).exec_time_s.mean()
+            << ' ' << by_cell.cell("baseline" + suffix).exec_time_s.mean() << '\n';
+      }
+    }
+  }
+
+  // --- A2 crossover curve ----------------------------------------------------
+  {
+    auto out = open_or_die(dir / "a2_crossover.dat");
+    out << "# size_mb bidding_over_baseline\n";
+    for (const double size : {2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0}) {
+      double exec[2] = {0.0, 0.0};
+      int idx = 0;
+      for (const std::string scheduler : {"bidding", "baseline"}) {
+        core::ExperimentSpec spec;
+        spec.scheduler = scheduler;
+        workload::WorkloadSpec wspec;
+        wspec.name = "pin";
+        wspec.job_count = static_cast<std::size_t>(args.get_int("jobs"));
+        wspec.weight_small = 1.0;
+        wspec.weight_medium = 0.0;
+        wspec.weight_large = 0.0;
+        wspec.ranges.small_lo = size;
+        wspec.ranges.small_hi = size;
+        wspec.arrival_mean_s = 0.5;
+        spec.custom_workload = wspec;
+        spec.fleet = cluster::FleetPreset::kOneFast;
+        spec.iterations = static_cast<int>(args.get_int("iters"));
+        spec.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+        for (const auto& r : core::run_experiment(spec)) {
+          exec[idx] += r.exec_time_s / static_cast<double>(spec.iterations);
+        }
+        ++idx;
+      }
+      out << size << ' ' << exec[0] / exec[1] << '\n';
+    }
+  }
+
+  // --- one gnuplot script for everything ---------------------------------
+  {
+    auto out = open_or_die(dir / "figures.gp");
+    out << R"GP(# Render with: gnuplot figures.gp
+set terminal pngcairo size 1000,520 font ",11"
+set style data histograms
+set style histogram clustered gap 1
+set style fill solid 0.8 border -1
+set grid ytics
+set key top left
+
+set output "fig3_exec.png"
+set title "Figure 3a - average execution time per workload (s)"
+plot "fig3_exec.dat" using 2:xtic(1) title "Bidding", "" using 3 title "Baseline"
+
+set output "fig3_misses.png"
+set title "Figure 3b - average cache misses per workload"
+plot "fig3_misses.dat" using 2:xtic(1) title "Bidding", "" using 3 title "Baseline"
+
+set output "fig3_data.png"
+set title "Figure 3c - average data load per workload (MB)"
+plot "fig3_data.dat" using 2:xtic(1) title "Bidding", "" using 3 title "Baseline"
+
+set terminal pngcairo size 1600,560 font ",10"
+set output "fig4_exec.png"
+set title "Figure 4 - average execution time per workload per worker config (s)"
+set xtics rotate by -40
+plot "fig4_exec.dat" using 2:xtic(1) title "Bidding", "" using 3 title "Baseline"
+
+set terminal pngcairo size 900,520 font ",11"
+set output "a2_crossover.png"
+set title "Ablation A2 - bidding/baseline execution ratio vs resource size"
+set style data linespoints
+set logscale x
+set xlabel "resource size (MB)"
+set ylabel "bidding / baseline"
+set xtics rotate by 0
+plot "a2_crossover.dat" using 1:2 title "ratio", 1 with lines dashtype 2 title "parity"
+)GP";
+  }
+
+  std::cout << "wrote figure data + gnuplot script to " << dir
+            << "\nrender with: (cd " << dir.string() << " && gnuplot figures.gp)\n";
+  return 0;
+}

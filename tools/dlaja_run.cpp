@@ -1,0 +1,139 @@
+// dlaja_run — general experiment runner.
+//
+// Runs (scheduler × workload × fleet) for N carried iterations and prints
+// the run reports; optionally dumps raw rows as CSV and per-run concurrency
+// timelines.
+//
+//   dlaja_run --scheduler bidding --workload 80%_large --fleet fast-slow
+//   dlaja_run --scheduler baseline --jobs 240 --iters 5 --noise lognormal:0.5
+//   dlaja_run --scheduler bidding --estimation historic --csv runs.csv
+
+#include <fstream>
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "metrics/timeline.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace dlaja;
+
+namespace {
+
+/// Parses "none", "uniform:lo,hi", "lognormal:sigma", "throttle:p,factor".
+net::NoiseConfig parse_noise(const std::string& text) {
+  const auto colon = text.find(':');
+  const std::string kind = text.substr(0, colon);
+  std::vector<double> params;
+  if (colon != std::string::npos) {
+    std::string rest = text.substr(colon + 1);
+    std::size_t pos = 0;
+    while (pos < rest.size()) {
+      const auto comma = rest.find(',', pos);
+      params.push_back(std::stod(rest.substr(pos, comma - pos)));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+  if (kind == "none") return net::NoiseConfig::none();
+  if (kind == "uniform" && params.size() == 2) {
+    return net::NoiseConfig::uniform(params[0], params[1]);
+  }
+  if (kind == "lognormal" && params.size() == 1) {
+    return net::NoiseConfig::lognormal(params[0]);
+  }
+  if (kind == "throttle" && params.size() == 2) {
+    return net::NoiseConfig::throttle(params[0], params[1]);
+  }
+  throw std::invalid_argument("bad --noise spec: '" + text +
+                              "' (none | uniform:lo,hi | lognormal:sigma | "
+                              "throttle:p,factor)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("dlaja_run",
+                 "run a locality-scheduling experiment and print the paper's metrics");
+  args.add_option("scheduler", "bidding", "scheduler name (see sched::scheduler_names())");
+  args.add_option("workload", "80%_large",
+                  "job config: all_diff_equal|all_diff_large|all_diff_small|80%_large|80%_small");
+  args.add_option("fleet", "all-equal", "fleet preset: all-equal|one-fast|one-slow|fast-slow");
+  args.add_option("workers", "5", "fleet size");
+  args.add_option("jobs", "120", "jobs per run");
+  args.add_option("iters", "3", "iterations with cache carry-over");
+  args.add_option("seed", "42", "master seed");
+  args.add_option("noise", "throttle:0.1,0.3", "noise scheme for effective speeds");
+  args.add_option("estimation", "nominal", "bid speeds: nominal | historic");
+  args.add_option("csv", "", "write raw run rows to this file");
+  args.add_option("timeline", "", "write the last run's concurrency series to this file");
+  args.add_flag("no-carry", "do not carry caches across iterations");
+  if (!args.parse(argc, argv)) return 1;
+
+  core::ExperimentSpec spec;
+  spec.scheduler = args.get("scheduler");
+  spec.job_config = workload::job_config_from_name(args.get("workload"));
+  workload::WorkloadSpec wspec = workload::make_workload_spec(spec.job_config);
+  wspec.job_count = static_cast<std::size_t>(args.get_int("jobs"));
+  spec.custom_workload = wspec;
+  spec.fleet = cluster::fleet_preset_from_name(args.get("fleet"));
+  spec.worker_count = static_cast<std::size_t>(args.get_int("workers"));
+  spec.iterations = static_cast<int>(args.get_int("iters"));
+  spec.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  spec.noise = parse_noise(args.get("noise"));
+  spec.carry_cache = !args.given("no-carry");
+  if (args.get("estimation") == "historic") {
+    spec.estimation = cluster::SpeedEstimator::Mode::kHistoric;
+    spec.probe_speeds = true;
+  } else if (args.get("estimation") != "nominal") {
+    std::cerr << "bad --estimation (nominal|historic)\n";
+    return 1;
+  }
+
+  const auto reports = core::run_experiment(spec);
+
+  TextTable table(spec.scheduler + " on " + spec.workload_name() + " / " + spec.fleet_name());
+  table.set_header({"iter", "exec (s)", "misses", "data (MB)", "completed", "alloc lat (s)",
+                    "hit rate"});
+  for (const auto& r : reports) {
+    table.add_row({std::to_string(r.iteration), fmt_fixed(r.exec_time_s, 1),
+                   std::to_string(r.cache_misses), fmt_fixed(r.data_load_mb, 1),
+                   std::to_string(r.jobs_completed), fmt_fixed(r.avg_alloc_latency_s, 3),
+                   fmt_percent(r.cache_hit_rate)});
+  }
+  table.print(std::cout);
+
+  if (!args.get("csv").empty()) {
+    std::ofstream out(args.get("csv"));
+    if (!out) {
+      std::cerr << "cannot open " << args.get("csv") << "\n";
+      return 1;
+    }
+    metrics::write_reports_csv(out, reports);
+    std::cout << "raw rows -> " << args.get("csv") << "\n";
+  }
+
+  if (!args.get("timeline").empty()) {
+    // Re-run the last iteration standalone to extract its timeline.
+    core::EngineConfig config;
+    config.seed = spec.seed;
+    config.noise = spec.noise;
+    config.estimation = spec.estimation;
+    config.probe_speeds = spec.probe_speeds;
+    const auto workload = workload::generate_workload(wspec, SeedSequencer(spec.seed));
+    core::Engine engine(cluster::make_fleet(spec.fleet, spec.worker_count),
+                        sched::make_scheduler(spec.scheduler, spec.seed), config);
+    (void)engine.run(workload.jobs);
+    std::ofstream out(args.get("timeline"));
+    if (!out) {
+      std::cerr << "cannot open " << args.get("timeline") << "\n";
+      return 1;
+    }
+    const Tick horizon = engine.metrics().last_completion();
+    metrics::write_concurrency_csv(
+        out, metrics::concurrency_series(engine.metrics(), engine.worker_count(), horizon,
+                                         horizon / 200 + 1));
+    std::cout << "concurrency series -> " << args.get("timeline") << "\n";
+  }
+  return 0;
+}

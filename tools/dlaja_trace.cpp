@@ -1,0 +1,152 @@
+// dlaja_trace — workload-trace utilities.
+//
+//   dlaja_trace generate --workload 80%_large --jobs 200 --out trace.csv
+//   dlaja_trace info trace.csv
+//   dlaja_trace replay trace.csv --scheduler bidding --fleet fast-slow
+//   dlaja_trace synth-swf --jobs 500 --out log.swf
+//   dlaja_trace convert-swf log.swf --out trace.csv --time-scale 0.1
+
+#include <fstream>
+#include <iostream>
+#include <map>
+
+#include "core/engine.hpp"
+#include "sched/factory.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workload/swf.hpp"
+#include "workload/trace_io.hpp"
+
+using namespace dlaja;
+
+namespace {
+
+int cmd_generate(const ArgParser& args) {
+  workload::WorkloadSpec spec =
+      workload::make_workload_spec(workload::job_config_from_name(args.get("workload")));
+  spec.job_count = static_cast<std::size_t>(args.get_int("jobs"));
+  spec.arrival_mean_s = args.get_double("arrival");
+  const auto workload =
+      workload::generate_workload(spec, SeedSequencer(static_cast<std::uint64_t>(args.get_int("seed"))));
+  const std::string out = args.get("out");
+  workload::save_trace_file(out, workload);
+  std::cout << "wrote " << workload.jobs.size() << " jobs, "
+            << workload.catalog.count() << " repositories ("
+            << fmt_fixed(workload.unique_mb() / 1024.0, 2) << " GB distinct) -> " << out
+            << "\n";
+  return 0;
+}
+
+int cmd_info(const std::string& path) {
+  const auto workload = workload::load_trace_file(path);
+  std::map<storage::ResourceId, int> repetition;
+  MegaBytes smallest = 1e18, largest = 0.0;
+  for (const auto& job : workload.jobs) {
+    if (!job.needs_resource()) continue;
+    ++repetition[job.resource];
+    smallest = std::min(smallest, job.resource_size_mb);
+    largest = std::max(largest, job.resource_size_mb);
+  }
+  int hottest = 0;
+  for (const auto& [id, count] : repetition) hottest = std::max(hottest, count);
+
+  TextTable table("trace: " + path);
+  table.add_row({"jobs", std::to_string(workload.jobs.size())});
+  table.add_row({"distinct repositories", std::to_string(repetition.size())});
+  table.add_row({"naive volume (MB)", fmt_fixed(workload.naive_mb(), 1)});
+  table.add_row({"distinct volume (MB)", fmt_fixed(workload.unique_mb(), 1)});
+  table.add_row({"smallest repo (MB)", fmt_fixed(smallest, 1)});
+  table.add_row({"largest repo (MB)", fmt_fixed(largest, 1)});
+  table.add_row({"hottest repo (jobs)", std::to_string(hottest)});
+  if (!workload.jobs.empty()) {
+    table.add_row({"span (s)", fmt_fixed(seconds_from_ticks(workload.jobs.back().created_at), 1)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_synth_swf(const ArgParser& args) {
+  std::ofstream out(args.get("out"));
+  if (!out) {
+    std::cerr << "cannot open " << args.get("out") << "\n";
+    return 1;
+  }
+  const auto jobs = static_cast<std::size_t>(args.get_int("jobs"));
+  workload::write_synthetic_swf(out, jobs,
+                                static_cast<std::size_t>(args.get_int("executables")),
+                                static_cast<std::uint64_t>(args.get_int("seed")));
+  std::cout << "wrote synthetic SWF log (" << jobs << " jobs) -> " << args.get("out")
+            << "\n";
+  return 0;
+}
+
+int cmd_convert_swf(const ArgParser& args, const std::string& path) {
+  workload::SwfOptions options;
+  options.time_scale = args.get_double("time-scale");
+  options.max_jobs = static_cast<std::size_t>(args.get_int("jobs"));
+  const auto workload = workload::load_swf_file(path, options);
+  workload::save_trace_file(args.get("out"), workload);
+  std::cout << "converted " << workload.jobs.size() << " SWF jobs over "
+            << workload.catalog.count() << " application datasets ("
+            << fmt_fixed(workload.unique_mb() / 1024.0, 2) << " GB distinct) -> "
+            << args.get("out") << "\n";
+  return 0;
+}
+
+int cmd_replay(const ArgParser& args, const std::string& path) {
+  const auto workload = workload::load_trace_file(path);
+  core::EngineConfig config;
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  core::Engine engine(
+      cluster::make_fleet(cluster::fleet_preset_from_name(args.get("fleet")),
+                          static_cast<std::size_t>(args.get_int("workers"))),
+      sched::make_scheduler(args.get("scheduler")), config);
+  const auto report = engine.run(workload.jobs);
+  TextTable table("replay: " + path + " under " + args.get("scheduler"));
+  table.add_row({"exec time (s)", fmt_fixed(report.exec_time_s, 1)});
+  table.add_row({"cache misses", std::to_string(report.cache_misses)});
+  table.add_row({"data load (MB)", fmt_fixed(report.data_load_mb, 1)});
+  table.add_row({"jobs completed", std::to_string(report.jobs_completed)});
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("dlaja_trace", "generate, inspect, convert and replay workload traces");
+  args.add_positional("command", "generate | info | replay | synth-swf | convert-swf");
+  args.add_positional("file", "input file (info/replay/convert-swf)", /*required=*/false);
+  args.add_option("workload", "80%_large", "job config for generate");
+  args.add_option("jobs", "120", "job count for generate/synth-swf (cap for convert-swf)");
+  args.add_option("arrival", "2.0", "mean inter-arrival seconds for generate");
+  args.add_option("out", "trace.csv", "output path for generate/synth-swf/convert-swf");
+  args.add_option("scheduler", "bidding", "scheduler for replay");
+  args.add_option("fleet", "all-equal", "fleet preset for replay");
+  args.add_option("workers", "5", "fleet size for replay");
+  args.add_option("seed", "42", "seed for generate/replay/synth-swf");
+  args.add_option("executables", "15", "distinct applications for synth-swf");
+  args.add_option("time-scale", "1.0", "arrival-timeline scale for convert-swf");
+  if (!args.parse(argc, argv)) return 1;
+
+  const std::string command = args.positionals()[0];
+  try {
+    if (command == "generate") return cmd_generate(args);
+    if (command == "synth-swf") return cmd_synth_swf(args);
+    if (command == "info" || command == "replay" || command == "convert-swf") {
+      if (args.positionals().size() < 2) {
+        std::cerr << command << " needs an input file\n";
+        return 1;
+      }
+      const std::string& file = args.positionals()[1];
+      if (command == "info") return cmd_info(file);
+      if (command == "convert-swf") return cmd_convert_swf(args, file);
+      return cmd_replay(args, file);
+    }
+    std::cerr << "unknown command: " << command << "\n" << args.usage();
+    return 1;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}
