@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_geo.dir/bench_ablation_geo.cpp.o"
+  "CMakeFiles/bench_ablation_geo.dir/bench_ablation_geo.cpp.o.d"
+  "bench_ablation_geo"
+  "bench_ablation_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_shared_net.dir/bench_ablation_shared_net.cpp.o"
+  "CMakeFiles/bench_ablation_shared_net.dir/bench_ablation_shared_net.cpp.o.d"
+  "bench_ablation_shared_net"
+  "bench_ablation_shared_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_shared_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_comparators.dir/bench_ext_comparators.cpp.o"
+  "CMakeFiles/bench_ext_comparators.dir/bench_ext_comparators.cpp.o.d"
+  "bench_ext_comparators"
+  "bench_ext_comparators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_comparators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

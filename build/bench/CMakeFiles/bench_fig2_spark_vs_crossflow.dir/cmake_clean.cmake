@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_spark_vs_crossflow.dir/bench_fig2_spark_vs_crossflow.cpp.o"
+  "CMakeFiles/bench_fig2_spark_vs_crossflow.dir/bench_fig2_spark_vs_crossflow.cpp.o.d"
+  "bench_fig2_spark_vs_crossflow"
+  "bench_fig2_spark_vs_crossflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_spark_vs_crossflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

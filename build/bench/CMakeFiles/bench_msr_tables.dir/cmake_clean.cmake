@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_msr_tables.dir/bench_msr_tables.cpp.o"
+  "CMakeFiles/bench_msr_tables.dir/bench_msr_tables.cpp.o.d"
+  "bench_msr_tables"
+  "bench_msr_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_msr_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msr_pipeline.dir/msr_pipeline.cpp.o"
+  "CMakeFiles/msr_pipeline.dir/msr_pipeline.cpp.o.d"
+  "msr_pipeline"
+  "msr_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msr_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

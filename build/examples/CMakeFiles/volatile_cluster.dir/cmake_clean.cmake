@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volatile_cluster.dir/volatile_cluster.cpp.o"
+  "CMakeFiles/volatile_cluster.dir/volatile_cluster.cpp.o.d"
+  "volatile_cluster"
+  "volatile_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volatile_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlaja_cluster.dir/config.cpp.o"
+  "CMakeFiles/dlaja_cluster.dir/config.cpp.o.d"
+  "CMakeFiles/dlaja_cluster.dir/speed_estimator.cpp.o"
+  "CMakeFiles/dlaja_cluster.dir/speed_estimator.cpp.o.d"
+  "CMakeFiles/dlaja_cluster.dir/worker.cpp.o"
+  "CMakeFiles/dlaja_cluster.dir/worker.cpp.o.d"
+  "libdlaja_cluster.a"
+  "libdlaja_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlaja_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

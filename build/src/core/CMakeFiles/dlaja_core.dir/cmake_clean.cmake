@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlaja_core.dir/engine.cpp.o"
+  "CMakeFiles/dlaja_core.dir/engine.cpp.o.d"
+  "CMakeFiles/dlaja_core.dir/experiment.cpp.o"
+  "CMakeFiles/dlaja_core.dir/experiment.cpp.o.d"
+  "libdlaja_core.a"
+  "libdlaja_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlaja_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

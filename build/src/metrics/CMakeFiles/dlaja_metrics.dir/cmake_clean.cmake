@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlaja_metrics.dir/collector.cpp.o"
+  "CMakeFiles/dlaja_metrics.dir/collector.cpp.o.d"
+  "CMakeFiles/dlaja_metrics.dir/report.cpp.o"
+  "CMakeFiles/dlaja_metrics.dir/report.cpp.o.d"
+  "CMakeFiles/dlaja_metrics.dir/timeline.cpp.o"
+  "CMakeFiles/dlaja_metrics.dir/timeline.cpp.o.d"
+  "libdlaja_metrics.a"
+  "libdlaja_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlaja_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/msg/broker.cpp" "src/msg/CMakeFiles/dlaja_msg.dir/broker.cpp.o" "gcc" "src/msg/CMakeFiles/dlaja_msg.dir/broker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dlaja_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dlaja_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dlaja_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

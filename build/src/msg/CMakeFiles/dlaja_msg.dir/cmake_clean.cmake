@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlaja_msg.dir/broker.cpp.o"
+  "CMakeFiles/dlaja_msg.dir/broker.cpp.o.d"
+  "libdlaja_msg.a"
+  "libdlaja_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlaja_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlaja_msr.dir/msr.cpp.o"
+  "CMakeFiles/dlaja_msr.dir/msr.cpp.o.d"
+  "libdlaja_msr.a"
+  "libdlaja_msr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlaja_msr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dlaja_msr.
+# This may be replaced when dependencies are built.

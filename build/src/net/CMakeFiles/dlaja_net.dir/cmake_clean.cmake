@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlaja_net.dir/flow.cpp.o"
+  "CMakeFiles/dlaja_net.dir/flow.cpp.o.d"
+  "CMakeFiles/dlaja_net.dir/network.cpp.o"
+  "CMakeFiles/dlaja_net.dir/network.cpp.o.d"
+  "CMakeFiles/dlaja_net.dir/noise.cpp.o"
+  "CMakeFiles/dlaja_net.dir/noise.cpp.o.d"
+  "CMakeFiles/dlaja_net.dir/topology.cpp.o"
+  "CMakeFiles/dlaja_net.dir/topology.cpp.o.d"
+  "libdlaja_net.a"
+  "libdlaja_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlaja_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/bar.cpp" "src/sched/CMakeFiles/dlaja_sched.dir/bar.cpp.o" "gcc" "src/sched/CMakeFiles/dlaja_sched.dir/bar.cpp.o.d"
+  "/root/repo/src/sched/baseline.cpp" "src/sched/CMakeFiles/dlaja_sched.dir/baseline.cpp.o" "gcc" "src/sched/CMakeFiles/dlaja_sched.dir/baseline.cpp.o.d"
+  "/root/repo/src/sched/bidding.cpp" "src/sched/CMakeFiles/dlaja_sched.dir/bidding.cpp.o" "gcc" "src/sched/CMakeFiles/dlaja_sched.dir/bidding.cpp.o.d"
+  "/root/repo/src/sched/delay.cpp" "src/sched/CMakeFiles/dlaja_sched.dir/delay.cpp.o" "gcc" "src/sched/CMakeFiles/dlaja_sched.dir/delay.cpp.o.d"
+  "/root/repo/src/sched/factory.cpp" "src/sched/CMakeFiles/dlaja_sched.dir/factory.cpp.o" "gcc" "src/sched/CMakeFiles/dlaja_sched.dir/factory.cpp.o.d"
+  "/root/repo/src/sched/matchmaking.cpp" "src/sched/CMakeFiles/dlaja_sched.dir/matchmaking.cpp.o" "gcc" "src/sched/CMakeFiles/dlaja_sched.dir/matchmaking.cpp.o.d"
+  "/root/repo/src/sched/pull_base.cpp" "src/sched/CMakeFiles/dlaja_sched.dir/pull_base.cpp.o" "gcc" "src/sched/CMakeFiles/dlaja_sched.dir/pull_base.cpp.o.d"
+  "/root/repo/src/sched/simple.cpp" "src/sched/CMakeFiles/dlaja_sched.dir/simple.cpp.o" "gcc" "src/sched/CMakeFiles/dlaja_sched.dir/simple.cpp.o.d"
+  "/root/repo/src/sched/spark_like.cpp" "src/sched/CMakeFiles/dlaja_sched.dir/spark_like.cpp.o" "gcc" "src/sched/CMakeFiles/dlaja_sched.dir/spark_like.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/dlaja_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/dlaja_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dlaja_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dlaja_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dlaja_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dlaja_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/dlaja_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dlaja_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

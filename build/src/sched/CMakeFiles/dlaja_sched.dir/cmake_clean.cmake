@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlaja_sched.dir/bar.cpp.o"
+  "CMakeFiles/dlaja_sched.dir/bar.cpp.o.d"
+  "CMakeFiles/dlaja_sched.dir/baseline.cpp.o"
+  "CMakeFiles/dlaja_sched.dir/baseline.cpp.o.d"
+  "CMakeFiles/dlaja_sched.dir/bidding.cpp.o"
+  "CMakeFiles/dlaja_sched.dir/bidding.cpp.o.d"
+  "CMakeFiles/dlaja_sched.dir/delay.cpp.o"
+  "CMakeFiles/dlaja_sched.dir/delay.cpp.o.d"
+  "CMakeFiles/dlaja_sched.dir/factory.cpp.o"
+  "CMakeFiles/dlaja_sched.dir/factory.cpp.o.d"
+  "CMakeFiles/dlaja_sched.dir/matchmaking.cpp.o"
+  "CMakeFiles/dlaja_sched.dir/matchmaking.cpp.o.d"
+  "CMakeFiles/dlaja_sched.dir/pull_base.cpp.o"
+  "CMakeFiles/dlaja_sched.dir/pull_base.cpp.o.d"
+  "CMakeFiles/dlaja_sched.dir/simple.cpp.o"
+  "CMakeFiles/dlaja_sched.dir/simple.cpp.o.d"
+  "CMakeFiles/dlaja_sched.dir/spark_like.cpp.o"
+  "CMakeFiles/dlaja_sched.dir/spark_like.cpp.o.d"
+  "libdlaja_sched.a"
+  "libdlaja_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlaja_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlaja_sim.dir/simulator.cpp.o"
+  "CMakeFiles/dlaja_sim.dir/simulator.cpp.o.d"
+  "libdlaja_sim.a"
+  "libdlaja_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlaja_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlaja_storage.dir/cache.cpp.o"
+  "CMakeFiles/dlaja_storage.dir/cache.cpp.o.d"
+  "libdlaja_storage.a"
+  "libdlaja_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlaja_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

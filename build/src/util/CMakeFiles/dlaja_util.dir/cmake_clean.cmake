@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlaja_util.dir/cli.cpp.o"
+  "CMakeFiles/dlaja_util.dir/cli.cpp.o.d"
+  "CMakeFiles/dlaja_util.dir/csv.cpp.o"
+  "CMakeFiles/dlaja_util.dir/csv.cpp.o.d"
+  "CMakeFiles/dlaja_util.dir/log.cpp.o"
+  "CMakeFiles/dlaja_util.dir/log.cpp.o.d"
+  "CMakeFiles/dlaja_util.dir/rng.cpp.o"
+  "CMakeFiles/dlaja_util.dir/rng.cpp.o.d"
+  "CMakeFiles/dlaja_util.dir/stats.cpp.o"
+  "CMakeFiles/dlaja_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dlaja_util.dir/table.cpp.o"
+  "CMakeFiles/dlaja_util.dir/table.cpp.o.d"
+  "CMakeFiles/dlaja_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/dlaja_util.dir/thread_pool.cpp.o.d"
+  "libdlaja_util.a"
+  "libdlaja_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlaja_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

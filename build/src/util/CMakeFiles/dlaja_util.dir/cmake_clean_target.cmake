@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdlaja_util.a"
+)

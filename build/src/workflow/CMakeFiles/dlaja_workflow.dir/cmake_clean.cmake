@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlaja_workflow.dir/workflow.cpp.o"
+  "CMakeFiles/dlaja_workflow.dir/workflow.cpp.o.d"
+  "libdlaja_workflow.a"
+  "libdlaja_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlaja_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/catalog.cpp" "src/workload/CMakeFiles/dlaja_workload.dir/catalog.cpp.o" "gcc" "src/workload/CMakeFiles/dlaja_workload.dir/catalog.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/workload/CMakeFiles/dlaja_workload.dir/generator.cpp.o" "gcc" "src/workload/CMakeFiles/dlaja_workload.dir/generator.cpp.o.d"
+  "/root/repo/src/workload/swf.cpp" "src/workload/CMakeFiles/dlaja_workload.dir/swf.cpp.o" "gcc" "src/workload/CMakeFiles/dlaja_workload.dir/swf.cpp.o.d"
+  "/root/repo/src/workload/trace_io.cpp" "src/workload/CMakeFiles/dlaja_workload.dir/trace_io.cpp.o" "gcc" "src/workload/CMakeFiles/dlaja_workload.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workflow/CMakeFiles/dlaja_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dlaja_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dlaja_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlaja_workload.dir/catalog.cpp.o"
+  "CMakeFiles/dlaja_workload.dir/catalog.cpp.o.d"
+  "CMakeFiles/dlaja_workload.dir/generator.cpp.o"
+  "CMakeFiles/dlaja_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/dlaja_workload.dir/swf.cpp.o"
+  "CMakeFiles/dlaja_workload.dir/swf.cpp.o.d"
+  "CMakeFiles/dlaja_workload.dir/trace_io.cpp.o"
+  "CMakeFiles/dlaja_workload.dir/trace_io.cpp.o.d"
+  "libdlaja_workload.a"
+  "libdlaja_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlaja_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arrivals_percentiles.dir/test_arrivals_percentiles.cpp.o"
+  "CMakeFiles/test_arrivals_percentiles.dir/test_arrivals_percentiles.cpp.o.d"
+  "test_arrivals_percentiles"
+  "test_arrivals_percentiles.pdb"
+  "test_arrivals_percentiles[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arrivals_percentiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bar.dir/test_bar.cpp.o"
+  "CMakeFiles/test_bar.dir/test_bar.cpp.o.d"
+  "test_bar"
+  "test_bar.pdb"
+  "test_bar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bidding.dir/test_bidding.cpp.o"
+  "CMakeFiles/test_bidding.dir/test_bidding.cpp.o.d"
+  "test_bidding"
+  "test_bidding.pdb"
+  "test_bidding[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bidding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

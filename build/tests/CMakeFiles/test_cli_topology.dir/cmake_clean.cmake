@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cli_topology.dir/test_cli_topology.cpp.o"
+  "CMakeFiles/test_cli_topology.dir/test_cli_topology.cpp.o.d"
+  "test_cli_topology"
+  "test_cli_topology.pdb"
+  "test_cli_topology[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cli_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_more_units.dir/test_more_units.cpp.o"
+  "CMakeFiles/test_more_units.dir/test_more_units.cpp.o.d"
+  "test_more_units"
+  "test_more_units.pdb"
+  "test_more_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_more_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

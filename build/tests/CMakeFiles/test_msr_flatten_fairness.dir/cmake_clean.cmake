@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_msr_flatten_fairness.dir/test_msr_flatten_fairness.cpp.o"
+  "CMakeFiles/test_msr_flatten_fairness.dir/test_msr_flatten_fairness.cpp.o.d"
+  "test_msr_flatten_fairness"
+  "test_msr_flatten_fairness.pdb"
+  "test_msr_flatten_fairness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_msr_flatten_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reassignment.dir/test_reassignment.cpp.o"
+  "CMakeFiles/test_reassignment.dir/test_reassignment.cpp.o.d"
+  "test_reassignment"
+  "test_reassignment.pdb"
+  "test_reassignment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reassignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

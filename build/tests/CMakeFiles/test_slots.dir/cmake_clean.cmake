@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slots.dir/test_slots.cpp.o"
+  "CMakeFiles/test_slots.dir/test_slots.cpp.o.d"
+  "test_slots"
+  "test_slots.pdb"
+  "test_slots[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_slots.
+# This may be replaced when dependencies are built.

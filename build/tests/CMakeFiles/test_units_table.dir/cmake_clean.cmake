@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_units_table.dir/test_units_table.cpp.o"
+  "CMakeFiles/test_units_table.dir/test_units_table.cpp.o.d"
+  "test_units_table"
+  "test_units_table.pdb"
+  "test_units_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_units_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

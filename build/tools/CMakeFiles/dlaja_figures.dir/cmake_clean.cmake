@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlaja_figures.dir/dlaja_figures.cpp.o"
+  "CMakeFiles/dlaja_figures.dir/dlaja_figures.cpp.o.d"
+  "dlaja_figures"
+  "dlaja_figures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlaja_figures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlaja_mine.dir/dlaja_msr.cpp.o"
+  "CMakeFiles/dlaja_mine.dir/dlaja_msr.cpp.o.d"
+  "dlaja_mine"
+  "dlaja_mine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlaja_mine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

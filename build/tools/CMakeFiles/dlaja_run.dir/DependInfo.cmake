@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/dlaja_run.cpp" "tools/CMakeFiles/dlaja_run.dir/dlaja_run.cpp.o" "gcc" "tools/CMakeFiles/dlaja_run.dir/dlaja_run.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dlaja_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/msr/CMakeFiles/dlaja_msr.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/dlaja_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dlaja_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dlaja_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/dlaja_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dlaja_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/dlaja_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dlaja_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dlaja_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dlaja_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dlaja_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

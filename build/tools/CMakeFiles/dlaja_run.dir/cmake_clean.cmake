@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlaja_run.dir/dlaja_run.cpp.o"
+  "CMakeFiles/dlaja_run.dir/dlaja_run.cpp.o.d"
+  "dlaja_run"
+  "dlaja_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlaja_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

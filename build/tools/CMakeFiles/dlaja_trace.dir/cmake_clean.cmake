@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlaja_trace.dir/dlaja_trace.cpp.o"
+  "CMakeFiles/dlaja_trace.dir/dlaja_trace.cpp.o.d"
+  "dlaja_trace"
+  "dlaja_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlaja_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
