@@ -4,6 +4,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
 #include "core/engine.hpp"
 #include "msg/broker.hpp"
 #include "sched/factory.hpp"
@@ -42,6 +46,82 @@ void BM_EventCancellation(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1024);
 }
 BENCHMARK(BM_EventCancellation);
+
+// Timer-wheel pattern: every event gets a timeout scheduled alongside it and
+// ~90% of those timeouts are cancelled before they fire. Exercises cancel()
+// against a large live heap rather than the drain-in-order case above.
+void BM_EventCancelHeavy(benchmark::State& state) {
+  constexpr int kBatch = 4096;
+  std::vector<sim::EventId> ids;
+  ids.reserve(kBatch);
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim.reserve(kBatch);
+    ids.clear();
+    Xoshiro256 rng(7);
+    for (int i = 0; i < kBatch; ++i) {
+      ids.push_back(sim.schedule_at(static_cast<Tick>(i + rng() % 512), [] {}));
+    }
+    for (int i = 0; i < kBatch; ++i) {
+      if (i % 10 != 0) sim.cancel(ids[static_cast<std::size_t>(i)]);
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kBatch);
+}
+BENCHMARK(BM_EventCancelHeavy);
+
+// Steady-state mix as the cluster model produces it: refresh a lane's timeout
+// (cancel + reschedule), occasionally drain a window of due events. Measures
+// the kernel with schedule/cancel/fire interleaved instead of phased.
+void BM_EventMixedWorkload(benchmark::State& state) {
+  constexpr int kOps = 8192;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim.reserve(256);
+    std::array<sim::EventId, 64> timeouts{};
+    Xoshiro256 rng(11);
+    std::uint64_t fired = 0;
+    for (int i = 0; i < kOps; ++i) {
+      auto& lane = timeouts[rng() % timeouts.size()];
+      sim.cancel(lane);
+      lane = sim.schedule_after(static_cast<Tick>(1 + rng() % 256), [&fired] { ++fired; });
+      if ((i & 7) == 0) sim.run(sim.now() + 32);
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kOps);
+}
+BENCHMARK(BM_EventMixedWorkload);
+
+// Capture-size sweep across InlineAction's storage tiers: payload + the
+// captured reference gives total captures of 16B (fixed small copy), 56B
+// (exactly the inline budget), and 128B (pooled-slab fallback).
+template <std::size_t PayloadBytes>
+void BM_ActionCapture(benchmark::State& state) {
+  constexpr int kBatch = 1024;
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim.reserve(kBatch);
+    for (int i = 0; i < kBatch; ++i) {
+      std::array<std::byte, PayloadBytes> payload{};
+      payload[0] = static_cast<std::byte>(i);
+      sim.schedule_after(static_cast<Tick>(i % 61),
+                         [&acc, payload] { acc += static_cast<std::uint64_t>(payload[0]); });
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kBatch);
+  state.SetLabel(sizeof(std::uint64_t*) + PayloadBytes <= sim::InlineAction::kInlineSize
+                     ? "inline"
+                     : "pooled");
+}
+BENCHMARK_TEMPLATE(BM_ActionCapture, 8);
+BENCHMARK_TEMPLATE(BM_ActionCapture, 48);
+BENCHMARK_TEMPLATE(BM_ActionCapture, 120);
 
 void BM_Xoshiro(benchmark::State& state) {
   Xoshiro256 rng(42);

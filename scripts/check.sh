@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Full local check: configure, build (warnings are errors), test, and run
-# every benchmark harness once. Usage: scripts/check.sh [build-dir]
+# Full local check: configure, build (warnings are errors), test, run every
+# benchmark harness once, then rebuild the kernel-critical tests under
+# ASan/UBSan and run them — the event core does placement-new/launder tricks
+# that only the sanitizers can vouch for. Usage: scripts/check.sh [build-dir]
 set -euo pipefail
 BUILD="${1:-build-check}"
 cmake -B "$BUILD" -G Ninja -DDLAJA_WERROR=ON
@@ -11,4 +13,16 @@ for bench in "$BUILD"/bench/bench_*; do
   echo "==== $bench"
   "$bench"
 done
+
+echo "==== sanitizer pass (address;undefined)"
+SAN_BUILD="${BUILD}-asan"
+cmake -B "$SAN_BUILD" -G Ninja \
+  -DDLAJA_SANITIZE="address;undefined" \
+  -DDLAJA_BUILD_BENCH=OFF -DDLAJA_BUILD_EXAMPLES=OFF
+cmake --build "$SAN_BUILD" --target test_simulator test_sim_alloc test_stress
+export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+"$SAN_BUILD"/tests/test_simulator
+"$SAN_BUILD"/tests/test_sim_alloc
+"$SAN_BUILD"/tests/test_stress
 echo "ALL CHECKS PASSED"

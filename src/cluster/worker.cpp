@@ -188,10 +188,12 @@ void WorkerNode::begin_transfer(std::size_t slot_index) {
     });
   } else {
     const Tick transfer = net_.sample_transfer_ticks(node_, slot.job.resource_size_mb);
-    slot.event = sim_.schedule_after(transfer, [this, slot_index] {
+    auto on_transfer_done = [this, slot_index] {
       slots_[slot_index]->event = {};
       complete_transfer(slot_index);
-    });
+    };
+    static_assert(sim::InlineAction::fits_inline<decltype(on_transfer_done)>());
+    slot.event = sim_.schedule_after(transfer, std::move(on_transfer_done));
   }
 }
 
@@ -212,12 +214,15 @@ void WorkerNode::begin_processing(std::size_t slot_index, Tick transfer_ticks_ta
       transfer_ticks(slot.job.process_mb, config_.rw_mbps * rw_factor) +
       slot.job.fixed_cost;
   const Tick duration = transfer_ticks_taken + processing;
-  slot.event = sim_.schedule_after(
-      processing,
+  // The widest capture in the cluster model (48 bytes) — must stay inside
+  // the simulator's inline action budget.
+  auto on_processing_done =
       [this, slot_index, duration, transfer_ticks_taken, transferred_mb, was_miss] {
         slots_[slot_index]->event = {};
         finish_slot(slot_index, duration, transfer_ticks_taken, transferred_mb, was_miss);
-      });
+      };
+  static_assert(sim::InlineAction::fits_inline<decltype(on_processing_done)>());
+  slot.event = sim_.schedule_after(processing, std::move(on_processing_done));
 }
 
 void WorkerNode::finish_slot(std::size_t slot_index, Tick duration,

@@ -180,10 +180,14 @@ metrics::RunReport Engine::run(std::span<const workflow::Job> jobs) {
     scheduler_->on_worker_idle(static_cast<WorkerIndex>(i));
   }
 
-  // Stream the workload in at its arrival times.
-  for (const workflow::Job& job : jobs) {
-    workflow::Job copy = job;
-    sim_.schedule_at(job.created_at, [this, copy] { submit_job(copy); });
+  // Stream the workload in at its arrival times. Jobs are staged in
+  // arrivals_ and each event captures just {this, index}: a Job is far too
+  // wide for the simulator's inline action storage, an index is not.
+  arrivals_.assign(jobs.begin(), jobs.end());
+  for (std::size_t i = 0; i < arrivals_.size(); ++i) {
+    auto arrive = [this, i] { submit_job(arrivals_[i]); };
+    static_assert(sim::InlineAction::fits_inline<decltype(arrive)>());
+    sim_.schedule_at(arrivals_[i].created_at, arrive);
   }
 
   sim_.run(config_.horizon);

@@ -122,6 +122,10 @@ class Engine {
   std::shared_ptr<const workflow::Workflow> workflow_;
   /// Jobs submitted but not yet completed, recoverable by id.
   std::unordered_map<workflow::JobId, workflow::Job> live_jobs_;
+  /// The input workload, staged by run() so each arrival event captures only
+  /// {this, index} — inside the simulator's inline action budget — instead
+  /// of a full Job copy.
+  std::vector<workflow::Job> arrivals_;
   RandomStream expansion_rng_;
   workflow::JobId next_job_id_ = 1;
   std::uint64_t submitted_ = 0;

@@ -31,15 +31,34 @@ void Broker::deliver_later(net::NodeId from, net::NodeId to,
   message.sent_at = sim_.now();
   message.payload = std::move(payload);
   const Tick delay = net_.sample_message_delay(from, to);
-  sim_.schedule_after(delay, [this, to, sink = std::move(sink),
-                              message = std::move(message)]() mutable {
-    if (node_down(to)) {
+
+  // Park the wide state (sink + payload) in the in-flight slab so the
+  // scheduled action captures only {this, slot} — 16 bytes, the simulator's
+  // fixed small-copy tier. Slots recycle through inflight_free_.
+  std::uint32_t slot;
+  if (!inflight_free_.empty()) {
+    slot = inflight_free_.back();
+    inflight_free_.pop_back();
+    inflight_[slot] = InFlight{to, std::move(sink), std::move(message)};
+  } else {
+    slot = static_cast<std::uint32_t>(inflight_.size());
+    inflight_.push_back(InFlight{to, std::move(sink), std::move(message)});
+  }
+
+  auto deliver = [this, slot] {
+    // Move out and free the slot before invoking: the sink may send again,
+    // reusing the slot or growing the slab.
+    InFlight flight = std::move(inflight_[slot]);
+    inflight_free_.push_back(slot);
+    if (node_down(flight.to)) {
       ++stats_.dropped;
       return;
     }
     // `delivered` is counted by the sink iff a live handler was invoked.
-    sink(std::move(message));
-  });
+    flight.sink(std::move(flight.message));
+  };
+  static_assert(sim::InlineAction::fits_inline<decltype(deliver)>());
+  sim_.schedule_after(delay, std::move(deliver));
 }
 
 std::size_t Broker::publish(const std::string& topic, net::NodeId from, std::any payload) {

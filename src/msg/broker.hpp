@@ -93,6 +93,16 @@ class Broker {
     Handler handler;
   };
 
+  /// An in-flight message parked in the slab below until its delivery event
+  /// fires. Keeping the (wide) sink + payload here lets the scheduled action
+  /// capture just `this` and a slot index, staying inside InlineAction's
+  /// inline budget instead of spilling to the pooled fallback.
+  struct InFlight {
+    net::NodeId to = net::kInvalidNode;
+    std::function<void(Message&&)> sink;
+    Message message;
+  };
+
   void deliver_later(net::NodeId from, net::NodeId to, std::function<void(Message&&)> sink,
                      std::any payload);
 
@@ -102,6 +112,8 @@ class Broker {
   std::unordered_map<std::uint64_t, std::string> subscription_topics_;
   std::unordered_map<net::NodeId, std::unordered_map<std::string, Handler>> mailboxes_;
   std::unordered_map<net::NodeId, bool> down_;
+  std::vector<InFlight> inflight_;            // slab of parked deliveries
+  std::vector<std::uint32_t> inflight_free_;  // recycled slab slots
   std::uint64_t next_subscription_ = 1;
   std::uint64_t next_message_ = 1;
   BrokerStats stats_;

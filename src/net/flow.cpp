@@ -41,6 +41,9 @@ void FlowNetwork::reallocate_and_reschedule() {
   for (const auto& [id, flow] : flows_) {
     if (flow.remaining_mb <= kEpsilonMb) done.push_back(id);
   }
+  // A moved std::function (32 bytes) rides in the action's inline storage;
+  // only the callable *it* owns may live on the general heap.
+  static_assert(sim::InlineAction::fits_inline<std::function<void()>>());
   for (const std::uint64_t id : done) {
     auto handler = std::move(flows_.at(id).on_done);
     flows_.erase(id);

@@ -79,13 +79,15 @@ void BiddingScheduler::worker_handle_bid_request(WorkerIndex w, const BidRequest
   // the reply then crosses the network back to the master.
   const Tick delay = worker->sample_bid_delay();
   const BidSubmission bid{request.contest, request.job.id, w, cost_s};
-  ctx_.sim->schedule_after(delay, [this, w, bid] {
+  auto submit = [this, w, bid] {
     cluster::WorkerNode* again = ctx_.workers[w];
     if (again->failed()) return;
     ++ctx_.metrics->worker(w).bids_submitted;
     ctx_.broker->send(ctx_.worker_nodes[w], ctx_.master_node, cluster::mailboxes::kBids,
                       bid);
-  });
+  };
+  static_assert(sim::InlineAction::fits_inline<decltype(submit)>());
+  ctx_.sim->schedule_after(delay, std::move(submit));
 }
 
 void BiddingScheduler::master_receive_bid(const BidSubmission& bid) {

@@ -54,12 +54,14 @@ void PullSchedulerBase::on_worker_idle(WorkerIndex w) {
 void PullSchedulerBase::worker_request_work_later(WorkerIndex w) {
   cluster::WorkerNode* worker = ctx_.workers[w];
   const Tick heartbeat = ticks_from_millis(worker->config().heartbeat_ms);
-  ctx_.sim->schedule_after(heartbeat, [this, w] {
+  auto poll = [this, w] {
     cluster::WorkerNode* again = ctx_.workers[w];
     if (again->failed() || !again->idle()) return;
     ctx_.broker->send(ctx_.worker_nodes[w], ctx_.master_node,
                       cluster::mailboxes::kWorkRequests, WorkRequest{w});
-  });
+  };
+  static_assert(sim::InlineAction::fits_inline<decltype(poll)>());
+  ctx_.sim->schedule_after(heartbeat, std::move(poll));
 }
 
 void PullSchedulerBase::master_handle_request(WorkerIndex w) {

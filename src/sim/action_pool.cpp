@@ -1,0 +1,90 @@
+// Pooled slab backing InlineAction's oversized-capture fallback.
+//
+// Chunks are rounded up to power-of-two size classes (64B..1KiB) and, once
+// released, parked on a per-class thread-local free list for reuse. Captures
+// beyond the largest class fall through to the general heap — by then the
+// capture itself dwarfs the allocator cost, and the kernel's audited call
+// sites never get near that size.
+
+#include "sim/inline_action.hpp"
+
+#include <array>
+#include <bit>
+#include <cstdlib>
+
+namespace dlaja::sim::detail {
+
+namespace {
+
+constexpr std::size_t kMinChunk = 64;
+constexpr std::size_t kMaxChunk = 1024;
+constexpr std::size_t kClasses = 5;  // 64, 128, 256, 512, 1024
+
+struct FreeChunk {
+  FreeChunk* next;
+};
+
+struct ClassList {
+  FreeChunk* head = nullptr;
+  ~ClassList() {
+    while (head != nullptr) {
+      FreeChunk* chunk = head;
+      head = chunk->next;
+      ::operator delete(chunk, std::align_val_t{alignof(std::max_align_t)});
+    }
+  }
+};
+
+struct Pool {
+  std::array<ClassList, kClasses> classes;
+  PoolStats stats;
+};
+
+Pool& pool() {
+  thread_local Pool instance;
+  return instance;
+}
+
+/// Size-class index for `bytes`, or kClasses if it exceeds the largest class.
+std::size_t class_index(std::size_t bytes) noexcept {
+  const std::size_t rounded = std::bit_ceil(bytes < kMinChunk ? kMinChunk : bytes);
+  if (rounded > kMaxChunk) return kClasses;
+  return static_cast<std::size_t>(std::countr_zero(rounded) -
+                                  std::countr_zero(kMinChunk));
+}
+
+std::size_t class_bytes(std::size_t index) noexcept { return kMinChunk << index; }
+
+}  // namespace
+
+void* pool_allocate(std::size_t bytes) {
+  Pool& p = pool();
+  const std::size_t index = class_index(bytes);
+  if (index >= kClasses) {
+    ++p.stats.fresh_allocations;
+    return ::operator new(bytes, std::align_val_t{alignof(std::max_align_t)});
+  }
+  ClassList& list = p.classes[index];
+  if (list.head != nullptr) {
+    FreeChunk* chunk = list.head;
+    list.head = chunk->next;
+    ++p.stats.pool_hits;
+    return chunk;
+  }
+  ++p.stats.fresh_allocations;
+  return ::operator new(class_bytes(index), std::align_val_t{alignof(std::max_align_t)});
+}
+
+void pool_release(void* chunk, std::size_t bytes) noexcept {
+  const std::size_t index = class_index(bytes);
+  if (index >= kClasses) {
+    ::operator delete(chunk, std::align_val_t{alignof(std::max_align_t)});
+    return;
+  }
+  auto* freed = ::new (chunk) FreeChunk{pool().classes[index].head};
+  pool().classes[index].head = freed;
+}
+
+PoolStats pool_stats() noexcept { return pool().stats; }
+
+}  // namespace dlaja::sim::detail

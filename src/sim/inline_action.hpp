@@ -1,0 +1,177 @@
+#pragma once
+// InlineAction: a move-only type-erased `void()` callable with fixed inline
+// storage, built for the simulator's schedule->fire hot path.
+//
+// `std::function` keeps only 16 bytes of small-buffer storage in libstdc++,
+// so the kernel's typical capture (`this` plus a couple of ids, 16-56 bytes)
+// heap-allocates on every schedule. InlineAction reserves kInlineSize bytes
+// in-place — sized so every audited call site in net/, msg/, sched/, cluster/
+// and core/ stays inline (they static_assert `fits_inline`) — and routes the
+// rare oversized capture through a pooled slab (see action_pool.cpp) instead
+// of the general heap, so even the fallback is allocation-free in steady
+// state.
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dlaja::sim {
+
+namespace detail {
+
+/// Pooled slab for oversized captures: chunks are recycled through per-size
+/// free lists instead of returning to the general heap. Thread-local, so the
+/// one-simulator-per-thread model never contends.
+[[nodiscard]] void* pool_allocate(std::size_t bytes);
+void pool_release(void* chunk, std::size_t bytes) noexcept;
+
+/// Observability hooks for tests/benches: how many chunks were carved from
+/// the heap vs. served from a free list (thread-local counters).
+struct PoolStats {
+  std::size_t fresh_allocations = 0;  ///< chunks carved via operator new
+  std::size_t pool_hits = 0;          ///< chunks served from a free list
+};
+[[nodiscard]] PoolStats pool_stats() noexcept;
+
+}  // namespace detail
+
+class InlineAction {
+ public:
+  /// Inline capture budget. 56 bytes of storage + the dispatch pointer keeps
+  /// the whole object at 64 bytes (one cache line on common targets).
+  static constexpr std::size_t kInlineSize = 56;
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+  /// Captures at or below this size relocate with a fixed 16-byte copy (the
+  /// common case: nothing, `this`, or `this` plus a couple of ids).
+  static constexpr std::size_t kSmallCopy = 16;
+
+  /// True if a callable of type `F` is stored inline (no allocation at all
+  /// on construction, move, or destruction).
+  template <typename F>
+  [[nodiscard]] static constexpr bool fits_inline() noexcept {
+    using D = std::decay_t<F>;
+    return sizeof(D) <= kInlineSize && alignof(D) <= kInlineAlign &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  InlineAction() noexcept = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, InlineAction> &&
+             std::is_invocable_r_v<void, std::decay_t<F>&>)
+  InlineAction(F&& fn) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    using D = std::decay_t<F>;
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+      ops_ = &inline_ops<D>;
+    } else {
+      void* chunk = detail::pool_allocate(sizeof(D));
+      ::new (chunk) D(std::forward<F>(fn));
+      ::new (static_cast<void*>(storage_)) void*(chunk);
+      ops_ = &pooled_ops<D>;
+    }
+  }
+
+  InlineAction(InlineAction&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      relocate_from(other);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineAction& operator=(InlineAction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        relocate_from(other);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineAction(const InlineAction&) = delete;
+  InlineAction& operator=(const InlineAction&) = delete;
+
+  ~InlineAction() { reset(); }
+
+  /// Destroys the held callable (releasing any pooled chunk); empty after.
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  /// Invokes the held callable. Precondition: non-empty.
+  void operator()() { ops_->invoke(storage_); }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move-constructs dst's payload from src's and destroys src's. Null
+    /// means "memcpy kSmallCopy bytes" — used for small trivially copyable
+    /// captures (the hot path: `this` + scalar ids) and for pooled payloads
+    /// (relocation transfers only the chunk pointer). Larger trivially
+    /// copyable captures get a generated sizeof-wide memcpy instead.
+    void (*relocate)(void* dst, void* src) noexcept;
+    /// Null means trivially destructible: reset()/cancel do no call at all.
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  void relocate_from(InlineAction& other) noexcept {
+    if (ops_->relocate != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+    } else {
+      std::memcpy(storage_, other.storage_, kSmallCopy);
+    }
+  }
+
+  [[nodiscard]] static void* chunk_of(void* storage) noexcept {
+    return *std::launder(reinterpret_cast<void**>(storage));
+  }
+
+  template <typename D>
+  static constexpr Ops inline_ops{
+      [](void* storage) { (*std::launder(reinterpret_cast<D*>(storage)))(); },
+      std::is_trivially_copyable_v<D>
+          ? (sizeof(D) <= kSmallCopy
+                 ? nullptr
+                 : +[](void* dst, void* src) noexcept {
+                     std::memcpy(dst, src, sizeof(D));
+                   })
+          : +[](void* dst, void* src) noexcept {
+              D* from = std::launder(reinterpret_cast<D*>(src));
+              ::new (dst) D(std::move(*from));
+              from->~D();
+            },
+      std::is_trivially_destructible_v<D>
+          ? nullptr
+          : +[](void* storage) noexcept {
+              std::launder(reinterpret_cast<D*>(storage))->~D();
+            },
+  };
+
+  template <typename D>
+  static constexpr Ops pooled_ops{
+      [](void* storage) { (*static_cast<D*>(chunk_of(storage)))(); },
+      nullptr,  // relocation transfers the chunk pointer: plain memcpy
+      [](void* storage) noexcept {
+        void* chunk = chunk_of(storage);
+        static_cast<D*>(chunk)->~D();
+        detail::pool_release(chunk, sizeof(D));
+      },
+  };
+
+  alignas(kInlineAlign) std::byte storage_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+static_assert(sizeof(InlineAction) == 64, "one cache line: 56B storage + ops pointer");
+
+}  // namespace dlaja::sim

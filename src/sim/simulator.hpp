@@ -6,19 +6,48 @@
 // single queue ordered by (timestamp, insertion sequence). The sequence
 // tie-break makes runs bit-reproducible regardless of how many events share
 // a timestamp.
+//
+// The event core is allocation-free in steady state: callbacks live in
+// fixed-size InlineAction storage (no std::function heap traffic), and event
+// nodes sit in a slab recycled through a free list. An intrusive 4-ary
+// min-heap indexed by node keeps cancel() at true O(log n) — no tombstones
+// linger in the queue and the fire path does no hash lookups. EventIds carry
+// a generation tag so a handle to a fired or cancelled event can never
+// accidentally cancel the slot's next tenant.
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
+#include <new>
 #include <vector>
 
+#include "sim/inline_action.hpp"
 #include "util/units.hpp"
 
 namespace dlaja::sim {
 
+namespace detail {
+
+/// Minimal allocator forcing 64-byte (cache-line) alignment, so the heap's
+/// 4-entry child groups each occupy exactly one line (see Simulator::kRoot).
+template <typename T>
+struct CacheAlignedAllocator {
+  using value_type = T;
+  CacheAlignedAllocator() = default;
+  template <typename U>
+  CacheAlignedAllocator(const CacheAlignedAllocator<U>&) noexcept {}  // NOLINT
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T), std::align_val_t{64}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{64});
+  }
+  friend bool operator==(CacheAlignedAllocator, CacheAlignedAllocator) { return true; }
+};
+
+}  // namespace detail
+
 /// Handle for a scheduled event; usable to cancel it before it fires.
+/// Encodes (slot, generation) — stale handles fail cancel() safely.
 struct EventId {
   std::uint64_t value = 0;
   [[nodiscard]] bool valid() const noexcept { return value != 0; }
@@ -29,7 +58,7 @@ struct EventId {
 /// out across threads at the experiment level instead.
 class Simulator {
  public:
-  using Action = std::function<void()>;
+  using Action = InlineAction;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -66,32 +95,76 @@ class Simulator {
   /// Clears the stop flag so that run() may continue.
   void resume() noexcept { stopped_ = false; }
 
-  /// Number of pending (non-cancelled) events.
-  [[nodiscard]] std::size_t pending() const noexcept { return actions_.size(); }
+  /// Pre-sizes the node slab and heap for `events` simultaneously pending
+  /// events, so traces with known event counts schedule without growth
+  /// reallocations.
+  void reserve(std::size_t events);
+
+  /// Number of pending (non-cancelled) events. Cancelled events leave no
+  /// trace, so this counts live events only.
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return heap_.size() <= kRoot ? 0 : heap_.size() - kRoot;
+  }
 
   /// Total events fired since construction.
   [[nodiscard]] std::uint64_t fired() const noexcept { return fired_; }
 
  private:
-  struct Entry {
+  /// The root lives at physical index 3 (indices 0-2 are padding): children
+  /// of p are [4p-8, 4p-5] and its parent is (p>>2)+2, which lands every
+  /// 4-entry child group on one 64-byte-aligned cache line (entries are 16
+  /// bytes and the buffer is line-aligned), so a sift level never straddles
+  /// two lines.
+  static constexpr std::size_t kRoot = 3;
+  /// Terminator for the free list threaded through pos_.
+  static constexpr std::uint32_t kFreeEnd = UINT32_MAX;
+
+  /// Heap entries carry the full ordering key so that sift comparisons walk
+  /// contiguous memory and never chase into the node slab. 16 bytes — four
+  /// entries per cache line.
+  struct HeapEntry {
     Tick at;
-    std::uint64_t seq;  // tie-break: FIFO among same-tick events
-    std::uint64_t id;
+    std::uint32_t seq;  // tie-break: FIFO among same-tick events (mod 2^32)
+    std::uint32_t slot;
   };
-  struct Later {
-    [[nodiscard]] bool operator()(const Entry& a, const Entry& b) const noexcept {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
+
+  /// Strict (at, seq) order. The sequence tie-break compares modulo 2^32:
+  /// correct as long as same-tick events simultaneously in the heap span
+  /// fewer than 2^31 schedule calls, which vastly exceeds any feasible
+  /// pending-event count (slots are 32-bit and nodes are ~80 bytes).
+  [[nodiscard]] static bool before(const HeapEntry& a, const HeapEntry& b) noexcept {
+    if (a.at != b.at) return a.at < b.at;
+    return static_cast<std::int32_t>(a.seq - b.seq) < 0;
+  }
+
+  void sift_up(std::size_t pos) noexcept;
+  /// Detaches the heap entry at physical index `pos`, restoring the heap
+  /// property (bottom-up: walk the min-child hole to a leaf, drop the
+  /// displaced last entry there, sift it back up — cheaper than a full
+  /// sift-down because the last entry almost always belongs near the leaves).
+  void heap_remove(std::size_t pos) noexcept;
+  void pop_root() noexcept;
+  /// Returns `slot`'s node to the free list and invalidates outstanding ids.
+  void release(std::uint32_t slot) noexcept;
+  /// Fires the root event (precondition: heap non-empty).
+  void fire_root();
 
   Tick now_ = 0;
   bool stopped_ = false;
-  std::uint64_t next_seq_ = 1;
-  std::uint64_t next_id_ = 1;
+  std::uint32_t next_seq_ = 1;
+  std::uint32_t free_head_ = kFreeEnd;
   std::uint64_t fired_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  std::unordered_map<std::uint64_t, Action> actions_;  // absent => cancelled
+  // Node slab as parallel arrays (index = slot in EventId): sift operations
+  // update pos_ at 4-byte stride instead of scattering writes across a
+  // wide node struct, and gen_ is only touched on release/cancel. A free
+  // slot's pos_ entry doubles as its free-list link — safe because cancel()
+  // validates the generation tag before ever reading pos_.
+  // The slab is line-aligned so each 64-byte Action occupies exactly one
+  // cache line instead of straddling two.
+  std::vector<Action, detail::CacheAlignedAllocator<Action>> actions_;
+  std::vector<std::uint32_t> pos_;  // physical heap index / free-list link
+  std::vector<std::uint32_t> gen_;  // bumped on release; tags EventIds
+  std::vector<HeapEntry, detail::CacheAlignedAllocator<HeapEntry>> heap_;
 };
 
 }  // namespace dlaja::sim

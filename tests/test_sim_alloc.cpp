@@ -1,0 +1,223 @@
+// Allocation discipline of the event core: the schedule->fire path must not
+// touch the general heap for inline-budget captures once the simulator's
+// slabs are warm, oversized captures must recycle pooled chunks, and the
+// generation-tagged ids must make stale handles inert across slot reuse.
+//
+// This TU replaces global operator new/delete with counting versions; the
+// counter only ever increments, so any delta across a steady-state round
+// proves an allocation happened on the path under test.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace {
+
+std::atomic<std::size_t> g_allocations{0};
+
+void* counted_alloc(std::size_t bytes, std::size_t alignment) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* ptr = nullptr;
+  const std::size_t align = alignment < sizeof(void*) ? sizeof(void*) : alignment;
+  if (posix_memalign(&ptr, align, bytes == 0 ? 1 : bytes) != 0) {
+    throw std::bad_alloc();
+  }
+  return ptr;
+}
+
+}  // namespace
+
+void* operator new(std::size_t bytes) { return counted_alloc(bytes, alignof(std::max_align_t)); }
+void* operator new[](std::size_t bytes) { return counted_alloc(bytes, alignof(std::max_align_t)); }
+void* operator new(std::size_t bytes, std::align_val_t align) {
+  return counted_alloc(bytes, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t bytes, std::align_val_t align) {
+  return counted_alloc(bytes, static_cast<std::size_t>(align));
+}
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::align_val_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::align_val_t) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept { std::free(ptr); }
+
+namespace {
+
+using namespace dlaja;
+
+constexpr int kEvents = 512;
+
+TEST(SimAlloc, ScheduleFireInlineCapturesIsAllocationFree) {
+  sim::Simulator simulator;
+  simulator.reserve(kEvents);
+  std::uint64_t sum = 0;
+
+  const auto round = [&] {
+    for (int i = 0; i < kEvents; ++i) {
+      auto fn = [&sum, i] { sum += static_cast<std::uint64_t>(i); };
+      static_assert(sim::InlineAction::fits_inline<decltype(fn)>());
+      simulator.schedule_after(i % 17, fn);
+    }
+    simulator.run();
+  };
+
+  round();  // warm: slabs sized, free list populated
+  const std::size_t before = g_allocations.load();
+  round();
+  round();
+  EXPECT_EQ(g_allocations.load(), before);
+  EXPECT_EQ(simulator.fired(), static_cast<std::uint64_t>(3 * kEvents));
+}
+
+TEST(SimAlloc, ScheduleCancelIsAllocationFree) {
+  sim::Simulator simulator;
+  simulator.reserve(kEvents);
+  std::vector<sim::EventId> ids;
+  ids.reserve(kEvents);
+
+  const auto round = [&] {
+    ids.clear();
+    for (int i = 0; i < kEvents; ++i) {
+      ids.push_back(simulator.schedule_after(1000 + i, [] {}));
+    }
+    for (const auto id : ids) {
+      EXPECT_TRUE(simulator.cancel(id));
+    }
+  };
+
+  round();
+  const std::size_t before = g_allocations.load();
+  round();
+  round();
+  EXPECT_EQ(g_allocations.load(), before);
+  EXPECT_EQ(simulator.pending(), 0u);
+}
+
+TEST(SimAlloc, OversizedCapturesRecyclePooledChunks) {
+  sim::Simulator simulator;
+  simulator.reserve(8);
+  std::uint64_t sum = 0;
+  std::array<std::uint64_t, 12> payload{};
+  payload.fill(7);
+
+  const auto schedule_big = [&simulator, &sum, payload] {
+    auto fn = [&sum, payload] { sum += payload[0]; };
+    static_assert(!sim::InlineAction::fits_inline<decltype(fn)>());
+    simulator.schedule_after(1, fn);
+  };
+
+  schedule_big();
+  simulator.run();  // first pass may carve fresh chunks
+  const auto warm = sim::detail::pool_stats();
+  schedule_big();
+  simulator.run();
+  const auto after = sim::detail::pool_stats();
+  EXPECT_EQ(after.fresh_allocations, warm.fresh_allocations);
+  EXPECT_GT(after.pool_hits, warm.pool_hits);
+  EXPECT_EQ(sum, 14u);
+}
+
+TEST(SimAlloc, GenerationTagMakesStaleIdsInert) {
+  sim::Simulator simulator;
+  int fired_a = 0;
+  int fired_b = 0;
+  const auto a = simulator.schedule_after(10, [&fired_a] { ++fired_a; });
+  ASSERT_TRUE(simulator.cancel(a));
+
+  // The slot is recycled; the stale handle must not cancel the new tenant.
+  const auto b = simulator.schedule_after(10, [&fired_b] { ++fired_b; });
+  EXPECT_FALSE(simulator.cancel(a));
+  simulator.run();
+  EXPECT_EQ(fired_a, 0);
+  EXPECT_EQ(fired_b, 1);
+  EXPECT_FALSE(simulator.cancel(b));  // already fired
+}
+
+TEST(SimAlloc, StaleIdStaysInertAcrossManySlotReuses) {
+  sim::Simulator simulator;
+  const auto first = simulator.schedule_after(1, [] {});
+  ASSERT_TRUE(simulator.cancel(first));
+  for (int i = 0; i < 1000; ++i) {
+    const auto id = simulator.schedule_after(1, [] {});
+    EXPECT_FALSE(simulator.cancel(first));
+    ASSERT_TRUE(simulator.cancel(id));
+  }
+  EXPECT_EQ(simulator.pending(), 0u);
+}
+
+TEST(SimAlloc, CancelOwnIdWhileFiringFails) {
+  sim::Simulator simulator;
+  sim::EventId self{};
+  bool cancelled = true;
+  self = simulator.schedule_after(5, [&] { cancelled = simulator.cancel(self); });
+  simulator.run();
+  EXPECT_FALSE(cancelled);
+  EXPECT_EQ(simulator.fired(), 1u);
+}
+
+TEST(SimAlloc, ActionMayCancelAnotherPendingEvent) {
+  sim::Simulator simulator;
+  int fired_victim = 0;
+  const auto victim = simulator.schedule_after(10, [&fired_victim] { ++fired_victim; });
+  bool cancel_result = false;
+  simulator.schedule_after(5, [&] { cancel_result = simulator.cancel(victim); });
+  simulator.run();
+  EXPECT_TRUE(cancel_result);
+  EXPECT_EQ(fired_victim, 0);
+  EXPECT_EQ(simulator.fired(), 1u);
+}
+
+TEST(SimAlloc, SameTickEventsFireInScheduleOrder) {
+  sim::Simulator simulator;
+  std::vector<int> order;
+  for (int i = 0; i < 64; ++i) {
+    simulator.schedule_at(100, [&order, i] { order.push_back(i); });
+  }
+  simulator.run();
+  ASSERT_EQ(order.size(), 64u);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(SimAlloc, FifoTieBreakSurvivesInterleavedCancels) {
+  sim::Simulator simulator;
+  std::vector<int> order;
+  std::vector<sim::EventId> ids;
+  for (int i = 0; i < 64; ++i) {
+    ids.push_back(simulator.schedule_at(100, [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 0; i < 64; i += 2) {
+    ASSERT_TRUE(simulator.cancel(ids[static_cast<std::size_t>(i)]));
+  }
+  simulator.run();
+  ASSERT_EQ(order.size(), 32u);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], static_cast<int>(2 * i + 1));
+  }
+}
+
+TEST(SimAlloc, PendingCountsLiveEventsOnly) {
+  sim::Simulator simulator;
+  const auto a = simulator.schedule_after(1, [] {});
+  simulator.schedule_after(2, [] {});
+  simulator.schedule_after(3, [] {});
+  EXPECT_EQ(simulator.pending(), 3u);
+  ASSERT_TRUE(simulator.cancel(a));
+  EXPECT_EQ(simulator.pending(), 2u);  // no tombstones linger
+  simulator.run();
+  EXPECT_EQ(simulator.pending(), 0u);
+}
+
+}  // namespace
