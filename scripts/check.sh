@@ -14,15 +14,22 @@ for bench in "$BUILD"/bench/bench_*; do
   "$bench"
 done
 
-echo "==== sanitizer pass (address;undefined)"
-SAN_BUILD="${BUILD}-asan"
-cmake -B "$SAN_BUILD" -G Ninja \
-  -DDLAJA_SANITIZE="address;undefined" \
-  -DDLAJA_BUILD_BENCH=OFF -DDLAJA_BUILD_EXAMPLES=OFF
-cmake --build "$SAN_BUILD" --target test_simulator test_sim_alloc test_stress
+# Kernel-critical and flow-model tests under both sanitizer presets: the
+# event core does placement-new/launder tricks and the flow network recycles
+# generation-tagged slots whose handlers can re-enter it — exactly the
+# lifetime bugs the sanitizers exist to catch. The asan preset bundles
+# address+undefined; the ubsan preset runs undefined alone (no shadow
+# memory), which changes layout enough to surface different misuses.
+SAN_TESTS=(test_simulator test_sim_alloc test_stress
+           test_flow test_flow_properties test_flow_alloc)
 export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
 export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
-"$SAN_BUILD"/tests/test_simulator
-"$SAN_BUILD"/tests/test_sim_alloc
-"$SAN_BUILD"/tests/test_stress
+for PRESET in asan ubsan; do
+  echo "==== sanitizer pass ($PRESET)"
+  cmake --preset "$PRESET"
+  cmake --build --preset "$PRESET" --target "${SAN_TESTS[@]}"
+  for t in "${SAN_TESTS[@]}"; do
+    "build-$PRESET/tests/$t"
+  done
+done
 echo "ALL CHECKS PASSED"

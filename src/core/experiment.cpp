@@ -1,5 +1,7 @@
 #include "core/experiment.hpp"
 
+#include <chrono>
+
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -59,7 +61,10 @@ std::vector<metrics::RunReport> run_experiment(const ExperimentSpec& spec) {
       }
     }
 
+    const auto wall_start = std::chrono::steady_clock::now();
     metrics::RunReport report = engine.run(workload.jobs);
+    report.wall_time_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
     report.workload = workload.name;
     report.worker_config = spec.fleet_name();
     report.iteration = iteration;
@@ -79,7 +84,10 @@ std::vector<metrics::RunReport> run_matrix(std::span<const ExperimentSpec> specs
   pool.parallel_for(specs.size(), 1, [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) per_cell[i] = run_experiment(specs[i]);
   });
+  std::size_t total = 0;
+  for (const auto& cell : per_cell) total += cell.size();
   std::vector<metrics::RunReport> all;
+  all.reserve(total);
   for (auto& cell : per_cell) {
     for (auto& report : cell) all.push_back(std::move(report));
   }

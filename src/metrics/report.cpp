@@ -75,13 +75,13 @@ void write_reports_csv(std::ostream& out, const std::vector<RunReport>& reports)
             "cache_misses", "data_load_mb", "jobs_submitted", "jobs_completed",
             "avg_turnaround_s", "p50_turnaround_s", "p95_turnaround_s", "p99_turnaround_s",
             "avg_alloc_latency_s", "avg_queue_wait_s", "cache_hit_rate", "fairness_index",
-            "messages_delivered");
+            "messages_delivered", "wall_time_s");
   for (const RunReport& r : reports) {
     csv.write(r.scheduler, r.workload, r.worker_config, r.iteration, r.seed, r.exec_time_s,
               r.cache_misses, r.data_load_mb, r.jobs_submitted, r.jobs_completed,
               r.avg_turnaround_s, r.p50_turnaround_s, r.p95_turnaround_s, r.p99_turnaround_s,
               r.avg_alloc_latency_s, r.avg_queue_wait_s, r.cache_hit_rate, r.fairness_index,
-              r.messages_delivered);
+              r.messages_delivered, r.wall_time_s);
   }
 }
 

@@ -46,6 +46,10 @@ struct RunReport {
 
   // Messaging cost.
   std::uint64_t messages_delivered = 0;
+
+  /// Host wall-clock spent simulating this run (not simulated time), stamped
+  /// by the experiment runner; the BENCH JSONs report per-cell cost from it.
+  double wall_time_s = 0.0;
 };
 
 /// Derives a RunReport from a collector. `end_time` is the simulated end of

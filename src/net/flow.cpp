@@ -2,159 +2,257 @@
 
 #include <algorithm>
 #include <cassert>
-#include <vector>
+#include <utility>
 
 namespace dlaja::net {
 
 namespace {
 constexpr MbPerSec kDefaultNodeCapacity = 50.0;
 constexpr double kEpsilonMb = 1e-9;  // volumes below this count as finished
+constexpr double kRateFloor = 1e-9;  // MB/s; keeps ETAs finite
+constexpr double kShareSlack = 1e-12;
+// Rate assigned to a flow no constraint binds (infinite origin AND infinite
+// node capacity). The reference progressive-filling loop asserted (debug) or
+// spun (release) on that input; a huge-but-finite rate instead completes the
+// flow on the next tick while keeping every downstream ETA computation in
+// normal floating-point range.
+constexpr double kUnconstrainedRate = 1e12;
 }  // namespace
 
 FlowNetwork::FlowNetwork(sim::Simulator& simulator, MbPerSec origin_capacity_mbps)
     : sim_(simulator), origin_capacity_(origin_capacity_mbps) {}
 
+void FlowNetwork::ensure_node(NodeId node) {
+  assert(node != kInvalidNode);
+  if (node >= nodes_.size()) {
+    nodes_.resize(static_cast<std::size_t>(node) + 1, NodeState{kDefaultNodeCapacity});
+  }
+}
+
 void FlowNetwork::set_node_capacity(NodeId node, MbPerSec capacity_mbps) {
-  node_capacity_[node] = capacity_mbps;
+  ensure_node(node);
+  nodes_[node].capacity = capacity_mbps;
+  rates_dirty_ = true;
+}
+
+void FlowNetwork::reserve(std::size_t flows) {
+  slots_.reserve(flows);
+  done_scratch_.reserve(flows);
 }
 
 void FlowNetwork::advance_progress() {
   const Tick now = sim_.now();
   if (now <= last_update_) return;
   const double elapsed_s = seconds_from_ticks(now - last_update_);
-  for (auto& [id, flow] : flows_) {
-    flow.remaining_mb = std::max(0.0, flow.remaining_mb - flow.rate * elapsed_s);
+  for (const NodeId node_id : active_nodes_) {
+    const NodeState& node = nodes_[node_id];
+    const double rate = node.rate;
+    for (std::uint32_t s = node.head; s != kNil; s = slots_[s].next) {
+      slots_[s].remaining_mb = std::max(0.0, slots_[s].remaining_mb - rate * elapsed_s);
+    }
   }
   last_update_ = now;
 }
 
-void FlowNetwork::reallocate_and_reschedule() {
-  if (next_completion_.valid()) {
-    sim_.cancel(next_completion_);
-    next_completion_ = {};
+void FlowNetwork::release_slot(std::uint32_t slot) {
+  FlowSlot& f = slots_[slot];
+  NodeState& node = nodes_[f.node];
+  if (f.prev != kNil) {
+    slots_[f.prev].next = f.next;
+  } else {
+    node.head = f.next;
+  }
+  if (f.next != kNil) slots_[f.next].prev = f.prev;
+  if (--node.count == 0) {
+    // Swap-remove from the active list.
+    const std::uint32_t pos = node.active_pos;
+    const NodeId last = active_nodes_.back();
+    active_nodes_[pos] = last;
+    nodes_[last].active_pos = pos;
+    active_nodes_.pop_back();
+    node.active_pos = kNil;
+  }
+  --total_flows_;
+  f.on_done = nullptr;
+  f.node = kInvalidNode;
+  ++f.gen;  // outstanding FlowIds for this slot go stale
+  f.next = free_head_;
+  free_head_ = slot;
+  rates_dirty_ = true;
+}
+
+void FlowNetwork::recompute_rates() {
+  // Fast path: the origin constraint is slack (or absent), so rates are
+  // purely per-node — capacity / count, no cross-node interaction, no sort.
+  // The margin keeps the check conservative: anywhere near the boundary we
+  // fall through to the full water-fill, whose arithmetic is canonical.
+  bool origin_slack = origin_capacity_ == std::numeric_limits<double>::infinity();
+  if (!origin_slack) {
+    double cap_sum = 0.0;
+    for (const NodeId node_id : active_nodes_) cap_sum += nodes_[node_id].capacity;
+    origin_slack = cap_sum <= origin_capacity_ * (1.0 - 1e-9);
+  }
+  if (origin_slack) {
+    for (const NodeId node_id : active_nodes_) {
+      NodeState& node = nodes_[node_id];
+      double share = node.capacity / static_cast<double>(node.count);
+      if (!(share < kUnconstrainedRate)) share = kUnconstrainedRate;
+      node.rate = std::max(share, kRateFloor);
+    }
+    return;
   }
 
-  // --- fire anything that has (numerically) finished. Handlers run as
-  // fresh zero-delay events so they may start new flows without
-  // re-entering this function mid-computation. ----------------------------
-  std::vector<std::uint64_t> done;
-  for (const auto& [id, flow] : flows_) {
-    if (flow.remaining_mb <= kEpsilonMb) done.push_back(id);
+  // Full water-fill: process nodes in ascending fair-share order. A node
+  // freezes at capacity/count while that share is within the origin's
+  // current per-flow budget; once a node's share exceeds it, the origin is
+  // the bottleneck for every remaining flow. The origin residual is drained
+  // with one subtraction per flow — exactly the operation sequence of the
+  // reference round-based loop — so the resulting rates are bit-identical.
+  fill_scratch_.clear();
+  for (const NodeId node_id : active_nodes_) {
+    const NodeState& node = nodes_[node_id];
+    fill_scratch_.emplace_back(node.capacity / static_cast<double>(node.count), node_id);
   }
-  // A moved std::function (32 bytes) rides in the action's inline storage;
-  // only the callable *it* owns may live on the general heap.
-  static_assert(sim::InlineAction::fits_inline<std::function<void()>>());
-  for (const std::uint64_t id : done) {
-    auto handler = std::move(flows_.at(id).on_done);
-    flows_.erase(id);
-    if (handler) sim_.schedule_after(0, std::move(handler));
-  }
-  if (flows_.empty()) return;
+  std::sort(fill_scratch_.begin(), fill_scratch_.end());  // (share, node id)
 
-  // --- max-min fair rates (progressive filling over two constraint
-  // families: per-node capacity and the origin's total capacity) ----------
-  std::unordered_map<NodeId, std::vector<std::uint64_t>> by_node;
-  for (const auto& [id, flow] : flows_) by_node[flow.node].push_back(id);
-
-  std::unordered_map<std::uint64_t, double> rate;
-  std::unordered_map<NodeId, double> node_residual;
-  std::unordered_map<NodeId, std::size_t> node_unfrozen;
-  for (const auto& [node, ids] : by_node) {
-    const auto it = node_capacity_.find(node);
-    node_residual[node] = it != node_capacity_.end() ? it->second : kDefaultNodeCapacity;
-    node_unfrozen[node] = ids.size();
-  }
   double origin_residual = origin_capacity_;
-  std::size_t unfrozen_total = flows_.size();
+  std::size_t unfrozen = total_flows_;
+  std::size_t i = 0;
+  for (; i < fill_scratch_.size(); ++i) {
+    const double share = fill_scratch_[i].first;
+    const double origin_share = origin_residual / static_cast<double>(unfrozen);
+    if (!(share <= origin_share + kShareSlack)) break;
+    NodeState& node = nodes_[fill_scratch_[i].second];
+    node.rate = std::max(share, kRateFloor);
+    for (std::uint32_t k = 0; k < node.count; ++k) origin_residual -= share;
+    unfrozen -= node.count;
+  }
+  if (i < fill_scratch_.size()) {
+    // Freezing tolerates shares up to kShareSlack past the origin budget, so
+    // the residual can undershoot zero by a sliver; clamp before dividing it
+    // among the origin-bound flows so rates never go negative.
+    if (origin_residual < 0.0) origin_residual = 0.0;
+    const double rate =
+        std::max(origin_residual / static_cast<double>(unfrozen), kRateFloor);
+    for (; i < fill_scratch_.size(); ++i) nodes_[fill_scratch_[i].second].rate = rate;
+  }
+}
 
-  while (unfrozen_total > 0) {
-    // The tightest constraint determines the next fair-share level.
-    double level = std::numeric_limits<double>::infinity();
-    for (const auto& [node, residual] : node_residual) {
-      if (node_unfrozen[node] > 0) {
-        level = std::min(level, residual / static_cast<double>(node_unfrozen[node]));
-      }
-    }
-    if (origin_residual < std::numeric_limits<double>::infinity()) {
-      level = std::min(level, origin_residual / static_cast<double>(unfrozen_total));
-    }
-    assert(level < std::numeric_limits<double>::infinity());
-
-    // Freeze every flow in constraints saturated at this level.
-    bool froze = false;
-    for (const auto& [node, ids] : by_node) {
-      if (node_unfrozen[node] == 0) continue;
-      const double share = node_residual[node] / static_cast<double>(node_unfrozen[node]);
-      if (share <= level + 1e-12) {
-        for (const std::uint64_t id : ids) {
-          if (rate.count(id)) continue;
-          rate[id] = share;
-          origin_residual -= share;
-          --unfrozen_total;
-          froze = true;
-        }
-        node_residual[node] = 0.0;
-        node_unfrozen[node] = 0;
-      }
-    }
-    if (!froze) {
-      // The origin is the bottleneck: everyone left gets the origin share.
-      const double share = origin_residual / static_cast<double>(unfrozen_total);
-      for (const auto& [id, flow] : flows_) {
-        if (rate.count(id)) continue;
-        rate[id] = share;
-        node_residual[flow.node] -= share;
-        --node_unfrozen[flow.node];
-      }
-      unfrozen_total = 0;
+void FlowNetwork::reallocate_and_reschedule() {
+  // --- fire anything that has (numerically) finished. Handlers run as
+  // fresh zero-delay events so they may start new flows without re-entering
+  // this function mid-computation; they fire in flow-start order, the
+  // canonical tie-break for a same-tick completion batch. ------------------
+  done_scratch_.clear();
+  for (const NodeId node_id : active_nodes_) {
+    for (std::uint32_t s = nodes_[node_id].head; s != kNil; s = slots_[s].next) {
+      if (slots_[s].remaining_mb <= kEpsilonMb) done_scratch_.push_back(s);
     }
   }
+  if (!done_scratch_.empty()) {
+    std::sort(done_scratch_.begin(), done_scratch_.end(),
+              [this](std::uint32_t a, std::uint32_t b) { return slots_[a].seq < slots_[b].seq; });
+    // A moved std::function (32 bytes) rides in the action's inline storage;
+    // only the callable *it* owns may live on the general heap.
+    static_assert(sim::InlineAction::fits_inline<std::function<void()>>());
+    for (const std::uint32_t s : done_scratch_) {
+      auto handler = std::move(slots_[s].on_done);
+      release_slot(s);
+      if (handler) sim_.schedule_after(0, std::move(handler));
+    }
+  }
+  if (total_flows_ == 0) {
+    if (next_completion_.valid()) {
+      sim_.cancel(next_completion_);
+      next_completion_ = {};
+      next_completion_tick_ = kNeverTick;
+    }
+    return;
+  }
 
+  // --- max-min fair rates. Rates are a pure function of each node's
+  // (capacity, flow count), so when no flow arrived or departed since the
+  // last computation the previous rates still hold. -----------------------
+  if (rates_dirty_) {
+    recompute_rates();
+    rates_dirty_ = false;
+  }
+
+  const Tick now = sim_.now();
   Tick soonest = kNeverTick;
-  for (auto& [id, flow] : flows_) {
-    flow.rate = std::max(rate[id], 1e-9);
-    const Tick eta = sim_.now() + transfer_ticks(flow.remaining_mb, flow.rate);
-    soonest = std::min(soonest, eta);
+  for (const NodeId node_id : active_nodes_) {
+    const NodeState& node = nodes_[node_id];
+    for (std::uint32_t s = node.head; s != kNil; s = slots_[s].next) {
+      const Tick eta = now + transfer_ticks(slots_[s].remaining_mb, node.rate);
+      soonest = std::min(soonest, eta);
+    }
   }
   // Fire no earlier than one tick ahead so progress strictly advances.
-  soonest = std::max(soonest, sim_.now() + 1);
+  soonest = std::max(soonest, now + 1);
+  // Keep the pending event when the ETA didn't move: cancelling and
+  // re-inserting an identical event is observably equivalent (any handler
+  // scheduled meanwhile carries a later sequence number either way).
+  if (next_completion_.valid() && next_completion_tick_ == soonest) return;
+  if (next_completion_.valid()) sim_.cancel(next_completion_);
+  next_completion_tick_ = soonest;
   next_completion_ = sim_.schedule_at(soonest, [this] {
+    next_completion_ = {};
+    next_completion_tick_ = kNeverTick;
     advance_progress();
     reallocate_and_reschedule();
   });
 }
 
-FlowId FlowNetwork::start_flow(NodeId node, MegaBytes volume, std::function<void()> on_done) {
+FlowId FlowNetwork::start_flow(NodeId node_id, MegaBytes volume,
+                               std::function<void()> on_done) {
   advance_progress();
-  const std::uint64_t id = next_id_++;
-  Flow flow;
-  flow.node = node;
-  flow.remaining_mb = std::max(volume, 0.0);
-  flow.on_done = std::move(on_done);
-  flows_.emplace(id, std::move(flow));
+  ensure_node(node_id);
+  std::uint32_t s;
+  if (free_head_ != kNil) {
+    s = free_head_;
+    free_head_ = slots_[s].next;
+  } else {
+    s = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  NodeState& node = nodes_[node_id];
+  FlowSlot& f = slots_[s];
+  f.remaining_mb = std::max(volume, 0.0);
+  f.seq = next_seq_++;
+  f.node = node_id;
+  f.prev = kNil;
+  f.next = node.head;
+  f.on_done = std::move(on_done);
+  if (node.head != kNil) slots_[node.head].prev = s;
+  node.head = s;
+  if (node.count++ == 0) {
+    node.active_pos = static_cast<std::uint32_t>(active_nodes_.size());
+    active_nodes_.push_back(node_id);
+  }
+  ++total_flows_;
+  rates_dirty_ = true;
+  const FlowId id{(static_cast<std::uint64_t>(f.gen) << 32) | s};
   reallocate_and_reschedule();
-  return FlowId{id};
+  return id;  // stale already if the flow completed instantly (zero volume)
 }
 
 bool FlowNetwork::cancel_flow(FlowId id) {
-  const auto it = flows_.find(id.value);
-  if (it == flows_.end()) return false;
+  if (!is_live(id)) return false;
   advance_progress();
-  flows_.erase(it);
+  release_slot(slot_of(id));
   reallocate_and_reschedule();
   return true;
 }
 
 MbPerSec FlowNetwork::current_rate(FlowId id) const {
-  const auto it = flows_.find(id.value);
-  return it != flows_.end() ? it->second.rate : 0.0;
+  return is_live(id) ? nodes_[slots_[slot_of(id)].node].rate : 0.0;
 }
 
 MegaBytes FlowNetwork::remaining_mb(FlowId id) const {
-  const auto it = flows_.find(id.value);
-  if (it == flows_.end()) return 0.0;
+  if (!is_live(id)) return 0.0;
+  const FlowSlot& f = slots_[slot_of(id)];
   const double elapsed_s = seconds_from_ticks(sim_.now() - last_update_);
-  return std::max(0.0, it->second.remaining_mb - it->second.rate * elapsed_s);
+  return std::max(0.0, f.remaining_mb - nodes_[f.node].rate * elapsed_s);
 }
 
 }  // namespace dlaja::net

@@ -8,15 +8,36 @@
 // flows, and the *origin* (the repository host, e.g. GitHub) has a global
 // upload capacity shared by every clone in flight anywhere in the cluster.
 //
-// Rates follow max-min fairness (progressive filling); the simulation is
-// progress-based: on every flow arrival/completion the remaining volumes
-// are advanced at the old rates, rates are recomputed, and the next
-// completion event is rescheduled.
+// Rates follow max-min fairness; the simulation is progress-based: on every
+// flow arrival/completion the remaining volumes are advanced at the old
+// rates, rates are recomputed, and the next completion event is rescheduled.
+//
+// The engine is flat and allocation-free in steady state (the same
+// discipline as the simulator's event core, src/sim/simulator.hpp):
+//
+//   * flows live in a generation-tagged slot slab threaded with intrusive
+//     per-node membership lists — start_flow/cancel_flow/current_rate are
+//     O(1) lookups with zero heap churn, and stale FlowIds are inert;
+//   * max-min rates come from a water-filling pass that sorts the active
+//     nodes by fair share (O(a log a) for a active nodes) into a reusable
+//     scratch buffer instead of rebuilding hash maps per event, and a flow
+//     arrival/departure that provably cannot change other nodes' rates
+//     (the origin constraint is slack) skips the sort entirely;
+//   * rescheduling is incremental: same-tick completions are flushed in one
+//     batch (handlers fire in flow-start order), rate recomputation is
+//     skipped when the node occupancy did not change, and the completion
+//     event is only cancelled/rescheduled when the soonest ETA moves.
+//
+// Determinism: every ordering that reaches the simulation is canonical —
+// the water-fill processes nodes sorted by (share, node id) and completion
+// handlers fire in flow-start order — so runs are bit-reproducible by
+// construction rather than by accident of hash-map iteration order.
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <limits>
-#include <unordered_map>
+#include <vector>
 
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
@@ -24,7 +45,8 @@
 
 namespace dlaja::net {
 
-/// Handle of an active flow.
+/// Handle of an active flow. Encodes (slot, generation) — a handle to a
+/// completed or cancelled flow can never touch the slot's next tenant.
 struct FlowId {
   std::uint64_t value = 0;
   [[nodiscard]] bool valid() const noexcept { return value != 0; }
@@ -43,12 +65,16 @@ class FlowNetwork {
   /// Sets a node's download capacity (shared by its concurrent flows).
   void set_node_capacity(NodeId node, MbPerSec capacity_mbps);
 
+  /// Pre-sizes the slot slab (and flush scratch) for `flows` simultaneously
+  /// active flows, so bursts up to that size run without growth allocations.
+  void reserve(std::size_t flows);
+
   /// Starts a transfer of `volume` MB to `node`; `on_done` fires at the
   /// simulated completion. Returns a handle usable with cancel_flow().
   FlowId start_flow(NodeId node, MegaBytes volume, std::function<void()> on_done);
 
-  /// Aborts a flow (its on_done never fires). Returns false if unknown
-  /// or already completed.
+  /// Aborts a flow (its on_done never fires). Returns false if unknown,
+  /// already completed, or cancelled.
   bool cancel_flow(FlowId id);
 
   /// Current max-min rate of a flow (0 if unknown).
@@ -57,30 +83,85 @@ class FlowNetwork {
   /// Remaining volume of a flow as of now (0 if unknown).
   [[nodiscard]] MegaBytes remaining_mb(FlowId id) const;
 
-  [[nodiscard]] std::size_t active_flows() const noexcept { return flows_.size(); }
+  [[nodiscard]] std::size_t active_flows() const noexcept { return total_flows_; }
   [[nodiscard]] MbPerSec origin_capacity() const noexcept { return origin_capacity_; }
 
  private:
-  struct Flow {
+  static constexpr std::uint32_t kNil = UINT32_MAX;
+
+  /// One slab entry. `next` doubles as the free-list link while the slot is
+  /// vacant — safe because every public lookup validates the generation tag
+  /// first. `seq` is the flow's start order: the canonical tie-break for
+  /// same-tick completion batches.
+  struct FlowSlot {
+    double remaining_mb = 0.0;  ///< as of last_update_
+    std::uint64_t seq = 0;
     NodeId node = kInvalidNode;
-    double remaining_mb = 0.0;
-    double rate = 0.0;  // MB/s under the current allocation
+    std::uint32_t gen = 1;  ///< bumped on release; tags FlowIds
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
     std::function<void()> on_done;
+  };
+
+  /// Per-node state: capacity, the intrusive list of resident flows, and
+  /// the current per-flow rate (max-min rates are uniform within a node —
+  /// node-frozen flows get capacity/count, origin-frozen flows all get the
+  /// origin share — so one double per node carries every flow's rate).
+  struct NodeState {
+    MbPerSec capacity;  ///< kDefaultNodeCapacity until set_node_capacity()
+    double rate = 0.0;  ///< current per-flow rate (floored), MB/s
+    std::uint32_t head = kNil;
+    std::uint32_t count = 0;
+    std::uint32_t active_pos = kNil;  ///< index in active_nodes_, kNil if idle
   };
 
   /// Advances all remaining volumes to now() at the current rates.
   void advance_progress();
 
-  /// Recomputes max-min rates and reschedules the next completion event.
+  /// Flushes finished flows, recomputes rates if the occupancy changed, and
+  /// reschedules the next completion event if the soonest ETA moved.
   void reallocate_and_reschedule();
+
+  /// Water-filling over the active nodes (sort-by-share progressive fill).
+  void recompute_rates();
+
+  /// Grows the node table so `node` is addressable.
+  void ensure_node(NodeId node);
+
+  /// Unlinks `slot` from its node, returns it to the free list, and bumps
+  /// its generation so outstanding FlowIds go stale.
+  void release_slot(std::uint32_t slot);
+
+  [[nodiscard]] static std::uint32_t slot_of(FlowId id) noexcept {
+    return static_cast<std::uint32_t>(id.value);
+  }
+  [[nodiscard]] static std::uint32_t gen_of(FlowId id) noexcept {
+    return static_cast<std::uint32_t>(id.value >> 32);
+  }
+  [[nodiscard]] bool is_live(FlowId id) const noexcept {
+    const std::uint32_t slot = slot_of(id);
+    return slot < slots_.size() && slots_[slot].gen == gen_of(id) &&
+           slots_[slot].node != kInvalidNode;
+  }
 
   sim::Simulator& sim_;
   MbPerSec origin_capacity_;
-  std::unordered_map<NodeId, MbPerSec> node_capacity_;
-  std::unordered_map<std::uint64_t, Flow> flows_;
-  std::uint64_t next_id_ = 1;
+  std::vector<FlowSlot> slots_;
+  std::uint32_t free_head_ = kNil;
+  std::vector<NodeState> nodes_;      ///< indexed by NodeId
+  std::vector<NodeId> active_nodes_;  ///< nodes with count > 0 (swap-removed)
+  std::size_t total_flows_ = 0;
+  std::uint64_t next_seq_ = 1;
   Tick last_update_ = 0;
   sim::EventId next_completion_{};
+  Tick next_completion_tick_ = kNeverTick;
+  /// Set when the (node -> flow count) occupancy changed since the last
+  /// rate computation; rates depend on nothing else, so a clean flag means
+  /// the previous rates are still exact.
+  bool rates_dirty_ = false;
+  // Reusable scratch (kept across calls; no steady-state allocations).
+  std::vector<std::pair<double, NodeId>> fill_scratch_;  ///< (share, node)
+  std::vector<std::uint32_t> done_scratch_;              ///< finished slots
 };
 
 }  // namespace dlaja::net

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <limits>
+#include <vector>
 
 #include "core/engine.hpp"
 #include "net/flow.hpp"
@@ -121,6 +122,94 @@ TEST_F(FlowTest, CompletionHandlersMayStartNewFlows) {
   });
   sim_.run();
   EXPECT_NEAR(seconds_from_ticks(second_done), 2.0, 0.01);
+}
+
+TEST_F(FlowTest, UnconstrainedFlowCompletesInsteadOfHanging) {
+  // Infinite origin AND infinite node capacity: no constraint ever binds.
+  // The reference progressive-filling loop had no finite fair-share level to
+  // freeze at (debug builds tripped its assert; release builds span). The
+  // flow must instead run at a huge finite rate and complete almost at once.
+  sim::Simulator sim;
+  FlowNetwork flows(sim, std::numeric_limits<double>::infinity());
+  flows.set_node_capacity(0, std::numeric_limits<double>::infinity());
+  Tick done_at = -1;
+  flows.start_flow(0, 1e6, [&] { done_at = sim.now(); });
+  sim.run();
+  EXPECT_GE(done_at, 0);
+  EXPECT_LE(done_at, ticks_from_seconds(0.01));
+  EXPECT_EQ(flows.active_flows(), 0u);
+}
+
+TEST_F(FlowTest, InfiniteNodeCapacityIsStillOriginBound) {
+  sim::Simulator sim;
+  FlowNetwork flows(sim, /*origin_capacity_mbps=*/100.0);
+  flows.set_node_capacity(0, std::numeric_limits<double>::infinity());
+  const FlowId id = flows.start_flow(0, 1000.0, nullptr);
+  EXPECT_NEAR(flows.current_rate(id), 100.0, 1e-9);
+}
+
+TEST_F(FlowTest, FreezeToleranceOverdraftKeepsRatesNonNegative) {
+  // A node whose fair share sits a hair *above* the origin budget still
+  // freezes (the water-fill tolerates kShareSlack), overdrawing the origin
+  // residual below zero. The remaining origin-bound flows must get the rate
+  // floor, never a negative rate.
+  sim::Simulator sim;
+  FlowNetwork flows(sim, /*origin_capacity_mbps=*/100.0);
+  flows.set_node_capacity(0, 100.0 + 7e-13);  // share = cap > origin budget by < slack
+  flows.set_node_capacity(1, 200.0);
+  const FlowId greedy = flows.start_flow(0, 1000.0, nullptr);
+  const FlowId starved = flows.start_flow(1, 1000.0, nullptr);
+  EXPECT_GE(flows.current_rate(greedy), 0.0);
+  EXPECT_GE(flows.current_rate(starved), 0.0);
+  sim.run(ticks_from_seconds(1.0));
+  EXPECT_GE(flows.remaining_mb(starved), 0.0);
+}
+
+TEST_F(FlowTest, CancelAfterCompletionReturnsFalseAndDoesNotDoubleFire) {
+  int fired = 0;
+  FlowId id{};
+  id = flows_.start_flow(0, 50.0, [&] {
+    ++fired;
+    // By the time the handler runs the flow is gone; the stale handle must
+    // be inert even though its slot may already host a new flow.
+    EXPECT_FALSE(flows_.cancel_flow(id));
+  });
+  sim_.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST_F(FlowTest, HandlerMayCancelAnotherActiveFlow) {
+  bool victim_fired = false;
+  const FlowId victim = flows_.start_flow(1, 1000.0, [&] { victim_fired = true; });
+  flows_.start_flow(0, 50.0, [&] { EXPECT_TRUE(flows_.cancel_flow(victim)); });
+  sim_.run();
+  EXPECT_FALSE(victim_fired);
+  EXPECT_EQ(flows_.active_flows(), 0u);
+}
+
+TEST_F(FlowTest, SameTickCompletionBatchFiresInStartOrder) {
+  // Two identical flows on one node complete at the same tick; the batch
+  // must flush in flow-start order (the canonical tie-break), not in any
+  // storage-dependent order.
+  std::vector<int> order;
+  flows_.start_flow(0, 100.0, [&] { order.push_back(0); });
+  flows_.start_flow(0, 100.0, [&] { order.push_back(1); });
+  sim_.run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 1);
+}
+
+TEST_F(FlowTest, StaleHandleDoesNotTouchRecycledSlot) {
+  const FlowId a = flows_.start_flow(0, 1000.0, nullptr);
+  EXPECT_TRUE(flows_.cancel_flow(a));
+  bool fired = false;
+  flows_.start_flow(0, 10.0, [&] { fired = true; });  // recycles a's slot
+  EXPECT_FALSE(flows_.cancel_flow(a));  // stale handle must not kill the tenant
+  EXPECT_EQ(flows_.current_rate(a), 0.0);
+  EXPECT_EQ(flows_.remaining_mb(a), 0.0);
+  sim_.run();
+  EXPECT_TRUE(fired);
 }
 
 // --- engine integration -------------------------------------------------------

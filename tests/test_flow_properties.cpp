@@ -1,0 +1,142 @@
+// Property tests for the max-min fair flow network under randomized churn.
+//
+// A few hundred random start / cancel / time-advance operations against
+// several capacity configurations (tight origin, slack origin, infinite
+// origin, an infinite-capacity node) must preserve the fairness invariants
+// at every step:
+//
+//   * every live flow's rate is non-negative (the S2 overdraft regression:
+//     the origin residual can undershoot zero by a rounding sliver);
+//   * the rates on one node never sum past its capacity;
+//   * all rates together never sum past the origin capacity;
+//   * remaining volumes never go negative;
+//   * every started flow is eventually either completed or cancelled,
+//     exactly once.
+//
+// The same op sequence replayed from the same seed must also produce the
+// identical completion-tick trace — churn determinism, independent of the
+// engine-level golden tests.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "net/flow.hpp"
+
+namespace dlaja::net {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// Slack for capacity-sum checks: each live flow's rate is floored at 1e-9
+// MB/s even when the fair share is smaller, so sums may exceed the cap by
+// (flow count) * floor plus accumulated rounding.
+constexpr double kSumSlack = 1e-6;
+
+struct ChurnConfig {
+  double origin;
+  std::vector<double> caps;
+};
+
+struct ChurnResult {
+  std::vector<Tick> completion_ticks;
+  int started = 0;
+  int completed = 0;
+  int cancelled = 0;
+};
+
+ChurnResult run_churn(const ChurnConfig& config, std::uint64_t seed, int steps) {
+  sim::Simulator sim;
+  FlowNetwork flows(sim, config.origin);
+  for (NodeId n = 0; n < config.caps.size(); ++n) {
+    flows.set_node_capacity(n, config.caps[n]);
+  }
+
+  std::mt19937_64 rng(seed);
+  ChurnResult result;
+  std::vector<std::pair<FlowId, NodeId>> live;
+
+  for (int step = 0; step < steps; ++step) {
+    const auto op = rng() % 4;
+    if (op <= 1 || live.size() < 4) {  // bias toward churn
+      const auto node = static_cast<NodeId>(rng() % config.caps.size());
+      const double volume = 1.0 + static_cast<double>(rng() % 3000) / 7.0;
+      const FlowId id = flows.start_flow(
+          node, volume, [&result, &sim] {
+            ++result.completed;
+            result.completion_ticks.push_back(sim.now());
+          });
+      ++result.started;
+      live.emplace_back(id, node);
+    } else if (op == 2 && !live.empty()) {
+      const std::size_t victim = rng() % live.size();
+      if (flows.cancel_flow(live[victim].first)) ++result.cancelled;
+      live[victim] = live.back();
+      live.pop_back();
+    } else {
+      sim.run(sim.now() + static_cast<Tick>(1 + rng() % (2 * kTicksPerSecond)));
+    }
+
+    // Drop handles whose flows completed (a live flow's rate is >= the
+    // positive floor, so rate == 0 identifies a dead handle).
+    std::erase_if(live, [&flows](const auto& entry) {
+      return flows.current_rate(entry.first) == 0.0;
+    });
+
+    // --- invariants, checked after every operation ------------------------
+    double total_rate = 0.0;
+    std::vector<double> node_rate(config.caps.size(), 0.0);
+    for (const auto& [id, node] : live) {
+      const double rate = flows.current_rate(id);
+      EXPECT_GE(rate, 0.0) << "negative rate at step " << step;
+      EXPECT_GE(flows.remaining_mb(id), 0.0) << "negative volume at step " << step;
+      total_rate += rate;
+      node_rate[node] += rate;
+    }
+    if (config.origin != kInf) {
+      EXPECT_LE(total_rate, config.origin + kSumSlack) << "origin oversubscribed at step " << step;
+    }
+    for (NodeId n = 0; n < config.caps.size(); ++n) {
+      if (config.caps[n] == kInf) continue;
+      EXPECT_LE(node_rate[n], config.caps[n] + kSumSlack)
+          << "node " << n << " oversubscribed at step " << step;
+    }
+  }
+
+  sim.run();  // drain: every surviving flow completes
+  EXPECT_EQ(flows.active_flows(), 0u);
+  EXPECT_EQ(result.completed + result.cancelled, result.started);
+  return result;
+}
+
+TEST(FlowProperties, TightOriginChurnPreservesInvariants) {
+  run_churn({40.0, {50.0, 30.0, 20.0, 10.0}}, /*seed=*/1, /*steps=*/400);
+}
+
+TEST(FlowProperties, SlackOriginChurnPreservesInvariants) {
+  run_churn({500.0, {50.0, 50.0, 200.0}}, /*seed=*/2, /*steps=*/400);
+}
+
+TEST(FlowProperties, InfiniteOriginChurnPreservesInvariants) {
+  run_churn({kInf, {25.0, 100.0}}, /*seed=*/3, /*steps=*/400);
+}
+
+TEST(FlowProperties, InfiniteNodeAgainstFiniteOriginPreservesInvariants) {
+  // The infinite-capacity node makes the origin the only bound for its
+  // flows — the configuration most likely to overdraw the origin residual.
+  run_churn({120.0, {kInf, 60.0, 60.0}}, /*seed=*/4, /*steps=*/400);
+}
+
+TEST(FlowProperties, SameSeedChurnIsBitIdentical) {
+  const ChurnConfig config{100.0, {50.0, 50.0, 200.0}};
+  const ChurnResult a = run_churn(config, /*seed=*/99, /*steps=*/300);
+  const ChurnResult b = run_churn(config, /*seed=*/99, /*steps=*/300);
+  EXPECT_EQ(a.completion_ticks, b.completion_ticks);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.cancelled, b.cancelled);
+}
+
+}  // namespace
+}  // namespace dlaja::net
