@@ -10,6 +10,7 @@
 
 #include "core/engine.hpp"
 #include "msg/broker.hpp"
+#include "obs/trace.hpp"
 #include "sched/factory.hpp"
 #include "sim/simulator.hpp"
 #include "storage/cache.hpp"
@@ -70,6 +71,29 @@ void BM_EventCancelHeavy(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kBatch);
 }
 BENCHMARK(BM_EventCancelHeavy);
+
+// Tracing overhead on the schedule→fire hot path. Arg(0) runs with no
+// tracer attached (the default production state — one pointer load per
+// dispatch); Arg(1) attaches an enabled Tracer so every dispatch records a
+// span. bench_kernel.sh reports the pair side by side in BENCH_kernel.json.
+void BM_EventTracing(benchmark::State& state) {
+  constexpr std::size_t kBatch = 1 << 12;
+  const bool traced = state.range(0) != 0;
+  obs::Tracer tracer(1 << 22);
+  tracer.set_enabled(true);
+  for (auto _ : state) {
+    sim::Simulator sim;
+    if (traced) sim.set_tracer(&tracer);
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      sim.schedule_at(static_cast<Tick>(i % 97), [] {});
+    }
+    benchmark::DoNotOptimize(sim.run());
+    tracer.clear();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatch));
+}
+BENCHMARK(BM_EventTracing)->Arg(0)->Arg(1);
 
 // Steady-state mix as the cluster model produces it: refresh a lane's timeout
 // (cancel + reschedule), occasionally drain a window of due events. Measures

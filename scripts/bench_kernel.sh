@@ -62,6 +62,7 @@ report = {
     "context": raw.get("context", {}),
     "repetitions": None,
     "benchmarks": {},
+    "tracing": None,
 }
 for name, rows in samples.items():
     ns = [r["per_event_ns"] for r in rows]
@@ -73,6 +74,19 @@ for name, rows in samples.items():
         "per_event_ns_best": min(ns),
         "per_event_ns_p50": percentile(ns, 50),
         "per_event_ns_p99": percentile(ns, 99),
+    }
+
+# The BM_EventTracing pair measures the cost of the observability hooks:
+# /0 = no tracer attached (production default), /1 = tracer recording every
+# dispatch. Report the pair plus the overhead ratio explicitly.
+untraced = report["benchmarks"].get("BM_EventTracing/0")
+traced = report["benchmarks"].get("BM_EventTracing/1")
+if untraced and traced and untraced["per_event_ns_best"]:
+    report["tracing"] = {
+        "disabled_per_event_ns_best": untraced["per_event_ns_best"],
+        "enabled_per_event_ns_best": traced["per_event_ns_best"],
+        "enabled_over_disabled": traced["per_event_ns_best"]
+        / untraced["per_event_ns_best"],
     }
 
 with open(out_path, "w") as f:
@@ -87,6 +101,13 @@ for name in sorted(report["benchmarks"]):
         f"p50 {r['per_event_ns_p50']:.1f} ns/ev, p99 {r['per_event_ns_p99']:.1f} ns/ev"
         if best
         else f"{name}: p50 {r['per_event_ns_p50']:.1f} ns/ev"
+    )
+if report["tracing"]:
+    t = report["tracing"]
+    print(
+        f"tracing overhead: {t['disabled_per_event_ns_best']:.1f} -> "
+        f"{t['enabled_per_event_ns_best']:.1f} ns/ev "
+        f"({t['enabled_over_disabled']:.2f}x when recording)"
     )
 PY
 

@@ -21,7 +21,7 @@ done
 # address+undefined; the ubsan preset runs undefined alone (no shadow
 # memory), which changes layout enough to surface different misuses.
 SAN_TESTS=(test_simulator test_sim_alloc test_stress
-           test_flow test_flow_properties test_flow_alloc)
+           test_flow test_flow_properties test_flow_alloc test_obs)
 export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
 export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
 for PRESET in asan ubsan; do

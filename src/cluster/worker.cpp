@@ -4,6 +4,7 @@
 #include <cassert>
 #include <unordered_set>
 
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace dlaja::cluster {
@@ -25,6 +26,14 @@ WorkerNode::WorkerNode(WorkerIndex index, const WorkerConfig& config,
       bid_rng_(seeds.seed_for("bid/" + config.name)) {
   slots_.resize(std::max<std::uint32_t>(1, config_.slots));
   metrics_.worker(index_).name = config_.name;
+}
+
+void WorkerNode::ensure_trace_names() {
+  if (trace_names_ready_) return;
+  trace_names_ready_ = true;
+  obs::Tracer* tracer = sim_.tracer();
+  trace_transfer_ = tracer->intern("transfer");
+  trace_process_ = tracer->intern("process");
 }
 
 std::size_t WorkerNode::busy_slots() const noexcept {
@@ -93,8 +102,8 @@ Tick WorkerNode::sample_bid_delay() {
 
 void WorkerNode::enqueue(const workflow::Job& job) {
   if (failed_) {
-    DLAJA_LOG(kWarn, "worker") << config_.name << " dropped job " << job.id
-                               << " (worker failed; no fault tolerance)";
+    DLAJA_LOG(kWarn, "worker") << sim_.log_prefix() << config_.name << " dropped job "
+                               << job.id << " (worker failed; no fault tolerance)";
     return;
   }
   queue_.push_back(job);
@@ -203,6 +212,15 @@ void WorkerNode::complete_transfer(std::size_t slot_index) {
   // checks — from this moment on.
   cache_.admit(storage::Resource{slot.job.resource, slot.job.resource_size_mb});
   const Tick taken = sim_.now() - slot.transfer_started;
+  if (DLAJA_TRACE_ACTIVE(sim_.tracer())) {
+    // A transfer span under the net component regardless of which transport
+    // carried it (flow network or fixed-duration event).
+    ensure_trace_names();
+    sim_.tracer()->span(obs::Component::kNet, trace_transfer_, index_,
+                        slot.transfer_started, sim_.now(), slot.job.id);
+  }
+  metrics_.registry().histogram("net.transfer_s").record(seconds_from_ticks(taken));
+  metrics_.registry().histogram("net.transfer_mb").record(slot.job.resource_size_mb);
   begin_processing(slot_index, taken, slot.job.resource_size_mb, /*was_miss=*/true);
 }
 
@@ -235,6 +253,16 @@ void WorkerNode::finish_slot(std::size_t slot_index, Tick duration,
   record.finished = sim_.now();
   record.cache_miss = was_miss;
   record.downloaded_mb += transferred_mb;
+
+  if (DLAJA_TRACE_ACTIVE(sim_.tracer())) {
+    // The processing phase only (the transfer span was emitted separately),
+    // tracked by worker index.
+    ensure_trace_names();
+    const Tick processing_started = sim_.now() - (duration - transfer_ticks_taken);
+    sim_.tracer()->span(obs::Component::kWorker, trace_process_, index_,
+                        processing_started, sim_.now(), job.id);
+  }
+  metrics_.registry().histogram("worker.job_s").record(seconds_from_ticks(duration));
 
   metrics::WorkerRecord& wrec = metrics_.worker(index_);
   ++wrec.jobs_completed;

@@ -168,6 +168,12 @@ class WorkerNode {
   std::unordered_map<storage::ResourceId, std::uint32_t> pending_resources_;
   net::FlowNetwork* flows_ = nullptr;
   bool failed_ = false;
+
+  /// Interns the worker's span names on first traced use.
+  void ensure_trace_names();
+  std::uint16_t trace_transfer_ = 0;  ///< "transfer": miss download span
+  std::uint16_t trace_process_ = 0;   ///< "process": processing span
+  bool trace_names_ready_ = false;
 };
 
 }  // namespace dlaja::cluster

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace dlaja::core {
@@ -110,8 +111,7 @@ cluster::WorkerNode& Engine::worker(WorkerIndex w) {
 void Engine::fail_worker_at(WorkerIndex w, Tick at) {
   cluster::WorkerNode* target = &worker(w);
   sim_.schedule_at(at, [this, target, w] {
-    DLAJA_LOG(kInfo, "engine") << "worker " << w << " failed at t="
-                               << seconds_from_ticks(sim_.now()) << "s";
+    DLAJA_LOG(kInfo, "engine") << sim_.log_prefix() << "worker " << w << " failed";
     target->set_failed(true);
     broker_->set_node_down(worker_nodes_[w], true);
     if (!config_.reassign_on_failure) return;
@@ -147,9 +147,22 @@ void Engine::submit_job(workflow::Job job) {
   scheduler_->submit(job);
 }
 
+void Engine::ensure_trace_names() {
+  if (trace_names_ready_) return;
+  trace_names_ready_ = true;
+  trace_job_ = sim_.tracer()->intern("job");
+}
+
 void Engine::master_handle_completion(const CompletionReport& report,
                                       const workflow::Job& job) {
   ++completed_;
+  if (DLAJA_TRACE_ACTIVE(sim_.tracer())) {
+    ensure_trace_names();
+    const metrics::JobRecord& record = metrics_.job(job.id);
+    const Tick arrived = record.arrived != kNeverTick ? record.arrived : sim_.now();
+    sim_.tracer()->span(obs::Component::kCore, trace_job_, report.worker, arrived,
+                        sim_.now(), job.id);
+  }
   scheduler_->on_completion(report);
 
   if (!workflow_ || job.task >= workflow_->task_count()) return;
@@ -193,9 +206,22 @@ metrics::RunReport Engine::run(std::span<const workflow::Job> jobs) {
   sim_.run(config_.horizon);
 
   if (completed_ < submitted_) {
-    DLAJA_LOG(kWarn, "engine") << "run ended with " << (submitted_ - completed_)
+    DLAJA_LOG(kWarn, "engine") << sim_.log_prefix() << "run ended with "
+                               << (submitted_ - completed_)
                                << " incomplete jobs (failed workers or horizon)";
   }
+
+  // Fold the kernel and messaging counters into the registry so they land in
+  // the flattened per-run stats (and the CSV's trailing columns).
+  metrics::Registry& registry = metrics_.registry();
+  registry.counter("sim.events_fired").add(static_cast<double>(sim_.fired()));
+  registry.counter("sim.events_scheduled").add(static_cast<double>(sim_.scheduled()));
+  registry.counter("sim.events_cancelled").add(static_cast<double>(sim_.cancelled()));
+  const msg::BrokerStats& broker_stats = broker_->stats();
+  registry.counter("msg.published").add(static_cast<double>(broker_stats.published));
+  registry.counter("msg.sent").add(static_cast<double>(broker_stats.sent));
+  registry.counter("msg.delivered").add(static_cast<double>(broker_stats.delivered));
+  registry.counter("msg.dropped").add(static_cast<double>(broker_stats.dropped));
 
   metrics::RunReport report = metrics::make_report(metrics_, metrics_.last_completion());
   report.scheduler = scheduler_->name();

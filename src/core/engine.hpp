@@ -108,6 +108,9 @@ class Engine {
                                 const workflow::Job& job);
   void submit_job(workflow::Job job);
 
+  /// Interns the engine's span names on first traced use.
+  void ensure_trace_names();
+
   EngineConfig config_;
   SeedSequencer seeds_;
   sim::Simulator sim_;
@@ -132,6 +135,8 @@ class Engine {
   std::uint64_t completed_ = 0;
   std::uint64_t reassigned_ = 0;
   bool ran_ = false;
+  std::uint16_t trace_job_ = 0;  ///< "job": arrival -> completion span
+  bool trace_names_ready_ = false;
 };
 
 }  // namespace dlaja::core

@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "metrics/registry.hpp"
 #include "util/units.hpp"
 #include "workflow/workflow.hpp"
 
@@ -68,6 +69,12 @@ class MetricsCollector {
   [[nodiscard]] WorkerRecord& worker(std::uint32_t index);
   [[nodiscard]] const std::vector<WorkerRecord>& workers() const noexcept { return workers_; }
 
+  /// Named counters/histograms fed by schedulers, workers and the network
+  /// (decision latencies, transfer times, queue depths). Flattened into
+  /// RunReport::stats by make_report().
+  [[nodiscard]] Registry& registry() noexcept { return registry_; }
+  [[nodiscard]] const Registry& registry() const noexcept { return registry_; }
+
   /// All job records in arrival order.
   [[nodiscard]] std::vector<const JobRecord*> jobs_in_arrival_order() const;
 
@@ -91,6 +98,7 @@ class MetricsCollector {
   std::unordered_map<workflow::JobId, JobRecord> jobs_;
   std::vector<workflow::JobId> order_;  // first-touch order == arrival order
   std::vector<WorkerRecord> workers_;
+  Registry registry_;
 };
 
 }  // namespace dlaja::metrics

@@ -55,6 +55,7 @@ RunReport make_report(const MetricsCollector& collector, Tick end_time) {
     busy.push_back(static_cast<double>(w.busy_ticks));
   }
   report.fairness_index = jain_fairness(busy);
+  report.stats = collector.registry().flatten();
   return report;
 }
 
@@ -71,17 +72,51 @@ double jain_fairness(std::span<const double> values) noexcept {
 
 void write_reports_csv(std::ostream& out, const std::vector<RunReport>& reports) {
   CsvWriter csv(out);
-  csv.write("scheduler", "workload", "worker_config", "iteration", "seed", "exec_time_s",
-            "cache_misses", "data_load_mb", "jobs_submitted", "jobs_completed",
-            "avg_turnaround_s", "p50_turnaround_s", "p95_turnaround_s", "p99_turnaround_s",
-            "avg_alloc_latency_s", "avg_queue_wait_s", "cache_hit_rate", "fairness_index",
-            "messages_delivered", "wall_time_s");
+  // Registry stats ride as trailing columns so downstream readers of the
+  // fixed schema keep working. The first report's stat names define the
+  // columns (runs in one experiment share a registry shape).
+  const std::vector<std::pair<std::string, double>>* stat_schema =
+      reports.empty() ? nullptr : &reports.front().stats;
+
+  CsvRow header = {"scheduler", "workload", "worker_config", "iteration", "seed",
+                   "exec_time_s", "cache_misses", "data_load_mb", "jobs_submitted",
+                   "jobs_completed", "avg_turnaround_s", "p50_turnaround_s",
+                   "p95_turnaround_s", "p99_turnaround_s", "avg_alloc_latency_s",
+                   "avg_queue_wait_s", "cache_hit_rate", "fairness_index",
+                   "messages_delivered", "wall_time_s"};
+  if (stat_schema != nullptr) {
+    for (const auto& [name, value] : *stat_schema) header.push_back(name);
+  }
+  csv.write_row(header);
+
   for (const RunReport& r : reports) {
-    csv.write(r.scheduler, r.workload, r.worker_config, r.iteration, r.seed, r.exec_time_s,
-              r.cache_misses, r.data_load_mb, r.jobs_submitted, r.jobs_completed,
-              r.avg_turnaround_s, r.p50_turnaround_s, r.p95_turnaround_s, r.p99_turnaround_s,
-              r.avg_alloc_latency_s, r.avg_queue_wait_s, r.cache_hit_rate, r.fairness_index,
-              r.messages_delivered, r.wall_time_s);
+    CsvRow row;
+    row.reserve(header.size());
+    auto add = [&row](const auto& value) { row.push_back(CsvWriter::to_field(value)); };
+    row.push_back(r.scheduler);
+    row.push_back(r.workload);
+    row.push_back(r.worker_config);
+    add(r.iteration);
+    add(r.seed);
+    add(r.exec_time_s);
+    add(r.cache_misses);
+    add(r.data_load_mb);
+    add(r.jobs_submitted);
+    add(r.jobs_completed);
+    add(r.avg_turnaround_s);
+    add(r.p50_turnaround_s);
+    add(r.p95_turnaround_s);
+    add(r.p99_turnaround_s);
+    add(r.avg_alloc_latency_s);
+    add(r.avg_queue_wait_s);
+    add(r.cache_hit_rate);
+    add(r.fairness_index);
+    add(r.messages_delivered);
+    add(r.wall_time_s);
+    if (stat_schema != nullptr) {
+      for (const auto& [name, unused] : *stat_schema) add(r.stat(name));
+    }
+    csv.write_row(row);
   }
 }
 

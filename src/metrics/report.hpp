@@ -50,6 +50,20 @@ struct RunReport {
   /// Host wall-clock spent simulating this run (not simulated time), stamped
   /// by the experiment runner; the BENCH JSONs report per-cell cost from it.
   double wall_time_s = 0.0;
+
+  /// Flattened counter/histogram registry (see metrics/registry.hpp) in
+  /// deterministic name order. Empty when nothing fed the registry. The CSV
+  /// export appends these as trailing columns (named after the first row's
+  /// entries) so the fixed schema above stays stable.
+  std::vector<std::pair<std::string, double>> stats;
+
+  /// Value of a flattened stat; `fallback` if absent.
+  [[nodiscard]] double stat(const std::string& name, double fallback = 0.0) const {
+    for (const auto& [key, value] : stats) {
+      if (key == name) return value;
+    }
+    return fallback;
+  }
 };
 
 /// Derives a RunReport from a collector. `end_time` is the simulated end of

@@ -37,8 +37,12 @@ Tick longest_idle_gap(const std::vector<Interval>& intervals, Tick horizon) {
   Tick cursor = 0;
   Tick longest = 0;
   for (const Interval& interval : intervals) {
-    if (interval.begin > cursor) longest = std::max(longest, interval.begin - cursor);
-    cursor = std::max(cursor, interval.end);
+    // Clamp to [0, horizon]: busy time past the horizon neither closes a
+    // gap nor opens one (the contract is gaps *inside* the window).
+    const Tick begin = std::min(interval.begin, horizon);
+    if (begin > cursor) longest = std::max(longest, begin - cursor);
+    cursor = std::max(cursor, std::min(interval.end, horizon));
+    if (cursor >= horizon) break;
   }
   if (horizon > cursor) longest = std::max(longest, horizon - cursor);
   return longest;

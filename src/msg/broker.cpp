@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace dlaja::msg {
 
 SubscriptionId Broker::subscribe(const std::string& topic, net::NodeId node, Handler handler) {
@@ -23,7 +25,7 @@ bool Broker::unsubscribe(SubscriptionId id) {
   return true;
 }
 
-void Broker::deliver_later(net::NodeId from, net::NodeId to,
+void Broker::deliver_later(net::NodeId from, net::NodeId to, const std::string& label,
                            std::function<void(Message&&)> sink, std::any payload) {
   Message message;
   message.id = next_message_++;
@@ -32,6 +34,11 @@ void Broker::deliver_later(net::NodeId from, net::NodeId to,
   message.payload = std::move(payload);
   const Tick delay = net_.sample_message_delay(from, to);
 
+  std::uint16_t trace_name = 0;
+  if (DLAJA_TRACE_ACTIVE(sim_.tracer())) {
+    trace_name = sim_.tracer()->intern(label);
+  }
+
   // Park the wide state (sink + payload) in the in-flight slab so the
   // scheduled action captures only {this, slot} — 16 bytes, the simulator's
   // fixed small-copy tier. Slots recycle through inflight_free_.
@@ -39,10 +46,10 @@ void Broker::deliver_later(net::NodeId from, net::NodeId to,
   if (!inflight_free_.empty()) {
     slot = inflight_free_.back();
     inflight_free_.pop_back();
-    inflight_[slot] = InFlight{to, std::move(sink), std::move(message)};
+    inflight_[slot] = InFlight{to, trace_name, std::move(sink), std::move(message)};
   } else {
     slot = static_cast<std::uint32_t>(inflight_.size());
-    inflight_.push_back(InFlight{to, std::move(sink), std::move(message)});
+    inflight_.push_back(InFlight{to, trace_name, std::move(sink), std::move(message)});
   }
 
   auto deliver = [this, slot] {
@@ -50,6 +57,12 @@ void Broker::deliver_later(net::NodeId from, net::NodeId to,
     // reusing the slot or growing the slab.
     InFlight flight = std::move(inflight_[slot]);
     inflight_free_.push_back(slot);
+    if (DLAJA_TRACE_ACTIVE(sim_.tracer())) {
+      // publish->deliver (or send->deliver) latency, one span per hop,
+      // tracked by the receiving node.
+      sim_.tracer()->span(obs::Component::kMsg, flight.trace_name, flight.to,
+                          flight.message.sent_at, sim_.now(), flight.message.id);
+    }
     if (node_down(flight.to)) {
       ++stats_.dropped;
       return;
@@ -73,7 +86,7 @@ std::size_t Broker::publish(const std::string& topic, net::NodeId from, std::any
     // Capture the subscription id, not the handler: a subscriber that
     // unsubscribes while a message is in flight must not be invoked.
     deliver_later(
-        from, sub.node,
+        from, sub.node, topic,
         [this, topic_name, sub_id](Message&& message) {
           const auto topic_it = topics_.find(topic_name);
           if (topic_it == topics_.end()) return;
@@ -104,7 +117,7 @@ void Broker::send(net::NodeId from, net::NodeId to, const std::string& name,
                   std::any payload) {
   ++stats_.sent;
   deliver_later(
-      from, to,
+      from, to, name,
       [this, to, name](Message&& message) {
         const auto node_it = mailboxes_.find(to);
         if (node_it == mailboxes_.end()) {

@@ -99,12 +99,15 @@ class Broker {
   /// inline budget instead of spilling to the pooled fallback.
   struct InFlight {
     net::NodeId to = net::kInvalidNode;
+    std::uint16_t trace_name = 0;  ///< interned topic/mailbox label (traced runs)
     std::function<void(Message&&)> sink;
     Message message;
   };
 
-  void deliver_later(net::NodeId from, net::NodeId to, std::function<void(Message&&)> sink,
-                     std::any payload);
+  /// `label` names the topic or mailbox for the delivery's trace span; it is
+  /// only interned when tracing is active.
+  void deliver_later(net::NodeId from, net::NodeId to, const std::string& label,
+                     std::function<void(Message&&)> sink, std::any payload);
 
   sim::Simulator& sim_;
   net::NetworkModel& net_;

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace dlaja::net {
 
 namespace {
@@ -21,6 +23,15 @@ constexpr double kUnconstrainedRate = 1e12;
 
 FlowNetwork::FlowNetwork(sim::Simulator& simulator, MbPerSec origin_capacity_mbps)
     : sim_(simulator), origin_capacity_(origin_capacity_mbps) {}
+
+void FlowNetwork::ensure_trace_names() {
+  if (trace_names_ready_) return;
+  trace_names_ready_ = true;
+  obs::Tracer* tracer = sim_.tracer();
+  trace_flow_ = tracer->intern("flow");
+  trace_flow_cancel_ = tracer->intern("flow_cancel");
+  trace_rate_ = tracer->intern("rate_mbps");
+}
 
 void FlowNetwork::ensure_node(NodeId node) {
   assert(node != kInvalidNode);
@@ -155,7 +166,14 @@ void FlowNetwork::reallocate_and_reschedule() {
     // A moved std::function (32 bytes) rides in the action's inline storage;
     // only the callable *it* owns may live on the general heap.
     static_assert(sim::InlineAction::fits_inline<std::function<void()>>());
+    const bool traced = DLAJA_TRACE_ACTIVE(sim_.tracer());
+    if (traced) ensure_trace_names();
     for (const std::uint32_t s : done_scratch_) {
+      if (traced) {
+        // One span per completed transfer, tracked by the downloading node.
+        sim_.tracer()->span(obs::Component::kNet, trace_flow_, slots_[s].node,
+                            slots_[s].started, sim_.now(), slots_[s].seq);
+      }
       auto handler = std::move(slots_[s].on_done);
       release_slot(s);
       if (handler) sim_.schedule_after(0, std::move(handler));
@@ -176,6 +194,15 @@ void FlowNetwork::reallocate_and_reschedule() {
   if (rates_dirty_) {
     recompute_rates();
     rates_dirty_ = false;
+    if (DLAJA_TRACE_ACTIVE(sim_.tracer())) {
+      // Rate changes only happen here; sampling per recomputation gives the
+      // exact step function of each node's per-flow rate.
+      ensure_trace_names();
+      for (const NodeId node_id : active_nodes_) {
+        sim_.tracer()->counter(obs::Component::kNet, trace_rate_, node_id, sim_.now(),
+                               nodes_[node_id].rate);
+      }
+    }
   }
 
   const Tick now = sim_.now();
@@ -219,6 +246,7 @@ FlowId FlowNetwork::start_flow(NodeId node_id, MegaBytes volume,
   FlowSlot& f = slots_[s];
   f.remaining_mb = std::max(volume, 0.0);
   f.seq = next_seq_++;
+  f.started = sim_.now();
   f.node = node_id;
   f.prev = kNil;
   f.next = node.head;
@@ -239,7 +267,13 @@ FlowId FlowNetwork::start_flow(NodeId node_id, MegaBytes volume,
 bool FlowNetwork::cancel_flow(FlowId id) {
   if (!is_live(id)) return false;
   advance_progress();
-  release_slot(slot_of(id));
+  const std::uint32_t slot = slot_of(id);
+  if (DLAJA_TRACE_ACTIVE(sim_.tracer())) {
+    ensure_trace_names();
+    sim_.tracer()->instant(obs::Component::kNet, trace_flow_cancel_, slots_[slot].node,
+                           sim_.now(), slots_[slot].seq);
+  }
+  release_slot(slot);
   reallocate_and_reschedule();
   return true;
 }

@@ -96,6 +96,7 @@ class FlowNetwork {
   struct FlowSlot {
     double remaining_mb = 0.0;  ///< as of last_update_
     std::uint64_t seq = 0;
+    Tick started = 0;  ///< start_flow() time; the trace span's begin
     NodeId node = kInvalidNode;
     std::uint32_t gen = 1;  ///< bumped on release; tags FlowIds
     std::uint32_t prev = kNil;
@@ -162,6 +163,13 @@ class FlowNetwork {
   // Reusable scratch (kept across calls; no steady-state allocations).
   std::vector<std::pair<double, NodeId>> fill_scratch_;  ///< (share, node)
   std::vector<std::uint32_t> done_scratch_;              ///< finished slots
+
+  /// Interns the span/counter names on first traced use.
+  void ensure_trace_names();
+  std::uint16_t trace_flow_ = 0;         ///< "flow": start->completion span
+  std::uint16_t trace_flow_cancel_ = 0;  ///< "flow_cancel" instant
+  std::uint16_t trace_rate_ = 0;         ///< per-node rate counter
+  bool trace_names_ready_ = false;
 };
 
 }  // namespace dlaja::net

@@ -1,0 +1,159 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+#include "util/table.hpp"
+
+namespace dlaja::obs {
+
+namespace {
+
+/// A span under consideration on one (component, track) timeline.
+struct SpanRef {
+  Tick ts = 0;
+  Tick dur = 0;
+  std::uint32_t row = 0;
+  std::uint32_t order = 0;  ///< record order: stable tie-break
+};
+
+/// An ancestor on the nesting stack.
+struct Open {
+  Tick end = 0;
+  Tick child = 0;  ///< time covered by directly nested spans
+  Tick dur = 0;
+  std::uint32_t row = 0;
+};
+
+}  // namespace
+
+Profile build_profile(const Tracer& tracer) {
+  Profile profile;
+  profile.components.resize(kComponentCount);
+  for (std::size_t i = 0; i < kComponentCount; ++i) {
+    profile.components[i].comp = static_cast<Component>(i);
+  }
+
+  // Row per (component, name); timeline per (component, track). std::map
+  // keeps both deterministic regardless of interning order.
+  std::map<std::pair<std::uint8_t, std::uint16_t>, std::uint32_t> row_ids;
+  std::map<std::pair<std::uint8_t, std::uint32_t>, std::vector<SpanRef>> timelines;
+
+  std::uint32_t order = 0;
+  for (const TraceEvent& event : tracer.events()) {
+    ComponentProfile& comp = profile.components[static_cast<std::size_t>(event.comp)];
+    if (event.type == EventType::kInstant) {
+      ++comp.instants;
+      continue;
+    }
+    if (event.type == EventType::kCounter) {
+      ++comp.counters;
+      continue;
+    }
+    ++comp.spans;
+    comp.total += event.dur;
+
+    const auto row_key = std::make_pair(static_cast<std::uint8_t>(event.comp), event.name);
+    auto [it, inserted] =
+        row_ids.emplace(row_key, static_cast<std::uint32_t>(profile.rows.size()));
+    if (inserted) {
+      ProfileRow row;
+      row.comp = event.comp;
+      row.name = tracer.name(event.name);
+      profile.rows.push_back(std::move(row));
+    }
+    ProfileRow& row = profile.rows[it->second];
+    ++row.count;
+    row.total += event.dur;
+    row.max = std::max(row.max, event.dur);
+
+    timelines[{static_cast<std::uint8_t>(event.comp), event.track}].push_back(
+        SpanRef{event.ts, event.dur, it->second, order++});
+  }
+
+  // Self time per timeline: sort so a parent precedes the spans it encloses
+  // (earlier start first; at equal starts the longer span is the parent),
+  // then walk with a nesting stack. Partially overlapping spans on one
+  // timeline (e.g. two slots of the same worker) do not nest — each keeps
+  // its full duration as self time.
+  std::vector<Open> stack;
+  for (auto& [key, spans] : timelines) {
+    std::sort(spans.begin(), spans.end(), [](const SpanRef& a, const SpanRef& b) {
+      if (a.ts != b.ts) return a.ts < b.ts;
+      if (a.dur != b.dur) return a.dur > b.dur;
+      return a.order < b.order;
+    });
+    stack.clear();
+    auto close = [&](const Open& open) {
+      profile.rows[open.row].self += std::max<Tick>(0, open.dur - open.child);
+    };
+    for (const SpanRef& span : spans) {
+      while (!stack.empty() && stack.back().end <= span.ts) {
+        close(stack.back());
+        stack.pop_back();
+      }
+      const Tick end = span.ts + span.dur;
+      if (!stack.empty() && end <= stack.back().end) {
+        stack.back().child += span.dur;  // fully nested: parent loses this time
+      }
+      stack.push_back(Open{end, 0, span.dur, span.row});
+    }
+    while (!stack.empty()) {
+      close(stack.back());
+      stack.pop_back();
+    }
+  }
+
+  for (const ProfileRow& row : profile.rows) {
+    profile.components[static_cast<std::size_t>(row.comp)].self += row.self;
+  }
+  std::sort(profile.rows.begin(), profile.rows.end(),
+            [](const ProfileRow& a, const ProfileRow& b) {
+              if (a.self != b.self) return a.self > b.self;
+              if (a.comp != b.comp) return a.comp < b.comp;
+              return a.name < b.name;
+            });
+  return profile;
+}
+
+void print_profile(std::ostream& out, const Tracer& tracer, std::size_t top_n) {
+  const Profile profile = build_profile(tracer);
+
+  TextTable components("per-component self time");
+  components.set_header({"component", "spans", "instants", "counters", "total (s)",
+                         "self (s)"});
+  for (const ComponentProfile& comp : profile.components) {
+    if (comp.spans == 0 && comp.instants == 0 && comp.counters == 0) continue;
+    components.add_row({component_name(comp.comp), std::to_string(comp.spans),
+                        std::to_string(comp.instants), std::to_string(comp.counters),
+                        fmt_fixed(seconds_from_ticks(comp.total), 3),
+                        fmt_fixed(seconds_from_ticks(comp.self), 3)});
+  }
+  components.print(out);
+  out << "\n";
+
+  TextTable top("top spans by self time");
+  top.set_header({"component", "name", "count", "total (s)", "self (s)", "avg (ms)",
+                  "max (ms)"});
+  const std::size_t rows = std::min(top_n, profile.rows.size());
+  for (std::size_t i = 0; i < rows; ++i) {
+    const ProfileRow& row = profile.rows[i];
+    const double avg_ms =
+        row.count > 0 ? static_cast<double>(row.total) / static_cast<double>(row.count) /
+                            static_cast<double>(kTicksPerMillisecond)
+                      : 0.0;
+    top.add_row({component_name(row.comp), row.name, std::to_string(row.count),
+                 fmt_fixed(seconds_from_ticks(row.total), 3),
+                 fmt_fixed(seconds_from_ticks(row.self), 3), fmt_fixed(avg_ms, 3),
+                 fmt_fixed(static_cast<double>(row.max) /
+                               static_cast<double>(kTicksPerMillisecond),
+                           3)});
+  }
+  top.print(out);
+  if (tracer.dropped() > 0) {
+    out << "note: " << tracer.dropped() << " events were dropped (buffer full)\n";
+  }
+}
+
+}  // namespace dlaja::obs

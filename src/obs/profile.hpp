@@ -1,0 +1,50 @@
+#pragma once
+// Self-time profiling over a recorded trace.
+//
+// Spans on the same (component, track) timeline nest like a call stack:
+// a message delivery span encloses nothing, but a worker "process" span may
+// enclose the transfer span that fed it. Self time is a span's duration
+// minus the time covered by spans fully nested inside it — the standard
+// profiler decomposition, computed here over simulated time.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace dlaja::obs {
+
+/// Aggregated timing for one (component, span name) pair.
+struct ProfileRow {
+  Component comp = Component::kCore;
+  std::string name;
+  std::uint64_t count = 0;
+  Tick total = 0;  ///< sum of span durations
+  Tick self = 0;   ///< total minus fully-nested child time (same track)
+  Tick max = 0;    ///< longest single span
+};
+
+/// Per-component rollup.
+struct ComponentProfile {
+  Component comp = Component::kCore;
+  std::uint64_t spans = 0;
+  std::uint64_t instants = 0;
+  std::uint64_t counters = 0;
+  Tick total = 0;
+  Tick self = 0;
+};
+
+struct Profile {
+  std::vector<ProfileRow> rows;             ///< sorted by self time, descending
+  std::vector<ComponentProfile> components; ///< component order (sim..core)
+};
+
+/// Builds the profile from a tracer's recorded events.
+[[nodiscard]] Profile build_profile(const Tracer& tracer);
+
+/// Renders the per-component rollup plus the top-`top_n` rows by self time.
+void print_profile(std::ostream& out, const Tracer& tracer, std::size_t top_n);
+
+}  // namespace dlaja::obs

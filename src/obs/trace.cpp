@@ -1,0 +1,38 @@
+#include "obs/trace.hpp"
+
+namespace dlaja::obs {
+
+const char* component_name(Component comp) noexcept {
+  switch (comp) {
+    case Component::kSim: return "sim";
+    case Component::kMsg: return "msg";
+    case Component::kNet: return "net";
+    case Component::kSched: return "sched";
+    case Component::kWorker: return "worker";
+    case Component::kCore: return "core";
+  }
+  return "core";
+}
+
+Component component_from_name(std::string_view name) noexcept {
+  if (name == "sim") return Component::kSim;
+  if (name == "msg") return Component::kMsg;
+  if (name == "net") return Component::kNet;
+  if (name == "sched") return Component::kSched;
+  if (name == "worker") return Component::kWorker;
+  return Component::kCore;
+}
+
+std::uint16_t Tracer::intern(std::string_view name) {
+  const auto it = name_ids_.find(std::string{name});
+  if (it != name_ids_.end()) return it->second;
+  // 16-bit ids: a pathological caller interning >65k distinct names gets
+  // the "?" id back rather than a wrapped, colliding one.
+  if (names_.size() >= UINT16_MAX) return 0;
+  const auto id = static_cast<std::uint16_t>(names_.size());
+  names_.emplace_back(name);
+  name_ids_.emplace(names_.back(), id);
+  return id;
+}
+
+}  // namespace dlaja::obs

@@ -3,6 +3,8 @@
 #include <any>
 #include <cassert>
 
+#include "obs/trace.hpp"
+
 namespace dlaja::sched {
 
 using cluster::JobOffer;
@@ -33,6 +35,13 @@ void BaselineScheduler::attach_extra() {
       [this](const msg::Message& message) {
         master_handle_response(std::any_cast<const OfferResponse&>(message.payload));
       });
+}
+
+void BaselineScheduler::ensure_trace_names() {
+  if (trace_names_ready_) return;
+  trace_names_ready_ = true;
+  trace_accept_ = ctx_.sim->tracer()->intern("offer_accept");
+  trace_reject_ = ctx_.sim->tracer()->intern("offer_reject");
 }
 
 bool BaselineScheduler::has_capacity(WorkerIndex w) const {
@@ -71,8 +80,9 @@ void BaselineScheduler::handle_work_request(WorkerIndex w) {
   offer.offer = offer_id;
   offer.job = job;
   offer.round = ctx_.metrics->job(job.id).offers_rejected;
-  in_flight_.emplace(offer_id, std::move(job));
+  in_flight_.emplace(offer_id, PendingOffer{std::move(job), ctx_.sim->now()});
   ++stats_.offers_made;
+  ctx_.metrics->registry().counter("sched.offers").add(1);
   ctx_.broker->send(ctx_.master_node, ctx_.worker_nodes[w], cluster::mailboxes::kOffers,
                     offer);
 }
@@ -121,8 +131,19 @@ void BaselineScheduler::worker_handle_offer(WorkerIndex w, const JobOffer& offer
 void BaselineScheduler::master_handle_response(const OfferResponse& response) {
   const auto it = in_flight_.find(response.offer);
   if (it == in_flight_.end()) return;  // duplicate/unknown
-  workflow::Job job = std::move(it->second);
+  workflow::Job job = std::move(it->second.job);
+  const Tick offered_at = it->second.offered_at;
   in_flight_.erase(it);
+
+  if (DLAJA_TRACE_ACTIVE(ctx_.sim->tracer())) {
+    ensure_trace_names();
+    ctx_.sim->tracer()->span(obs::Component::kSched,
+                             response.accepted ? trace_accept_ : trace_reject_,
+                             response.worker, offered_at, ctx_.sim->now(), job.id);
+  }
+  ctx_.metrics->registry()
+      .histogram("sched.offer_roundtrip_s")
+      .record(seconds_from_ticks(ctx_.sim->now() - offered_at));
 
   if (response.accepted) return;  // assignment was stamped at the worker
   metrics::JobRecord& record = ctx_.metrics->job(job.id);

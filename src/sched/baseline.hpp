@@ -77,15 +77,27 @@ class BaselineScheduler final : public PullSchedulerBase {
   /// Master-side: handle the worker's accept/decline.
   void master_handle_response(const cluster::OfferResponse& response);
 
+  /// Interns the scheduler's span names on first traced use.
+  void ensure_trace_names();
+
+  /// Master-side view of an offer in flight (job travelling with it).
+  struct PendingOffer {
+    workflow::Job job;
+    Tick offered_at = 0;
+  };
+
   BaselineConfig config_;
   Stats stats_;
   /// Worker-side memory of declined jobs: declines_[w][job] = count.
   std::vector<std::unordered_map<workflow::JobId, std::uint32_t>> declines_;
   /// Worker-side: a request is scheduled/in flight/parked for this worker.
   std::vector<bool> request_pending_;
-  /// Master-side: offers in flight (job travelling with the offer).
-  std::unordered_map<std::uint64_t, workflow::Job> in_flight_;
+  /// Master-side: offers in flight.
+  std::unordered_map<std::uint64_t, PendingOffer> in_flight_;
   std::uint64_t next_offer_ = 1;
+  std::uint16_t trace_accept_ = 0;  ///< "offer_accept": offer -> accepted span
+  std::uint16_t trace_reject_ = 0;  ///< "offer_reject": offer -> declined span
+  bool trace_names_ready_ = false;
 };
 
 }  // namespace dlaja::sched

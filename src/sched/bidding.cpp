@@ -4,6 +4,7 @@
 #include <cassert>
 #include <limits>
 
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace dlaja::sched {
@@ -38,6 +39,13 @@ void BiddingScheduler::attach(const SchedulerContext& ctx) {
       ctx_.master_node, cluster::mailboxes::kBids, [this](const msg::Message& message) {
         master_receive_bid(std::any_cast<const BidSubmission&>(message.payload));
       });
+}
+
+void BiddingScheduler::ensure_trace_names() {
+  if (trace_names_ready_) return;
+  trace_names_ready_ = true;
+  trace_contest_ = ctx_.sim->tracer()->intern("contest");
+  trace_bid_ = ctx_.sim->tracer()->intern("bid");
 }
 
 void BiddingScheduler::submit(const workflow::Job& job) {
@@ -99,6 +107,11 @@ void BiddingScheduler::master_receive_bid(const BidSubmission& bid) {
   }
   Contest& contest = it->second;
   contest.bids.push_back(bid);
+  if (DLAJA_TRACE_ACTIVE(ctx_.sim->tracer())) {
+    ensure_trace_names();
+    ctx_.sim->tracer()->instant(obs::Component::kSched, trace_bid_, bid.worker,
+                                ctx_.sim->now(), bid.job_id);
+  }
 
   // biddingFinished: all active workers have bid (the timeout branch is the
   // scheduled event from submit()).
@@ -143,7 +156,8 @@ void BiddingScheduler::close_contest(std::uint64_t contest_id) {
   if (contest.bids.empty()) {
     winner = arbitrary_worker();
     ++stats_.fallback_assignments;
-    DLAJA_LOG(kDebug, "bidding") << "no bids for job " << contest.job.id
+    DLAJA_LOG(kDebug, "bidding") << ctx_.sim->log_prefix() << "no bids for job "
+                                 << contest.job.id
                                  << "; arbitrary assignment to worker " << winner;
   } else {
     winner = preferred_worker(contest.bids);
@@ -162,6 +176,17 @@ void BiddingScheduler::close_contest(std::uint64_t contest_id) {
   record.winning_bid_s = winning_cost;
   record.bids_received = static_cast<std::uint32_t>(contest.bids.size());
   ++ctx_.metrics->worker(winner).bids_won;
+
+  if (DLAJA_TRACE_ACTIVE(ctx_.sim->tracer())) {
+    ensure_trace_names();
+    ctx_.sim->tracer()->span(obs::Component::kSched, trace_contest_, winner,
+                             record.contest_opened, ctx_.sim->now(), contest.job.id);
+  }
+  metrics::Registry& registry = ctx_.metrics->registry();
+  registry.counter("sched.contests").add(1);
+  registry.histogram("sched.contest_s")
+      .record(seconds_from_ticks(ctx_.sim->now() - record.contest_opened));
+  registry.histogram("sched.contest_bids").record(static_cast<double>(contest.bids.size()));
 
   if (config_.learn_correction && winning_cost > 0.0) {
     winning_estimate_s_[contest.job.id] = winning_cost;

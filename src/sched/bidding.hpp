@@ -97,8 +97,14 @@ class BiddingScheduler final : public Scheduler {
   /// Fallback when no bids arrived: rotate over currently active workers.
   [[nodiscard]] cluster::WorkerIndex arbitrary_worker();
 
+  /// Interns the scheduler's span names on first traced use.
+  void ensure_trace_names();
+
   BiddingConfig config_;
   SchedulerContext ctx_;
+  std::uint16_t trace_contest_ = 0;  ///< "contest": open -> award span
+  std::uint16_t trace_bid_ = 0;      ///< "bid": bid-received instant
+  bool trace_names_ready_ = false;
   std::unordered_map<std::uint64_t, Contest> contests_;
   std::deque<workflow::Job> backlog_;  ///< jobs awaiting their contest (serial mode)
   std::uint64_t next_contest_ = 1;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <any>
 
+#include "obs/trace.hpp"
+
 namespace dlaja::sched {
 
 using cluster::JobAssignment;
@@ -50,6 +52,12 @@ void SparkLikeScheduler::assign(const workflow::Job& job) {
                     JobAssignment{job});
 }
 
+void SparkLikeScheduler::ensure_trace_names() {
+  if (trace_names_ready_) return;
+  trace_names_ready_ = true;
+  trace_wave_ = ctx_.sim->tracer()->intern("wave");
+}
+
 void SparkLikeScheduler::dispatch_wave() {
   const std::size_t wave = std::min(pending_.size(), std::max<std::size_t>(
                                                          1, ctx_.active_workers()));
@@ -58,6 +66,10 @@ void SparkLikeScheduler::dispatch_wave() {
     pending_.pop_front();
   }
   outstanding_ = wave;
+  wave_started_ = ctx_.sim->now();
+  ++wave_index_;
+  ctx_.metrics->registry().counter("sched.waves").add(1);
+  ctx_.metrics->registry().histogram("sched.wave_size").record(static_cast<double>(wave));
 }
 
 void SparkLikeScheduler::schedule_dispatch() {
@@ -81,7 +93,18 @@ void SparkLikeScheduler::submit(const workflow::Job& job) {
 void SparkLikeScheduler::on_completion(const cluster::CompletionReport& report) {
   (void)report;
   if (!config_.wave_barrier || outstanding_ == 0) return;
-  if (--outstanding_ == 0 && !pending_.empty()) schedule_dispatch();
+  if (--outstanding_ == 0) {
+    // The allocation round closes at the wave barrier: slowest task gates it.
+    if (DLAJA_TRACE_ACTIVE(ctx_.sim->tracer())) {
+      ensure_trace_names();
+      ctx_.sim->tracer()->span(obs::Component::kSched, trace_wave_, 0, wave_started_,
+                               ctx_.sim->now(), wave_index_);
+    }
+    ctx_.metrics->registry()
+        .histogram("sched.wave_s")
+        .record(seconds_from_ticks(ctx_.sim->now() - wave_started_));
+    if (!pending_.empty()) schedule_dispatch();
+  }
 }
 
 }  // namespace dlaja::sched

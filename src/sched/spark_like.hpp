@@ -63,12 +63,19 @@ class SparkLikeScheduler final : public Scheduler {
   /// submitted at the same instant batch into one wave.
   void schedule_dispatch();
 
+  /// Interns the scheduler's span names on first traced use.
+  void ensure_trace_names();
+
   SparkLikeConfig config_;
   SchedulerContext ctx_;
   std::uint64_t cursor_ = 0;
   std::deque<workflow::Job> pending_;  ///< wave mode: tasks awaiting a wave slot
   std::size_t outstanding_ = 0;        ///< wave mode: tasks in the current wave
   bool dispatch_pending_ = false;      ///< a zero-delay dispatch event is queued
+  Tick wave_started_ = 0;              ///< wave mode: when the current wave launched
+  std::uint64_t wave_index_ = 0;       ///< wave mode: allocation-round ordinal
+  std::uint16_t trace_wave_ = 0;       ///< "wave": dispatch -> barrier span
+  bool trace_names_ready_ = false;
 };
 
 }  // namespace dlaja::sched

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <utility>
+
+#include "obs/trace.hpp"
 
 namespace dlaja::sim {
 
@@ -17,9 +20,26 @@ namespace {
 
 }  // namespace
 
+void Simulator::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) {
+    // Interned once here so the fire path never touches the name table.
+    trace_dispatch_ = tracer_->intern("dispatch");
+    trace_cancel_ = tracer_->intern("cancel");
+    trace_pending_ = tracer_->intern("pending");
+  }
+}
+
+std::string Simulator::log_prefix() const {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "[t=%.6f] ", seconds_from_ticks(now_));
+  return buf;
+}
+
 EventId Simulator::schedule_at(Tick at, Action action) {
   assert(action);
   if (at < now_) at = now_;  // cannot schedule into the past
+  ++scheduled_;
 
   std::uint32_t slot;
   if (free_head_ != kFreeEnd) {
@@ -58,6 +78,10 @@ bool Simulator::cancel(EventId id) {
   // tag before a slot can be reused, so a matching tag proves the event is
   // still in the heap and pos_[slot] is a live heap index, not a free link).
   if (gen_[slot] != generation) return false;
+  ++cancelled_;
+  if (DLAJA_TRACE_ACTIVE(tracer_)) {
+    tracer_->instant(obs::Component::kSim, trace_cancel_, 0, now_, slot);
+  }
   heap_remove(pos_[slot]);
   release(slot);
   return true;
@@ -75,6 +99,18 @@ void Simulator::fire_root() {
   assert(heap_[kRoot].at >= now_);
   now_ = heap_[kRoot].at;
   ++fired_;
+  if (DLAJA_TRACE_ACTIVE(tracer_)) [[unlikely]] {
+    // A zero-duration span per dispatch (callbacks are instantaneous in
+    // simulated time; the arg ties it back to the schedule-order sequence)
+    // plus a strided heap-occupancy sample — dense enough to see queue
+    // pressure, sparse enough not to dominate the trace.
+    tracer_->span(obs::Component::kSim, trace_dispatch_, 0, now_, now_,
+                  heap_[kRoot].seq);
+    if ((fired_ & 15) == 0) {
+      tracer_->counter(obs::Component::kSim, trace_pending_, 0, now_,
+                       static_cast<double>(pending()));
+    }
+  }
   // Overlap the action-slab cache miss with the heap pop below.
   __builtin_prefetch(&actions_[slot]);
   pop_root();

@@ -18,10 +18,15 @@
 #include <cstddef>
 #include <cstdint>
 #include <new>
+#include <string>
 #include <vector>
 
 #include "sim/inline_action.hpp"
 #include "util/units.hpp"
+
+namespace dlaja::obs {
+class Tracer;
+}
 
 namespace dlaja::sim {
 
@@ -109,6 +114,28 @@ class Simulator {
   /// Total events fired since construction.
   [[nodiscard]] std::uint64_t fired() const noexcept { return fired_; }
 
+  /// Total schedule_at/schedule_after calls since construction.
+  [[nodiscard]] std::uint64_t scheduled() const noexcept { return scheduled_; }
+
+  /// Total successful cancel() calls since construction.
+  [[nodiscard]] std::uint64_t cancelled() const noexcept { return cancelled_; }
+
+  /// Attaches (or detaches, with nullptr) a tracer. The simulator emits a
+  /// zero-duration "dispatch" span per fired event, "cancel" instants, and
+  /// periodic "pending" heap-occupancy samples — and every component that
+  /// holds a Simulator reaches the shared tracer through tracer(). The
+  /// tracer must outlive the simulator (or be detached first); emission
+  /// additionally requires tracer()->enabled().
+  void set_tracer(obs::Tracer* tracer);
+
+  /// The attached tracer, or nullptr. Components gate their instrumentation
+  /// on DLAJA_TRACE_ACTIVE(sim.tracer()).
+  [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_; }
+
+  /// "[t=<seconds>] " prefix stamping log lines with simulated time, so DLAJA_LOG
+  /// output correlates with trace timestamps.
+  [[nodiscard]] std::string log_prefix() const;
+
  private:
   /// The root lives at physical index 3 (indices 0-2 are padding): children
   /// of p are [4p-8, 4p-5] and its parent is (p>>2)+2, which lands every
@@ -154,6 +181,15 @@ class Simulator {
   std::uint32_t next_seq_ = 1;
   std::uint32_t free_head_ = kFreeEnd;
   std::uint64_t fired_ = 0;
+  std::uint64_t scheduled_ = 0;
+  std::uint64_t cancelled_ = 0;
+  // Tracing. The pointer is nullptr in untraced runs, so the only cost on
+  // the fire path is one load + never-taken branch (and nothing at all when
+  // DLAJA_TRACE_DISABLED compiles the blocks away).
+  obs::Tracer* tracer_ = nullptr;
+  std::uint16_t trace_dispatch_ = 0;  ///< interned "dispatch"
+  std::uint16_t trace_cancel_ = 0;    ///< interned "cancel"
+  std::uint16_t trace_pending_ = 0;   ///< interned "pending"
   // Node slab as parallel arrays (index = slot in EventId): sift operations
   // update pos_ at 4-byte stride instead of scattering writes across a
   // wide node struct, and gen_ is only touched on release/cancel. A free

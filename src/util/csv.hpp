@@ -40,7 +40,8 @@ class CsvWriter {
     write_row(row);
   }
 
- private:
+  /// Field serialization used by write(); public so callers assembling rows
+  /// of dynamic width format values identically (doubles round-trip).
   static std::string to_field(const std::string& s) { return s; }
   static std::string to_field(std::string_view s) { return std::string{s}; }
   static std::string to_field(const char* s) { return std::string{s}; }
@@ -55,6 +56,8 @@ class CsvWriter {
   static std::string to_field(T v) {
     return uint_field(static_cast<std::uint64_t>(v));
   }
+
+ private:
   static std::string int_field(std::int64_t v);
   static std::string uint_field(std::uint64_t v);
 

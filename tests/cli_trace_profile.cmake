@@ -1,0 +1,79 @@
+# CLI test for the tracing tools, run via `cmake -P` with:
+#   -DDLAJA_RUN_BIN=<path to dlaja_run> -DDLAJA_TRACE_BIN=<path to dlaja_trace>
+#   -DWORK_DIR=<scratch directory>
+#
+# Covers: dlaja_run --trace emits a non-empty Chrome trace, dlaja_trace
+# profile prints the per-component self-time table (from both a trace JSON
+# and a workload replay), and dlaja_trace info reports n/a instead of the
+# numeric scan sentinels on a trace without resource-bearing jobs.
+
+foreach(var DLAJA_RUN_BIN DLAJA_TRACE_BIN WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "${var} must be passed with -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(run_checked out_var)
+  execute_process(
+    COMMAND ${ARGN}
+    WORKING_DIRECTORY "${WORK_DIR}"
+    OUTPUT_VARIABLE stdout
+    ERROR_VARIABLE stderr
+    RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "command failed (${code}): ${ARGN}\n${stdout}\n${stderr}")
+  endif()
+  set(${out_var} "${stdout}" PARENT_SCOPE)
+endfunction()
+
+function(expect_contains text needle what)
+  string(FIND "${text}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "${what}: expected to find '${needle}' in:\n${text}")
+  endif()
+endfunction()
+
+# 1. A traced run writes a Chrome trace with events from several components.
+set(trace_json "${WORK_DIR}/run.trace.json")
+run_checked(out "${DLAJA_RUN_BIN}" --scheduler bidding --jobs 30 --iters 1
+            --trace "${trace_json}")
+if(NOT EXISTS "${trace_json}")
+  message(FATAL_ERROR "dlaja_run --trace did not write ${trace_json}")
+endif()
+file(READ "${trace_json}" trace_text)
+expect_contains("${trace_text}" "\"traceEvents\"" "trace JSON")
+expect_contains("${trace_text}" "\"ph\":\"X\"" "trace JSON spans")
+foreach(comp sim msg net sched)
+  expect_contains("${trace_text}" "\"cat\":\"${comp}\"" "trace JSON ${comp} events")
+endforeach()
+
+# 2. Profiling the exported JSON prints the self-time tables.
+run_checked(profile_out "${DLAJA_TRACE_BIN}" profile "${trace_json}" --top 5)
+expect_contains("${profile_out}" "per-component self time" "profile (json)")
+expect_contains("${profile_out}" "top spans by self time" "profile (json)")
+expect_contains("${profile_out}" "sched" "profile (json) components")
+
+# 3. Profiling a workload replay works without a pre-recorded trace.
+set(workload_csv "${WORK_DIR}/workload.csv")
+run_checked(out "${DLAJA_TRACE_BIN}" generate --jobs 20 --out "${workload_csv}")
+run_checked(replay_out "${DLAJA_TRACE_BIN}" profile "${workload_csv}"
+            --scheduler baseline --top 10)
+expect_contains("${replay_out}" "per-component self time" "profile (replay)")
+expect_contains("${replay_out}" "offer" "profile (replay) baseline spans")
+
+# 4. info on a trace without resource-bearing jobs prints n/a, not sentinels.
+set(pure_csv "${WORK_DIR}/pure.csv")
+file(WRITE "${pure_csv}"
+  "job_id,key,resource,resource_mb,process_mb,fixed_cost_us,created_at_us\n"
+  "1,pure#1,0,0,50,200000,0\n"
+  "2,pure#2,0,0,80,200000,1000000\n")
+run_checked(info_out "${DLAJA_TRACE_BIN}" info "${pure_csv}")
+expect_contains("${info_out}" "n/a" "info without resources")
+string(FIND "${info_out}" "1000000000" sentinel_pos)
+if(NOT sentinel_pos EQUAL -1)
+  message(FATAL_ERROR "info printed a sentinel-sized repo:\n${info_out}")
+endif()
+
+message(STATUS "cli_trace_profile: all checks passed")

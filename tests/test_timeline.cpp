@@ -70,6 +70,49 @@ TEST(Timeline, UtilizationReportAggregates) {
   EXPECT_EQ(report.longest_gap, 15);
 }
 
+TEST(Timeline, LongestIdleGapLeadingAndTrailingEdges) {
+  const std::vector<Interval> late{{40, 50, 1}};
+  EXPECT_EQ(longest_idle_gap(late, 100), 50);  // trailing [50,100) dominates
+  EXPECT_EQ(longest_idle_gap(late, 60), 40);   // leading [0,40) dominates
+  EXPECT_EQ(longest_idle_gap(late, 50), 40);   // busy to the horizon: leading only
+  // Horizon inside the interval: only the leading gap exists.
+  EXPECT_EQ(longest_idle_gap(late, 45), 40);
+  // Degenerate horizons produce no phantom gaps.
+  EXPECT_EQ(longest_idle_gap({}, 0), 0);
+  EXPECT_EQ(longest_idle_gap(late, 0), 0);
+}
+
+TEST(Timeline, UtilizationDegenerateHorizons) {
+  const std::vector<Interval> intervals{{10, 20, 1}};
+  EXPECT_EQ(utilization(intervals, 0), 0.0);
+  EXPECT_EQ(utilization(intervals, -5), 0.0);
+  EXPECT_EQ(utilization({}, 100), 0.0);
+  // Interval entirely past the horizon contributes nothing.
+  EXPECT_EQ(utilization(intervals, 10), 0.0);
+}
+
+TEST(Timeline, JobsMissingTimestampsAreSkipped) {
+  MetricsCollector collector(1);
+  JobRecord& no_finish = collector.job(1);
+  no_finish.worker = 0;
+  no_finish.started = 5;  // still running: no finished stamp
+  JobRecord& no_start = collector.job(2);
+  no_start.worker = 0;
+  no_start.finished = 9;  // malformed record: finish without start
+  JobRecord& complete = collector.job(3);
+  complete.worker = 0;
+  complete.started = 2;
+  complete.finished = 4;
+  JobRecord& unassigned = collector.job(4);
+  unassigned.started = 1;  // worker never set: out of range
+  unassigned.finished = 3;
+
+  const auto intervals = busy_intervals(collector, 1);
+  ASSERT_EQ(intervals.size(), 1u);
+  ASSERT_EQ(intervals[0].size(), 1u);
+  EXPECT_EQ(intervals[0][0], (Interval{2, 4, 3}));
+}
+
 TEST(Timeline, ConcurrencySeries) {
   const auto collector = make_collector();
   const auto series = concurrency_series(collector, 2, 30, 5);

@@ -13,7 +13,10 @@
 
 #include "core/experiment.hpp"
 #include "metrics/timeline.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
+#include "util/log.hpp"
 #include "util/table.hpp"
 
 using namespace dlaja;
@@ -67,8 +70,12 @@ int main(int argc, char** argv) {
   args.add_option("estimation", "nominal", "bid speeds: nominal | historic");
   args.add_option("csv", "", "write raw run rows to this file");
   args.add_option("timeline", "", "write the last run's concurrency series to this file");
+  args.add_option("trace", "", "write a Chrome trace-event JSON of a detail run to this file");
+  args.add_option("trace-csv", "", "write the detail run's trace events as CSV to this file");
+  args.add_option("log-level", "warn", "log verbosity: trace|debug|info|warn|error|off");
   args.add_flag("no-carry", "do not carry caches across iterations");
   if (!args.parse(argc, argv)) return 1;
+  set_log_level(parse_log_level(args.get("log-level")));
 
   core::ExperimentSpec spec;
   spec.scheduler = args.get("scheduler");
@@ -113,8 +120,12 @@ int main(int argc, char** argv) {
     std::cout << "raw rows -> " << args.get("csv") << "\n";
   }
 
-  if (!args.get("timeline").empty()) {
-    // Re-run the last iteration standalone to extract its timeline.
+  const std::string timeline_path = args.get("timeline");
+  const std::string trace_path = args.get("trace");
+  const std::string trace_csv_path = args.get("trace-csv");
+  if (!timeline_path.empty() || !trace_path.empty() || !trace_csv_path.empty()) {
+    // Re-run one iteration standalone to extract per-run detail (the
+    // experiment loop only keeps aggregate reports).
     core::EngineConfig config;
     config.seed = spec.seed;
     config.noise = spec.noise;
@@ -123,17 +134,43 @@ int main(int argc, char** argv) {
     const auto workload = workload::generate_workload(wspec, SeedSequencer(spec.seed));
     core::Engine engine(cluster::make_fleet(spec.fleet, spec.worker_count),
                         sched::make_scheduler(spec.scheduler, spec.seed), config);
-    (void)engine.run(workload.jobs);
-    std::ofstream out(args.get("timeline"));
-    if (!out) {
-      std::cerr << "cannot open " << args.get("timeline") << "\n";
-      return 1;
+    obs::Tracer tracer;
+    if (!trace_path.empty() || !trace_csv_path.empty()) {
+      tracer.set_enabled(true);
+      engine.simulator().set_tracer(&tracer);
     }
-    const Tick horizon = engine.metrics().last_completion();
-    metrics::write_concurrency_csv(
-        out, metrics::concurrency_series(engine.metrics(), engine.worker_count(), horizon,
-                                         horizon / 200 + 1));
-    std::cout << "concurrency series -> " << args.get("timeline") << "\n";
+    (void)engine.run(workload.jobs);
+
+    if (!timeline_path.empty()) {
+      std::ofstream out(timeline_path);
+      if (!out) {
+        std::cerr << "cannot open " << timeline_path << "\n";
+        return 1;
+      }
+      const Tick horizon = engine.metrics().last_completion();
+      metrics::write_concurrency_csv(
+          out, metrics::concurrency_series(engine.metrics(), engine.worker_count(), horizon,
+                                           horizon / 200 + 1));
+      std::cout << "concurrency series -> " << timeline_path << "\n";
+    }
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path);
+      if (!out) {
+        std::cerr << "cannot open " << trace_path << "\n";
+        return 1;
+      }
+      obs::write_chrome_trace(out, tracer);
+      std::cout << tracer.events().size() << " trace events -> " << trace_path << "\n";
+    }
+    if (!trace_csv_path.empty()) {
+      std::ofstream out(trace_csv_path);
+      if (!out) {
+        std::cerr << "cannot open " << trace_csv_path << "\n";
+        return 1;
+      }
+      obs::write_trace_csv(out, tracer);
+      std::cout << tracer.events().size() << " trace events -> " << trace_csv_path << "\n";
+    }
   }
   return 0;
 }

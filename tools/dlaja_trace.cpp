@@ -3,6 +3,8 @@
 //   dlaja_trace generate --workload 80%_large --jobs 200 --out trace.csv
 //   dlaja_trace info trace.csv
 //   dlaja_trace replay trace.csv --scheduler bidding --fleet fast-slow
+//   dlaja_trace profile trace.csv --scheduler bidding --top 10
+//   dlaja_trace profile run.trace.json
 //   dlaja_trace synth-swf --jobs 500 --out log.swf
 //   dlaja_trace convert-swf log.swf --out trace.csv --time-scale 0.1
 
@@ -11,8 +13,12 @@
 #include <map>
 
 #include "core/engine.hpp"
+#include "obs/export.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 #include "sched/factory.hpp"
 #include "util/cli.hpp"
+#include "util/log.hpp"
 #include "util/table.hpp"
 #include "workload/swf.hpp"
 #include "workload/trace_io.hpp"
@@ -40,24 +46,31 @@ int cmd_generate(const ArgParser& args) {
 int cmd_info(const std::string& path) {
   const auto workload = workload::load_trace_file(path);
   std::map<storage::ResourceId, int> repetition;
-  MegaBytes smallest = 1e18, largest = 0.0;
+  MegaBytes smallest = 0.0, largest = 0.0;
   for (const auto& job : workload.jobs) {
     if (!job.needs_resource()) continue;
+    if (repetition.empty()) {
+      smallest = largest = job.resource_size_mb;
+    } else {
+      smallest = std::min(smallest, job.resource_size_mb);
+      largest = std::max(largest, job.resource_size_mb);
+    }
     ++repetition[job.resource];
-    smallest = std::min(smallest, job.resource_size_mb);
-    largest = std::max(largest, job.resource_size_mb);
   }
   int hottest = 0;
   for (const auto& [id, count] : repetition) hottest = std::max(hottest, count);
+  // A trace of pure-compute jobs has no repository sizes to summarize;
+  // report n/a instead of the scan's seed values.
+  const bool has_resources = !repetition.empty();
 
   TextTable table("trace: " + path);
   table.add_row({"jobs", std::to_string(workload.jobs.size())});
   table.add_row({"distinct repositories", std::to_string(repetition.size())});
   table.add_row({"naive volume (MB)", fmt_fixed(workload.naive_mb(), 1)});
   table.add_row({"distinct volume (MB)", fmt_fixed(workload.unique_mb(), 1)});
-  table.add_row({"smallest repo (MB)", fmt_fixed(smallest, 1)});
-  table.add_row({"largest repo (MB)", fmt_fixed(largest, 1)});
-  table.add_row({"hottest repo (jobs)", std::to_string(hottest)});
+  table.add_row({"smallest repo (MB)", has_resources ? fmt_fixed(smallest, 1) : "n/a"});
+  table.add_row({"largest repo (MB)", has_resources ? fmt_fixed(largest, 1) : "n/a"});
+  table.add_row({"hottest repo (jobs)", has_resources ? std::to_string(hottest) : "n/a"});
   if (!workload.jobs.empty()) {
     table.add_row({"span (s)", fmt_fixed(seconds_from_ticks(workload.jobs.back().created_at), 1)});
   }
@@ -111,12 +124,47 @@ int cmd_replay(const ArgParser& args, const std::string& path) {
   return 0;
 }
 
+int cmd_profile(const ArgParser& args, const std::string& path) {
+  const auto top = static_cast<std::size_t>(args.get_int("top"));
+  obs::Tracer tracer;
+
+  const bool is_json = path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  if (is_json) {
+    // Profile an exported Chrome trace (e.g. from `dlaja_run --trace`).
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "cannot open " << path << "\n";
+      return 1;
+    }
+    const std::size_t imported = obs::read_chrome_trace(in, tracer);
+    std::cout << "profiling " << imported << " events from " << path << "\n";
+  } else {
+    // Replay the workload trace with tracing enabled and profile the run.
+    const auto workload = workload::load_trace_file(path);
+    core::EngineConfig config;
+    config.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+    core::Engine engine(
+        cluster::make_fleet(cluster::fleet_preset_from_name(args.get("fleet")),
+                            static_cast<std::size_t>(args.get_int("workers"))),
+        sched::make_scheduler(args.get("scheduler")), config);
+    tracer.set_enabled(true);
+    engine.simulator().set_tracer(&tracer);
+    (void)engine.run(workload.jobs);
+    std::cout << "profiling " << tracer.events().size() << " events from a "
+              << args.get("scheduler") << " replay of " << path << "\n";
+  }
+
+  obs::print_profile(std::cout, tracer, top);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  ArgParser args("dlaja_trace", "generate, inspect, convert and replay workload traces");
-  args.add_positional("command", "generate | info | replay | synth-swf | convert-swf");
-  args.add_positional("file", "input file (info/replay/convert-swf)", /*required=*/false);
+  ArgParser args("dlaja_trace", "generate, inspect, convert, replay and profile traces");
+  args.add_positional("command", "generate | info | replay | profile | synth-swf | convert-swf");
+  args.add_positional("file", "input file (info/replay/profile/convert-swf)",
+                      /*required=*/false);
   args.add_option("workload", "80%_large", "job config for generate");
   args.add_option("jobs", "120", "job count for generate/synth-swf (cap for convert-swf)");
   args.add_option("arrival", "2.0", "mean inter-arrival seconds for generate");
@@ -127,19 +175,24 @@ int main(int argc, char** argv) {
   args.add_option("seed", "42", "seed for generate/replay/synth-swf");
   args.add_option("executables", "15", "distinct applications for synth-swf");
   args.add_option("time-scale", "1.0", "arrival-timeline scale for convert-swf");
+  args.add_option("top", "10", "rows in the profile's top-spans table");
+  args.add_option("log-level", "warn", "log verbosity: trace|debug|info|warn|error|off");
   if (!args.parse(argc, argv)) return 1;
+  set_log_level(parse_log_level(args.get("log-level")));
 
   const std::string command = args.positionals()[0];
   try {
     if (command == "generate") return cmd_generate(args);
     if (command == "synth-swf") return cmd_synth_swf(args);
-    if (command == "info" || command == "replay" || command == "convert-swf") {
+    if (command == "info" || command == "replay" || command == "profile" ||
+        command == "convert-swf") {
       if (args.positionals().size() < 2) {
         std::cerr << command << " needs an input file\n";
         return 1;
       }
       const std::string& file = args.positionals()[1];
       if (command == "info") return cmd_info(file);
+      if (command == "profile") return cmd_profile(args, file);
       if (command == "convert-swf") return cmd_convert_swf(args, file);
       return cmd_replay(args, file);
     }
