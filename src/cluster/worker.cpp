@@ -121,8 +121,9 @@ void WorkerNode::probe_speeds(MegaBytes probe_mb) {
   (void)probe_mb;  // the measured *speed* is size-independent in this model
 }
 
-void WorkerNode::set_failed(bool failed) {
-  if (failed_ == failed) return;
+std::vector<workflow::Job> WorkerNode::set_failed(bool failed) {
+  std::vector<workflow::Job> lost;
+  if (failed_ == failed) return lost;
   failed_ = failed;
   if (failed_) {
     for (auto& slot : slots_) {
@@ -131,13 +132,28 @@ void WorkerNode::set_failed(bool failed) {
       if (slot->flow.valid() && flows_ != nullptr) {
         flows_->cancel_flow(slot->flow);  // a partial clone is not a clone
       }
+      lost.push_back(std::move(slot->job));
       slot.reset();
     }
-    // The in-flight jobs and the queue are lost (paper §5: no policies for
-    // a worker dying after winning a bid).
+    // The in-flight jobs and the queue die with the worker (paper §5: no
+    // policies for a worker dying after winning a bid). They are handed
+    // back to the caller: the engine's lifecycle resubmits them, the
+    // legacy paths ignore the return value and keep the paper's semantics.
+    for (workflow::Job& job : queue_) lost.push_back(std::move(job));
     queue_.clear();
     pending_resources_.clear();
   }
+  return lost;
+}
+
+bool WorkerNode::has_job(workflow::JobId id) const noexcept {
+  for (const auto& slot : slots_) {
+    if (slot != nullptr && slot->job.id == id) return true;
+  }
+  for (const workflow::Job& job : queue_) {
+    if (job.id == id) return true;
+  }
+  return false;
 }
 
 void WorkerNode::fill_slots() {

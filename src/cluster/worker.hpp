@@ -101,10 +101,17 @@ class WorkerNode {
   /// and rw speed on a `probe_mb` resource and seeds the estimators.
   void probe_speeds(MegaBytes probe_mb = 100.0);
 
-  /// Kills / revives the worker. Killing cancels the in-flight job's
-  /// completion (it is lost, as in the paper's no-fault-tolerance design)
-  /// and freezes the queue.
-  void set_failed(bool failed);
+  /// Kills / revives the worker. Killing cancels in-flight completions and
+  /// drains the queue; the jobs that were lost (in-flight + queued, FIFO
+  /// order) are *returned* so a fault-tolerant caller can resubmit them —
+  /// the paper itself has no such policy (§5) and simply drops them.
+  /// Reviving returns an empty vector; callers re-probe and re-register the
+  /// worker themselves.
+  [[nodiscard]] std::vector<workflow::Job> set_failed(bool failed);
+
+  /// True if `id` is currently held by this worker (queued or in flight).
+  /// Used by the lifecycle's lease probe.
+  [[nodiscard]] bool has_job(workflow::JobId id) const noexcept;
 
   [[nodiscard]] bool failed() const noexcept { return failed_; }
   [[nodiscard]] bool busy() const noexcept { return busy_slots() > 0; }

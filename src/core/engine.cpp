@@ -74,6 +74,39 @@ Engine::Engine(const std::vector<cluster::WorkerConfig>& fleet,
         master_handle_completion(report, job);
       });
 
+  // Fault machinery. Everything here is gated: a fault-free run constructs
+  // neither the lifecycle nor the injector, installs no hooks, and draws
+  // nothing from the fault substreams — bit-identical to builds before the
+  // fault subsystem existed.
+  const bool faults_on = !config_.faults.empty();
+  if (faults_on) config_.lifecycle.enabled = true;
+  if (config_.lifecycle.enabled) {
+    JobLifecycle::Callbacks callbacks;
+    callbacks.resubmit = [this](workflow::Job job) {
+      job.id = 0;  // fresh copy; submit_job assigns the id and re-tracks
+      submit_job(std::move(job));
+    };
+    callbacks.worker_holds = [this](workflow::JobId id, WorkerIndex w) {
+      return w < workers_.size() && !workers_[w]->failed() && workers_[w]->has_job(id);
+    };
+    callbacks.abandon = [this](workflow::JobId id, WorkerIndex w) {
+      live_jobs_.erase(id);  // a late completion of this attempt is ignored
+      if (w != cluster::kNoWorker) scheduler_->on_assignment_void(id, w);
+    };
+    lifecycle_ =
+        std::make_unique<JobLifecycle>(sim_, metrics_, config_.lifecycle, std::move(callbacks));
+  }
+  if (faults_on) {
+    fault::InjectorHooks hooks;
+    hooks.crash = [this](std::uint32_t w) { apply_crash(static_cast<WorkerIndex>(w)); };
+    hooks.recover = [this](std::uint32_t w) { apply_recover(static_cast<WorkerIndex>(w)); };
+    injector_ = std::make_unique<fault::FaultInjector>(
+        sim_, *broker_, *network_, worker_nodes_,
+        config_.faults.materialize_crashes(seeds_, workers_.size()),
+        config_.faults.degradations, config_.faults.messages, seeds_, std::move(hooks));
+    injector_->arm();
+  }
+
   sched::SchedulerContext ctx;
   ctx.sim = &sim_;
   ctx.broker = broker_.get();
@@ -82,6 +115,15 @@ Engine::Engine(const std::vector<cluster::WorkerConfig>& fleet,
   ctx.master_node = master_node_;
   for (auto& worker : workers_) ctx.workers.push_back(worker.get());
   ctx.worker_nodes = worker_nodes_;
+  if (lifecycle_) {
+    ctx.notify_assigned = [this](workflow::JobId id, WorkerIndex w, double estimate_s) {
+      lifecycle_->assigned(id, w, estimate_s);
+    };
+    ctx.notify_unassignable = [this](const workflow::Job& job) {
+      lifecycle_->unassignable(job);
+    };
+  }
+  ctx.fault_aware = faults_on || config_.lifecycle.enabled;
   scheduler_->attach(ctx);
 }
 
@@ -109,28 +151,72 @@ cluster::WorkerNode& Engine::worker(WorkerIndex w) {
 }
 
 void Engine::fail_worker_at(WorkerIndex w, Tick at) {
-  cluster::WorkerNode* target = &worker(w);
-  sim_.schedule_at(at, [this, target, w] {
-    DLAJA_LOG(kInfo, "engine") << sim_.log_prefix() << "worker " << w << " failed";
-    target->set_failed(true);
-    broker_->set_node_down(worker_nodes_[w], true);
-    if (!config_.reassign_on_failure) return;
-    // Future-work extension: the master redistributes every incomplete job
-    // it had assigned to the dead worker (it knows its own assignments).
-    std::vector<workflow::Job> orphans;
-    for (const auto& [id, job] : live_jobs_) {
-      const metrics::JobRecord* record = metrics_.find_job(id);
-      if (record != nullptr && record->worker == w && !record->completed()) {
-        orphans.push_back(job);
-      }
+  (void)worker(w);  // validates the index up front
+  auto crash = [this, w] { apply_crash(w); };
+  static_assert(sim::InlineAction::fits_inline<decltype(crash)>());
+  sim_.schedule_at(at, std::move(crash));
+}
+
+void Engine::recover_worker_at(WorkerIndex w, Tick at) {
+  (void)worker(w);
+  auto recover = [this, w] { apply_recover(w); };
+  static_assert(sim::InlineAction::fits_inline<decltype(recover)>());
+  sim_.schedule_at(at, std::move(recover));
+}
+
+void Engine::apply_crash(WorkerIndex w) {
+  cluster::WorkerNode* target = workers_[w].get();
+  if (target->failed()) return;  // overlapping schedules: already down
+  DLAJA_LOG(kInfo, "engine") << sim_.log_prefix() << "worker " << w << " failed";
+  const std::vector<workflow::Job> lost = target->set_failed(true);
+  broker_->set_node_down(worker_nodes_[w], true);
+  ++crashes_;
+  if (DLAJA_TRACE_ACTIVE(sim_.tracer())) {
+    ensure_trace_names();
+    sim_.tracer()->instant(obs::Component::kFault, trace_crash_, w, sim_.now(),
+                           lost.size());
+  }
+  if (lifecycle_) {
+    // The lease machinery voids exactly the attempts assigned to this
+    // worker — a superset of `lost` (it also covers assignments still in
+    // flight to the now-dead node).
+    lifecycle_->worker_crashed(w);
+    return;
+  }
+  if (!config_.reassign_on_failure) return;
+  // Future-work extension: the master redistributes every incomplete job
+  // it had assigned to the dead worker (it knows its own assignments).
+  std::vector<workflow::Job> orphans;
+  for (const auto& [id, job] : live_jobs_) {
+    const metrics::JobRecord* record = metrics_.find_job(id);
+    if (record != nullptr && record->worker == w && !record->completed()) {
+      orphans.push_back(job);
     }
-    for (workflow::Job orphan : orphans) {
-      live_jobs_.erase(orphan.id);  // the original can never complete
-      orphan.id = 0;                // resubmit as a fresh copy
-      ++reassigned_;
-      submit_job(std::move(orphan));
-    }
-  });
+  }
+  for (workflow::Job orphan : orphans) {
+    live_jobs_.erase(orphan.id);  // the original can never complete
+    orphan.id = 0;                // resubmit as a fresh copy
+    ++reassigned_;
+    submit_job(std::move(orphan));
+  }
+}
+
+void Engine::apply_recover(WorkerIndex w) {
+  cluster::WorkerNode* target = workers_[w].get();
+  if (!target->failed()) return;  // never crashed, or recovered already
+  DLAJA_LOG(kInfo, "engine") << sim_.log_prefix() << "worker " << w << " recovered";
+  (void)target->set_failed(false);  // a live worker holds no lost jobs
+  broker_->set_node_down(worker_nodes_[w], false);
+  ++recoveries_;
+  // Rejoin with fresh speed knowledge, mirroring the startup sequence.
+  if (config_.probe_speeds) target->probe_speeds();
+  if (DLAJA_TRACE_ACTIVE(sim_.tracer())) {
+    ensure_trace_names();
+    sim_.tracer()->instant(obs::Component::kFault, trace_recover_, w, sim_.now());
+  }
+  // The scheduler re-registers the worker (pull polling restarts, push
+  // placement sees it via failed() == false again).
+  scheduler_->on_worker_recovered(w);
 }
 
 void Engine::submit_job(workflow::Job job) {
@@ -144,6 +230,9 @@ void Engine::submit_job(workflow::Job job) {
   live_jobs_.emplace(job.id, job);
   ++submitted_;
   metrics_.job(job.id).arrived = sim_.now();
+  // Track before the scheduler sees the job: a synchronous assignment (push
+  // schedulers) must find the lifecycle entry when it starts the lease.
+  if (lifecycle_) lifecycle_->track(job);
   scheduler_->submit(job);
 }
 
@@ -151,11 +240,14 @@ void Engine::ensure_trace_names() {
   if (trace_names_ready_) return;
   trace_names_ready_ = true;
   trace_job_ = sim_.tracer()->intern("job");
+  trace_crash_ = sim_.tracer()->intern("crash");
+  trace_recover_ = sim_.tracer()->intern("recover");
 }
 
 void Engine::master_handle_completion(const CompletionReport& report,
                                       const workflow::Job& job) {
   ++completed_;
+  if (lifecycle_) lifecycle_->completed(job.id);
   if (DLAJA_TRACE_ACTIVE(sim_.tracer())) {
     ensure_trace_names();
     const metrics::JobRecord& record = metrics_.job(job.id);
@@ -205,9 +297,17 @@ metrics::RunReport Engine::run(std::span<const workflow::Job> jobs) {
 
   sim_.run(config_.horizon);
 
-  if (completed_ < submitted_) {
-    DLAJA_LOG(kWarn, "engine") << sim_.log_prefix() << "run ended with "
-                               << (submitted_ - completed_)
+  // Attempts the master never acked split into intentionally voided ones
+  // (the lifecycle already retried or dead-lettered them) and genuinely
+  // stuck ones. Only the latter count as lost — that is the number the
+  // fault-smoke CI gate pins at zero.
+  std::uint64_t lost = submitted_ - completed_;
+  if (lifecycle_) {
+    const std::uint64_t voided = lifecycle_->stats().attempts_voided;
+    lost = lost >= voided ? lost - voided : 0;
+  }
+  if (lost > 0) {
+    DLAJA_LOG(kWarn, "engine") << sim_.log_prefix() << "run ended with " << lost
                                << " incomplete jobs (failed workers or horizon)";
   }
 
@@ -223,10 +323,31 @@ metrics::RunReport Engine::run(std::span<const workflow::Job> jobs) {
   registry.counter("msg.delivered").add(static_cast<double>(broker_stats.delivered));
   registry.counter("msg.dropped").add(static_cast<double>(broker_stats.dropped));
 
+  // fault.* counters exist only when the fault machinery was on, so
+  // fault-free CSVs keep their exact pre-fault column set.
+  if (injector_ || lifecycle_) {
+    registry.counter("fault.crashes").add(static_cast<double>(crashes_));
+    registry.counter("fault.recoveries").add(static_cast<double>(recoveries_));
+    registry.counter("fault.msg_dropped").add(static_cast<double>(broker_stats.fault_dropped));
+    registry.counter("fault.msg_duplicated")
+        .add(static_cast<double>(broker_stats.fault_duplicated));
+  }
+  if (lifecycle_) {
+    const JobLifecycle::Stats& ls = lifecycle_->stats();
+    registry.counter("fault.retries").add(static_cast<double>(ls.retries));
+    registry.counter("fault.dead_letters").add(static_cast<double>(ls.dead_letters));
+    registry.counter("fault.attempts_voided").add(static_cast<double>(ls.attempts_voided));
+    registry.counter("fault.leases_broken").add(static_cast<double>(ls.leases_broken));
+    registry.counter("fault.leases_rearmed").add(static_cast<double>(ls.leases_rearmed));
+  }
+
   metrics::RunReport report = metrics::make_report(metrics_, metrics_.last_completion());
   report.scheduler = scheduler_->name();
   report.seed = config_.seed;
   report.messages_delivered = broker_->stats().delivered;
+  report.jobs_retried = jobs_retried();
+  report.jobs_dead_lettered = jobs_dead_lettered();
+  report.jobs_lost = lost;
   return report;
 }
 

@@ -13,6 +13,9 @@
 
 #include "cluster/config.hpp"
 #include "cluster/worker.hpp"
+#include "core/lifecycle.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
 #include "metrics/collector.hpp"
 #include "metrics/report.hpp"
 #include "msg/broker.hpp"
@@ -58,6 +61,16 @@ struct EngineConfig {
   /// job execute twice. Off by default — the paper has no such policy.
   bool reassign_on_failure = false;
 
+  /// Deterministic fault injection. An empty plan (the default) injects
+  /// nothing and leaves the run bit-identical to a fault-free build.
+  /// A non-empty plan auto-enables the job lifecycle below.
+  fault::FaultPlan faults;
+
+  /// Job lifecycle (leases, bounded retries, dead-lettering). Disabled by
+  /// default; can be enabled without a fault plan (e.g. with manual
+  /// fail_worker_at schedules).
+  LifecycleConfig lifecycle;
+
   /// Safety horizon: the run aborts (with whatever completed) after this
   /// much simulated time. Generous default: one simulated week.
   Tick horizon = ticks_from_seconds(7.0 * 24.0 * 3600.0);
@@ -87,6 +100,11 @@ class Engine {
   /// Schedules worker `w` to die at simulated time `at` (fault injection).
   void fail_worker_at(cluster::WorkerIndex w, Tick at);
 
+  /// Schedules worker `w` to come back at simulated time `at`: the node
+  /// rejoins the broker, re-probes its speeds (when the run probes speeds),
+  /// and the scheduler is told via on_worker_recovered().
+  void recover_worker_at(cluster::WorkerIndex w, Tick at);
+
   /// Executes the workload to quiescence (or the horizon) and returns the
   /// run report. `jobs` arrive at their `created_at` times. Callable once.
   metrics::RunReport run(std::span<const workflow::Job> jobs);
@@ -102,11 +120,28 @@ class Engine {
   [[nodiscard]] std::uint64_t jobs_submitted() const noexcept { return submitted_; }
   [[nodiscard]] std::uint64_t jobs_completed() const noexcept { return completed_; }
   [[nodiscard]] std::uint64_t jobs_reassigned() const noexcept { return reassigned_; }
+  [[nodiscard]] std::uint64_t jobs_retried() const noexcept {
+    return lifecycle_ ? lifecycle_->stats().retries : 0;
+  }
+  [[nodiscard]] std::uint64_t jobs_dead_lettered() const noexcept {
+    return lifecycle_ ? lifecycle_->stats().dead_letters : 0;
+  }
+  [[nodiscard]] std::uint64_t worker_crashes() const noexcept { return crashes_; }
+  [[nodiscard]] std::uint64_t worker_recoveries() const noexcept { return recoveries_; }
+  /// Null when the lifecycle is disabled (fault-free runs).
+  [[nodiscard]] const JobLifecycle* lifecycle() const noexcept { return lifecycle_.get(); }
 
  private:
   void master_handle_completion(const cluster::CompletionReport& report,
                                 const workflow::Job& job);
   void submit_job(workflow::Job job);
+
+  /// Takes worker `w` down now: drains it, detaches its node, voids leases
+  /// (lifecycle) or reassigns its jobs (legacy reassign_on_failure).
+  void apply_crash(cluster::WorkerIndex w);
+
+  /// Brings worker `w` back now (inverse of apply_crash).
+  void apply_recover(cluster::WorkerIndex w);
 
   /// Interns the engine's span names on first traced use.
   void ensure_trace_names();
@@ -134,8 +169,15 @@ class Engine {
   std::uint64_t submitted_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t reassigned_ = 0;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t recoveries_ = 0;
+  /// Both null in fault-free runs: nothing is constructed, armed or drawn.
+  std::unique_ptr<JobLifecycle> lifecycle_;
+  std::unique_ptr<fault::FaultInjector> injector_;
   bool ran_ = false;
-  std::uint16_t trace_job_ = 0;  ///< "job": arrival -> completion span
+  std::uint16_t trace_job_ = 0;      ///< "job": arrival -> completion span
+  std::uint16_t trace_crash_ = 0;    ///< "crash" instants (fault component)
+  std::uint16_t trace_recover_ = 0;  ///< "recover" instants (fault component)
   bool trace_names_ready_ = false;
 };
 

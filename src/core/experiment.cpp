@@ -53,6 +53,8 @@ std::vector<metrics::RunReport> run_experiment(const ExperimentSpec& spec) {
     engine_config.noise = spec.noise;
     engine_config.estimation = spec.estimation;
     engine_config.probe_speeds = spec.probe_speeds;
+    engine_config.faults = spec.faults;
+    engine_config.lifecycle = spec.lifecycle;
 
     Engine engine(build_fleet(spec), build_scheduler(spec), engine_config);
     if (spec.carry_cache) {

@@ -54,6 +54,12 @@ struct ExperimentSpec {
   cluster::SpeedEstimator::Mode estimation = cluster::SpeedEstimator::Mode::kNominal;
   bool probe_speeds = false;
 
+  /// Fault injection (empty = none; non-empty enables the job lifecycle).
+  /// The same plan applies to every iteration — the per-iteration seed
+  /// varies the materialized crash times and message draws.
+  fault::FaultPlan faults;
+  LifecycleConfig lifecycle;
+
   /// Resolved names for reports.
   [[nodiscard]] std::string workload_name() const;
   [[nodiscard]] std::string fleet_name() const;

@@ -1,0 +1,77 @@
+#include "fault/injector.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dlaja::fault {
+
+FaultInjector::FaultInjector(sim::Simulator& sim, msg::Broker& broker,
+                             net::NetworkModel& network,
+                             std::vector<net::NodeId> worker_nodes,
+                             std::vector<CrashEvent> crashes,
+                             std::vector<DegradeWindow> degradations,
+                             MessageFaults messages, const SeedSequencer& seeds,
+                             InjectorHooks hooks)
+    : sim_(sim),
+      broker_(broker),
+      network_(network),
+      worker_nodes_(std::move(worker_nodes)),
+      crashes_(std::move(crashes)),
+      degradations_(std::move(degradations)),
+      messages_(messages),
+      msg_rng_(seeds.stream("fault/messages")),
+      hooks_(std::move(hooks)) {
+  for (const DegradeWindow& window : degradations_) {
+    if (window.worker >= worker_nodes_.size()) {
+      throw std::invalid_argument("fault plan: degrade worker index " +
+                                  std::to_string(window.worker) + " out of range");
+    }
+  }
+}
+
+void FaultInjector::arm() {
+  // Wide state (the event lists) stays in this object; each scheduled
+  // action captures {this, index} and fits the simulator's inline tier.
+  for (std::size_t i = 0; i < crashes_.size(); ++i) {
+    const CrashEvent& crash = crashes_[i];
+    auto fire_crash = [this, i] { hooks_.crash(crashes_[i].worker); };
+    static_assert(sim::InlineAction::fits_inline<decltype(fire_crash)>());
+    sim_.schedule_at(crash.at, std::move(fire_crash));
+    ++stats_.crashes_scheduled;
+    if (crash.down_for > 0) {
+      auto fire_recover = [this, i] { hooks_.recover(crashes_[i].worker); };
+      static_assert(sim::InlineAction::fits_inline<decltype(fire_recover)>());
+      sim_.schedule_at(crash.at + crash.down_for, std::move(fire_recover));
+      ++stats_.recoveries_scheduled;
+    }
+  }
+
+  for (std::size_t i = 0; i < degradations_.size(); ++i) {
+    const DegradeWindow& window = degradations_[i];
+    auto begin = [this, i] {
+      network_.set_degradation(worker_nodes_[degradations_[i].worker],
+                               degradations_[i].factor);
+    };
+    // Windows end by restoring the nominal multiplier; overlapping windows
+    // on one node therefore resolve last-writer-wins.
+    auto end = [this, i] {
+      network_.set_degradation(worker_nodes_[degradations_[i].worker], 1.0);
+    };
+    static_assert(sim::InlineAction::fits_inline<decltype(begin)>());
+    sim_.schedule_at(window.at, std::move(begin));
+    sim_.schedule_at(window.at + window.duration, std::move(end));
+    ++stats_.degrade_windows;
+  }
+
+  if (messages_.any()) {
+    broker_.set_fault_policy([this](net::NodeId, net::NodeId) -> std::uint32_t {
+      // Per-delivery draws in event order: deterministic for a given seed
+      // and plan. A message is either dropped or duplicated, never both.
+      if (messages_.drop_p > 0.0 && msg_rng_.bernoulli(messages_.drop_p)) return 0;
+      if (messages_.dup_p > 0.0 && msg_rng_.bernoulli(messages_.dup_p)) return 2;
+      return 1;
+    });
+  }
+}
+
+}  // namespace dlaja::fault

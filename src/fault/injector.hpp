@@ -1,0 +1,65 @@
+#pragma once
+// Fault injector: turns a materialized FaultPlan into simulator events and
+// broker/network hooks.
+//
+// The injector owns *when* faults happen; the engine owns *what happens
+// then* (draining the worker, voiding leases, scheduling retries) and
+// passes that policy in as hooks, which keeps this library free of any
+// cluster/scheduler dependency. arm() is idempotent-by-construction: it is
+// called exactly once, before the run starts.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "msg/broker.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace dlaja::fault {
+
+/// Engine-provided reactions to injected worker faults.
+struct InjectorHooks {
+  std::function<void(std::uint32_t)> crash;    ///< worker index goes down
+  std::function<void(std::uint32_t)> recover;  ///< worker index comes back
+};
+
+class FaultInjector {
+ public:
+  /// `worker_nodes` maps worker index -> network node (for degradation).
+  /// `seeds` feeds the "fault/messages" substream for drop/dup draws.
+  FaultInjector(sim::Simulator& sim, msg::Broker& broker, net::NetworkModel& network,
+                std::vector<net::NodeId> worker_nodes, std::vector<CrashEvent> crashes,
+                std::vector<DegradeWindow> degradations, MessageFaults messages,
+                const SeedSequencer& seeds, InjectorHooks hooks);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Schedules every crash/recovery/degradation event and installs the
+  /// broker's drop/duplication policy. Call once, before Simulator::run.
+  void arm();
+
+  struct Stats {
+    std::uint64_t crashes_scheduled = 0;
+    std::uint64_t recoveries_scheduled = 0;
+    std::uint64_t degrade_windows = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  sim::Simulator& sim_;
+  msg::Broker& broker_;
+  net::NetworkModel& network_;
+  std::vector<net::NodeId> worker_nodes_;
+  std::vector<CrashEvent> crashes_;
+  std::vector<DegradeWindow> degradations_;
+  MessageFaults messages_;
+  RandomStream msg_rng_;
+  InjectorHooks hooks_;
+  Stats stats_;
+};
+
+}  // namespace dlaja::fault

@@ -1,0 +1,182 @@
+#include "fault/plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace dlaja::fault {
+
+namespace {
+
+/// Splits "w=1,at=15,down=30" into {"w":"1", "at":"15", "down":"30"}.
+std::unordered_map<std::string, std::string> parse_kv(const std::string& body,
+                                                      const std::string& clause) {
+  std::unordered_map<std::string, std::string> out;
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    const std::size_t comma = body.find(',', pos);
+    const std::string pair =
+        body.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("bad fault clause '" + clause + "': expected key=value");
+    }
+    out[pair.substr(0, eq)] = pair.substr(eq + 1);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+double need_double(const std::unordered_map<std::string, std::string>& kv,
+                   const std::string& key, const std::string& clause) {
+  const auto it = kv.find(key);
+  if (it == kv.end()) {
+    throw std::invalid_argument("bad fault clause '" + clause + "': missing '" + key + "'");
+  }
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad fault clause '" + clause + "': '" + key +
+                                "' is not a number");
+  }
+}
+
+double opt_double(const std::unordered_map<std::string, std::string>& kv,
+                  const std::string& key, double fallback, const std::string& clause) {
+  return kv.count(key) > 0 ? need_double(kv, key, clause) : fallback;
+}
+
+double need_probability(const std::unordered_map<std::string, std::string>& kv,
+                        const std::string& key, const std::string& clause) {
+  const double p = need_double(kv, key, clause);
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("bad fault clause '" + clause + "': '" + key +
+                                "' must be in [0,1]");
+  }
+  return p;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t semi = spec.find(';', pos);
+    const std::string clause =
+        spec.substr(pos, semi == std::string::npos ? std::string::npos : semi - pos);
+    pos = semi == std::string::npos ? spec.size() + 1 : semi + 1;
+    if (clause.empty()) continue;
+
+    const std::size_t colon = clause.find(':');
+    const std::string kind = clause.substr(0, colon);
+    const auto kv =
+        parse_kv(colon == std::string::npos ? "" : clause.substr(colon + 1), clause);
+
+    if (kind == "crash") {
+      CrashEvent crash;
+      crash.worker = static_cast<std::uint32_t>(need_double(kv, "w", clause));
+      crash.at = ticks_from_seconds(need_double(kv, "at", clause));
+      crash.down_for = ticks_from_seconds(opt_double(kv, "down", 0.0, clause));
+      plan.crashes.push_back(crash);
+    } else if (kind == "crashes") {
+      RandomCrashes random;
+      random.per_worker_p = need_probability(kv, "p", clause);
+      random.window_s = need_double(kv, "window", clause);
+      random.mean_down_s = opt_double(kv, "down", 0.0, clause);
+      if (random.window_s < 0.0 || random.mean_down_s < 0.0) {
+        throw std::invalid_argument("bad fault clause '" + clause +
+                                    "': negative window/down");
+      }
+      plan.random_crashes.push_back(random);
+    } else if (kind == "degrade") {
+      DegradeWindow window;
+      window.worker = static_cast<std::uint32_t>(need_double(kv, "w", clause));
+      window.at = ticks_from_seconds(need_double(kv, "at", clause));
+      window.duration = ticks_from_seconds(need_double(kv, "for", clause));
+      window.factor = need_double(kv, "x", clause);
+      if (window.factor <= 0.0 || window.duration <= 0) {
+        throw std::invalid_argument("bad fault clause '" + clause +
+                                    "': need for>0 and x>0");
+      }
+      plan.degradations.push_back(window);
+    } else if (kind == "drop") {
+      plan.messages.drop_p = need_probability(kv, "p", clause);
+    } else if (kind == "dup") {
+      plan.messages.dup_p = need_probability(kv, "p", clause);
+    } else {
+      throw std::invalid_argument(
+          "bad fault clause '" + clause +
+          "' (crash:|crashes:|degrade:|drop:|dup: — see --faults help)");
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  if (empty()) return "none";
+  std::ostringstream out;
+  const char* sep = "";
+  if (!crashes.empty()) {
+    out << crashes.size() << " scheduled crash" << (crashes.size() == 1 ? "" : "es");
+    sep = ", ";
+  }
+  for (const RandomCrashes& random : random_crashes) {
+    out << sep << "random crashes p=" << random.per_worker_p << " in " << random.window_s
+        << "s";
+    if (random.mean_down_s > 0.0) out << " (mean downtime " << random.mean_down_s << "s)";
+    sep = ", ";
+  }
+  if (!degradations.empty()) {
+    out << sep << degradations.size() << " degrade window"
+        << (degradations.size() == 1 ? "" : "s");
+    sep = ", ";
+  }
+  if (messages.drop_p > 0.0) {
+    out << sep << "drop " << messages.drop_p * 100.0 << "%";
+    sep = ", ";
+  }
+  if (messages.dup_p > 0.0) {
+    out << sep << "dup " << messages.dup_p * 100.0 << "%";
+  }
+  return out.str();
+}
+
+std::vector<CrashEvent> FaultPlan::materialize_crashes(const SeedSequencer& seeds,
+                                                       std::size_t worker_count) const {
+  std::vector<CrashEvent> out;
+  for (const CrashEvent& crash : crashes) {
+    if (crash.worker >= worker_count) {
+      throw std::invalid_argument("fault plan: crash worker index " +
+                                  std::to_string(crash.worker) + " out of range");
+    }
+    out.push_back(crash);
+  }
+  // Dedicated substream: materializing the schedule must not perturb any
+  // other draw in the run, and the same seed must yield the same schedule.
+  RandomStream rng = seeds.stream("fault/plan");
+  for (const RandomCrashes& random : random_crashes) {
+    for (std::size_t w = 0; w < worker_count; ++w) {
+      // Fixed draw order per worker (crash?, when, downtime) keeps the
+      // schedule stable regardless of which workers end up crashing.
+      const bool crashes_here = rng.bernoulli(random.per_worker_p);
+      const double at_s = rng.uniform(0.0, random.window_s);
+      const double down_s =
+          random.mean_down_s > 0.0 ? rng.exponential(random.mean_down_s) : 0.0;
+      if (!crashes_here) continue;
+      CrashEvent crash;
+      crash.worker = static_cast<std::uint32_t>(w);
+      crash.at = ticks_from_seconds(at_s);
+      crash.down_for = ticks_from_seconds(down_s);
+      out.push_back(crash);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const CrashEvent& a, const CrashEvent& b) {
+    return a.at != b.at ? a.at < b.at : a.worker < b.worker;
+  });
+  return out;
+}
+
+}  // namespace dlaja::fault

@@ -1,0 +1,90 @@
+#pragma once
+// Deterministic fault plans.
+//
+// A FaultPlan describes *what goes wrong* in a run: worker crash/recovery
+// windows, per-node network-degradation windows, and broker-level message
+// drop/duplication. Plans are pure data — parseable from a CLI spec,
+// comparable, and reproducible: every random element (randomized crash
+// schedules, per-message drop draws) is resolved from dedicated substreams
+// of the engine's SeedSequencer, so the same seed and the same plan always
+// produce the same faults. An empty plan injects nothing and leaves the
+// simulation bit-identical to a fault-free run.
+//
+// Spec grammar (clauses separated by ';'):
+//   crash:w=1,at=15,down=30      worker 1 dies at t=15s, recovers after 30s
+//                                (omit down for a permanent crash)
+//   crashes:p=0.5,window=60,down=20
+//                                each worker crashes with probability p at a
+//                                uniform time in [0,window]s; downtime is
+//                                exponential with mean `down`s (0 = forever)
+//   degrade:w=2,at=10,for=30,x=0.25
+//                                worker 2's bandwidth is multiplied by 0.25
+//                                during [10,40)s
+//   drop:p=0.01                  each broker delivery is lost with prob. p
+//   dup:p=0.005                  each broker delivery is duplicated with
+//                                probability p
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace dlaja::fault {
+
+/// One concrete crash (and optional recovery) of one worker.
+struct CrashEvent {
+  std::uint32_t worker = 0;
+  Tick at = 0;
+  Tick down_for = 0;  ///< 0 = never recovers
+};
+
+/// One bandwidth-degradation window on one worker's node.
+struct DegradeWindow {
+  std::uint32_t worker = 0;
+  Tick at = 0;
+  Tick duration = 0;
+  double factor = 1.0;  ///< multiplier layered onto the noise model
+};
+
+/// Broker-level message faults, applied per delivery.
+struct MessageFaults {
+  double drop_p = 0.0;
+  double dup_p = 0.0;
+  [[nodiscard]] bool any() const noexcept { return drop_p > 0.0 || dup_p > 0.0; }
+};
+
+/// A randomized crash schedule, resolved deterministically by materialize().
+struct RandomCrashes {
+  double per_worker_p = 0.0;  ///< probability that a given worker crashes
+  double window_s = 0.0;      ///< crash time ~ uniform[0, window_s]
+  double mean_down_s = 0.0;   ///< downtime ~ exponential(mean); 0 = forever
+};
+
+struct FaultPlan {
+  std::vector<CrashEvent> crashes;
+  std::vector<RandomCrashes> random_crashes;
+  std::vector<DegradeWindow> degradations;
+  MessageFaults messages;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return crashes.empty() && random_crashes.empty() && degradations.empty() &&
+           !messages.any();
+  }
+
+  /// Parses the spec grammar above. Throws std::invalid_argument on errors.
+  [[nodiscard]] static FaultPlan parse(const std::string& spec);
+
+  /// One-line human summary ("2 crashes, drop 1%, ...") for logs/CLI.
+  [[nodiscard]] std::string describe() const;
+
+  /// Resolves the randomized crash clauses into concrete CrashEvents using
+  /// the "fault/plan" substream and validates explicit worker indices.
+  /// Returns explicit crashes followed by materialized random ones, sorted
+  /// by (at, worker) so injection order never depends on clause order.
+  [[nodiscard]] std::vector<CrashEvent> materialize_crashes(
+      const SeedSequencer& seeds, std::size_t worker_count) const;
+};
+
+}  // namespace dlaja::fault

@@ -80,7 +80,8 @@ void write_reports_csv(std::ostream& out, const std::vector<RunReport>& reports)
 
   CsvRow header = {"scheduler", "workload", "worker_config", "iteration", "seed",
                    "exec_time_s", "cache_misses", "data_load_mb", "jobs_submitted",
-                   "jobs_completed", "avg_turnaround_s", "p50_turnaround_s",
+                   "jobs_completed", "jobs_retried", "jobs_dead_lettered", "jobs_lost",
+                   "avg_turnaround_s", "p50_turnaround_s",
                    "p95_turnaround_s", "p99_turnaround_s", "avg_alloc_latency_s",
                    "avg_queue_wait_s", "cache_hit_rate", "fairness_index",
                    "messages_delivered", "wall_time_s"};
@@ -103,6 +104,9 @@ void write_reports_csv(std::ostream& out, const std::vector<RunReport>& reports)
     add(r.data_load_mb);
     add(r.jobs_submitted);
     add(r.jobs_completed);
+    add(r.jobs_retried);
+    add(r.jobs_dead_lettered);
+    add(r.jobs_lost);
     add(r.avg_turnaround_s);
     add(r.p50_turnaround_s);
     add(r.p95_turnaround_s);

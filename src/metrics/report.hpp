@@ -29,6 +29,9 @@ struct RunReport {
   // Supporting detail.
   std::uint64_t jobs_submitted = 0;
   std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_retried = 0;        ///< lifecycle resubmissions (faults)
+  std::uint64_t jobs_dead_lettered = 0;  ///< jobs that exhausted retries
+  std::uint64_t jobs_lost = 0;           ///< attempts unresolved at run end
   double avg_turnaround_s = 0.0;    ///< mean (finished - arrived)
   double p50_turnaround_s = 0.0;    ///< median per-job turnaround
   double p95_turnaround_s = 0.0;    ///< tail per-job turnaround

@@ -27,51 +27,69 @@ bool Broker::unsubscribe(SubscriptionId id) {
 
 void Broker::deliver_later(net::NodeId from, net::NodeId to, const std::string& label,
                            std::function<void(Message&&)> sink, std::any payload) {
-  Message message;
-  message.id = next_message_++;
-  message.from = from;
-  message.sent_at = sim_.now();
-  message.payload = std::move(payload);
-  const Tick delay = net_.sample_message_delay(from, to);
+  // Fault policy (if any) decides the copy count per delivery: 0 drops the
+  // message before it ever enters the in-flight slab, >1 duplicates it with
+  // independently sampled delays. No policy installed = exactly one copy
+  // through the original code path, bit-identical to a fault-free run.
+  std::uint32_t copies = 1;
+  if (fault_policy_) {
+    copies = fault_policy_(from, to);
+    if (copies == 0) {
+      ++stats_.fault_dropped;
+      return;
+    }
+    if (copies > 1) stats_.fault_duplicated += copies - 1;
+  }
 
   std::uint16_t trace_name = 0;
   if (DLAJA_TRACE_ACTIVE(sim_.tracer())) {
     trace_name = sim_.tracer()->intern(label);
   }
 
-  // Park the wide state (sink + payload) in the in-flight slab so the
-  // scheduled action captures only {this, slot} — 16 bytes, the simulator's
-  // fixed small-copy tier. Slots recycle through inflight_free_.
-  std::uint32_t slot;
-  if (!inflight_free_.empty()) {
-    slot = inflight_free_.back();
-    inflight_free_.pop_back();
-    inflight_[slot] = InFlight{to, trace_name, std::move(sink), std::move(message)};
-  } else {
-    slot = static_cast<std::uint32_t>(inflight_.size());
-    inflight_.push_back(InFlight{to, trace_name, std::move(sink), std::move(message)});
-  }
+  for (std::uint32_t copy = 0; copy < copies; ++copy) {
+    const bool last = copy + 1 == copies;
+    Message message;
+    message.id = next_message_++;
+    message.from = from;
+    message.sent_at = sim_.now();
+    message.payload = last ? std::move(payload) : payload;
+    const Tick delay = net_.sample_message_delay(from, to);
 
-  auto deliver = [this, slot] {
-    // Move out and free the slot before invoking: the sink may send again,
-    // reusing the slot or growing the slab.
-    InFlight flight = std::move(inflight_[slot]);
-    inflight_free_.push_back(slot);
-    if (DLAJA_TRACE_ACTIVE(sim_.tracer())) {
-      // publish->deliver (or send->deliver) latency, one span per hop,
-      // tracked by the receiving node.
-      sim_.tracer()->span(obs::Component::kMsg, flight.trace_name, flight.to,
-                          flight.message.sent_at, sim_.now(), flight.message.id);
+    // Park the wide state (sink + payload) in the in-flight slab so the
+    // scheduled action captures only {this, slot} — 16 bytes, the simulator's
+    // fixed small-copy tier. Slots recycle through inflight_free_.
+    std::uint32_t slot;
+    InFlight flight{to, trace_name, last ? std::move(sink) : sink, std::move(message)};
+    if (!inflight_free_.empty()) {
+      slot = inflight_free_.back();
+      inflight_free_.pop_back();
+      inflight_[slot] = std::move(flight);
+    } else {
+      slot = static_cast<std::uint32_t>(inflight_.size());
+      inflight_.push_back(std::move(flight));
     }
-    if (node_down(flight.to)) {
-      ++stats_.dropped;
-      return;
-    }
-    // `delivered` is counted by the sink iff a live handler was invoked.
-    flight.sink(std::move(flight.message));
-  };
-  static_assert(sim::InlineAction::fits_inline<decltype(deliver)>());
-  sim_.schedule_after(delay, std::move(deliver));
+
+    auto deliver = [this, slot] {
+      // Move out and free the slot before invoking: the sink may send again,
+      // reusing the slot or growing the slab.
+      InFlight in_flight = std::move(inflight_[slot]);
+      inflight_free_.push_back(slot);
+      if (DLAJA_TRACE_ACTIVE(sim_.tracer())) {
+        // publish->deliver (or send->deliver) latency, one span per hop,
+        // tracked by the receiving node.
+        sim_.tracer()->span(obs::Component::kMsg, in_flight.trace_name, in_flight.to,
+                            in_flight.message.sent_at, sim_.now(), in_flight.message.id);
+      }
+      if (node_down(in_flight.to)) {
+        ++stats_.dropped;
+        return;
+      }
+      // `delivered` is counted by the sink iff a live handler was invoked.
+      in_flight.sink(std::move(in_flight.message));
+    };
+    static_assert(sim::InlineAction::fits_inline<decltype(deliver)>());
+    sim_.schedule_after(delay, std::move(deliver));
+  }
 }
 
 std::size_t Broker::publish(const std::string& topic, net::NodeId from, std::any payload) {

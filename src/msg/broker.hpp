@@ -40,11 +40,17 @@ struct SubscriptionId {
 
 /// Delivery counters for observability and the micro benchmarks.
 struct BrokerStats {
-  std::uint64_t published = 0;   ///< publish() calls
-  std::uint64_t sent = 0;        ///< send() calls
-  std::uint64_t delivered = 0;   ///< handler invocations
-  std::uint64_t dropped = 0;     ///< sends to missing mailboxes / dead nodes
+  std::uint64_t published = 0;        ///< publish() calls
+  std::uint64_t sent = 0;             ///< send() calls
+  std::uint64_t delivered = 0;        ///< handler invocations
+  std::uint64_t dropped = 0;          ///< sends to missing mailboxes / dead nodes
+  std::uint64_t fault_dropped = 0;    ///< deliveries lost to the fault policy
+  std::uint64_t fault_duplicated = 0; ///< extra copies created by the fault policy
 };
+
+/// Fault-injection hook consulted once per delivery: returns how many copies
+/// of the message to put in flight (0 = drop, 1 = normal, 2 = duplicate).
+using FaultPolicy = std::function<std::uint32_t(net::NodeId from, net::NodeId to)>;
 
 /// The broker. Owned by the Engine; one per simulated cluster.
 class Broker {
@@ -81,6 +87,11 @@ class Broker {
   /// in-flight messages to it are dropped at delivery time. Used by the
   /// fault-injection tests.
   void set_node_down(net::NodeId node, bool down);
+
+  /// Installs (or clears, with nullptr) the per-delivery fault policy. With
+  /// no policy installed the broker behaves bit-identically to a fault-free
+  /// build — the hook is never consulted.
+  void set_fault_policy(FaultPolicy policy) { fault_policy_ = std::move(policy); }
 
   [[nodiscard]] bool node_down(net::NodeId node) const;
 
@@ -120,6 +131,7 @@ class Broker {
   std::uint64_t next_subscription_ = 1;
   std::uint64_t next_message_ = 1;
   BrokerStats stats_;
+  FaultPolicy fault_policy_;
 };
 
 }  // namespace dlaja::msg

@@ -42,7 +42,18 @@ double NetworkModel::sample_noise_factor(NodeId node) {
 }
 
 MbPerSec NetworkModel::sample_effective_bandwidth(NodeId node) {
-  return link(node).bandwidth_mbps * sample_noise_factor(node);
+  // Multiplying by the default 1.0 is exact in IEEE arithmetic, so an
+  // undegraded node samples bit-identical bandwidths.
+  return link(node).bandwidth_mbps * sample_noise_factor(node) * node_at(node).degradation;
+}
+
+void NetworkModel::set_degradation(NodeId node, double factor) {
+  if (factor <= 0.0) throw std::invalid_argument("NetworkModel: degradation must be > 0");
+  node_at(node).degradation = factor;
+}
+
+double NetworkModel::degradation(NodeId node) const {
+  return const_cast<NetworkModel*>(this)->node_at(node).degradation;
 }
 
 Tick NetworkModel::sample_transfer_ticks(NodeId node, MegaBytes volume) {

@@ -63,8 +63,18 @@ class NetworkModel {
   [[nodiscard]] double sample_noise_factor(NodeId node);
 
   /// Samples the *effective* download bandwidth of `node` for one bulk
-  /// transfer: nominal bandwidth times a noise factor.
+  /// transfer: nominal bandwidth times a noise factor times the node's
+  /// current degradation multiplier.
   [[nodiscard]] MbPerSec sample_effective_bandwidth(NodeId node);
+
+  /// Fault-injection hook: multiplies `node`'s effective bandwidth by
+  /// `factor` until changed again (1.0 restores nominal behaviour). Layered
+  /// on top of the noise model; the default of exactly 1.0 leaves every
+  /// sampled bandwidth bit-identical to an undegraded run.
+  void set_degradation(NodeId node, double factor);
+
+  /// Current degradation multiplier of `node`.
+  [[nodiscard]] double degradation(NodeId node) const;
 
   /// Ticks to download `volume` MB at node `node` under sampled noise.
   [[nodiscard]] Tick sample_transfer_ticks(NodeId node, MegaBytes volume);
@@ -77,6 +87,7 @@ class NetworkModel {
     std::string name;
     LinkConfig link;
     RandomStream rng;
+    double degradation = 1.0;  ///< fault-injection bandwidth multiplier
   };
 
   [[nodiscard]] Node& node_at(NodeId id);

@@ -10,6 +10,7 @@ const char* component_name(Component comp) noexcept {
     case Component::kSched: return "sched";
     case Component::kWorker: return "worker";
     case Component::kCore: return "core";
+    case Component::kFault: return "fault";
   }
   return "core";
 }
@@ -20,6 +21,7 @@ Component component_from_name(std::string_view name) noexcept {
   if (name == "net") return Component::kNet;
   if (name == "sched") return Component::kSched;
   if (name == "worker") return Component::kWorker;
+  if (name == "fault") return Component::kFault;
   return Component::kCore;
 }
 

@@ -35,8 +35,8 @@ namespace dlaja::obs {
 
 /// Emitting subsystem. Doubles as the Chrome-trace "process" id so Perfetto
 /// groups tracks by component.
-enum class Component : std::uint8_t { kSim, kMsg, kNet, kSched, kWorker, kCore };
-inline constexpr std::size_t kComponentCount = 6;
+enum class Component : std::uint8_t { kSim, kMsg, kNet, kSched, kWorker, kCore, kFault };
+inline constexpr std::size_t kComponentCount = 7;
 
 /// Stable lowercase name ("sim", "msg", ...) used as the Chrome-trace
 /// category and in profile tables.

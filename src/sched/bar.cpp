@@ -84,11 +84,19 @@ void BarScheduler::process_batch() {
   // --- phase 1: maximum locality ---------------------------------------
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     const workflow::Job& job = jobs[i];
+    const auto excluded = static_cast<WorkerIndex>(job.excluded_worker);
+    bool excluded_alive = false;
     WorkerIndex best = cluster::kNoWorker;
     double best_finish = std::numeric_limits<double>::infinity();
-    // Least-loaded holder first.
+    bool local_hit = false;
+    // Least-loaded holder first. A retry's excluded worker is a soft
+    // preference: skipped here, used below only if nothing else is alive.
     for (WorkerIndex w = 0; w < n; ++w) {
       if (ctx_.workers[w]->failed()) continue;
+      if (w == excluded) {
+        excluded_alive = true;
+        continue;
+      }
       if (!job.needs_resource() || local[w].count(job.resource) > 0) {
         const double finish = load[w] + cost_s(w, job);
         if (finish < best_finish) {
@@ -98,21 +106,33 @@ void BarScheduler::process_batch() {
       }
     }
     if (best != cluster::kNoWorker) {
-      ++stats_.local_assignments;
+      local_hit = true;
     } else {
       // No holder: globally least completion time (cost_s charges the
       // transfer for non-local placements).
       for (WorkerIndex w = 0; w < n; ++w) {
-        if (ctx_.workers[w]->failed()) continue;
+        if (ctx_.workers[w]->failed() || w == excluded) continue;
         const double finish = load[w] + cost_s(w, job);
         if (finish < best_finish) {
           best_finish = finish;
           best = w;
         }
       }
+    }
+    if (best == cluster::kNoWorker && excluded_alive) best = excluded;
+    if (best == cluster::kNoWorker && !ctx_.notify_unassignable) {
+      best = 0;  // all workers failed: legacy blind dispatch
+    }
+    if (best == cluster::kNoWorker) {
+      // All workers dead and a lifecycle is attached: let it retry or
+      // dead-letter instead of dispatching into a void.
+      continue;
+    }
+    if (local_hit) {
+      ++stats_.local_assignments;
+    } else {
       ++stats_.remote_assignments;
     }
-    if (best == cluster::kNoWorker) best = 0;  // all workers failed
     assignment[i] = best;
     // Recompute against the evolving local map: the transfer may now be free.
     double cost = jobs[i].process_mb /
@@ -162,7 +182,13 @@ void BarScheduler::process_batch() {
   }
 
   // --- dispatch -----------------------------------------------------------
-  for (std::size_t i = 0; i < jobs.size(); ++i) dispatch(assignment[i], jobs[i]);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (assignment[i] == cluster::kNoWorker) {
+      ctx_.notify_unassignable(jobs[i]);
+      continue;
+    }
+    dispatch(assignment[i], jobs[i]);
+  }
   // Refresh drain estimates from the final plan.
   for (WorkerIndex w = 0; w < n; ++w) {
     if (!ctx_.workers[w]->failed()) {
@@ -179,6 +205,9 @@ void BarScheduler::dispatch(WorkerIndex w, const workflow::Job& job) {
   record.worker = w;
   ctx_.broker->send(ctx_.master_node, ctx_.worker_nodes[w], cluster::mailboxes::kJobs,
                     JobAssignment{job});
+  if (ctx_.notify_assigned) {
+    ctx_.notify_assigned(job.id, w, ctx_.workers[w]->estimate_bid_s(job));
+  }
 }
 
 }  // namespace dlaja::sched

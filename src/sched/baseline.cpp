@@ -69,6 +69,13 @@ void BaselineScheduler::worker_request(WorkerIndex w) {
   });
 }
 
+namespace {
+/// Fault injection: how long the master waits for an offer's response before
+/// reclaiming the job. Generous versus the heartbeat so it only fires when
+/// the offer or its response was actually lost.
+constexpr double kOfferTimeoutS = 10.0;
+}  // namespace
+
 void BaselineScheduler::handle_work_request(WorkerIndex w) {
   // The requesting worker pulls the job at the head of the master's queue.
   assert(!queue_.empty());
@@ -85,6 +92,33 @@ void BaselineScheduler::handle_work_request(WorkerIndex w) {
   ctx_.metrics->registry().counter("sched.offers").add(1);
   ctx_.broker->send(ctx_.master_node, ctx_.worker_nodes[w], cluster::mailboxes::kOffers,
                     offer);
+  if (ctx_.fault_aware) {
+    auto expire = [this, offer_id] { expire_offer(offer_id); };
+    static_assert(sim::InlineAction::fits_inline<decltype(expire)>());
+    ctx_.sim->schedule_after(ticks_from_seconds(kOfferTimeoutS), std::move(expire));
+  }
+}
+
+void BaselineScheduler::expire_offer(std::uint64_t offer_id) {
+  const auto it = in_flight_.find(offer_id);
+  if (it == in_flight_.end()) return;  // answered in time
+  workflow::Job job = std::move(it->second.job);
+  in_flight_.erase(it);
+  ++stats_.offers_timed_out;
+  // Back to the head: the job keeps its place while another worker is found.
+  // If the worker did accept and only the response was lost, the re-offer
+  // causes at most a duplicate execution — at-least-once, never lost.
+  queue_.push_front(std::move(job));
+  dispatch_parked();
+  arm_watchdog();
+}
+
+void BaselineScheduler::watchdog_poke(WorkerIndex w) {
+  // A dropped offer leaves request_pending_ stuck true and the worker mute;
+  // forget it and poll again (worker_request dedupes healthy chains only
+  // when the flag is accurate, and a spurious duplicate is harmless).
+  request_pending_[w] = false;
+  worker_request(w);
 }
 
 void BaselineScheduler::worker_handle_offer(WorkerIndex w, const JobOffer& offer) {
@@ -98,9 +132,13 @@ void BaselineScheduler::worker_handle_offer(WorkerIndex w, const JobOffer& offer
 
   // Acceptance criteria (application-defined in Crossflow; data locality
   // here): accept when the data is local, when the job needs no data, or
-  // when this worker has exhausted its declines for the job.
+  // when this worker has exhausted its declines for the job. A lifecycle
+  // retry's excluded worker (the one that just failed the job) declines
+  // until the cap forces it — soft exclusion, so a lone survivor still
+  // takes the job instead of livelocking.
+  const bool excluded = offer.job.excluded_worker == w;
   const bool must_accept = decline_count >= config_.max_declines_per_worker;
-  const bool accept = worker->has_local(offer.job) || must_accept;
+  const bool accept = (worker->has_local(offer.job) && !excluded) || must_accept;
 
   OfferResponse response;
   response.offer = offer.offer;
@@ -117,6 +155,9 @@ void BaselineScheduler::worker_handle_offer(WorkerIndex w, const JobOffer& offer
     record.assigned = ctx_.sim->now();
     record.worker = w;
     worker->enqueue(offer.job);
+    if (ctx_.notify_assigned) {
+      ctx_.notify_assigned(offer.job.id, w, worker->estimate_bid_s(offer.job));
+    }
   } else {
     declined[offer.job.id] = decline_count + 1;
     ++ctx_.metrics->worker(w).offers_declined;

@@ -50,20 +50,33 @@ class BaselineScheduler final : public PullSchedulerBase {
 
   void on_worker_idle(cluster::WorkerIndex w) override { worker_request(w); }
   void on_worker_capacity(cluster::WorkerIndex w) override { worker_request(w); }
+  void on_worker_recovered(cluster::WorkerIndex w) override {
+    // The crash may have eaten an in-flight request/offer; forget the
+    // pending flag so the recovered worker polls again.
+    request_pending_[w] = false;
+    worker_request(w);
+  }
 
   /// Offer/decline counters.
   struct Stats {
     std::uint64_t offers_made = 0;
     std::uint64_t offers_declined = 0;
-    std::uint64_t forced_accepts = 0;  ///< accepted only because of the decline cap
+    std::uint64_t forced_accepts = 0;   ///< accepted only because of the decline cap
+    std::uint64_t offers_timed_out = 0; ///< fault injection: offer/response lost
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
  protected:
   void attach_extra() override;
   void handle_work_request(cluster::WorkerIndex w) override;
+  [[nodiscard]] bool watchdog_needed() const override {
+    return !queue_.empty() || !in_flight_.empty();
+  }
+  void watchdog_poke(cluster::WorkerIndex w) override;
 
  private:
+  /// Fault injection: an offer (or its response) was lost; reclaim the job.
+  void expire_offer(std::uint64_t offer_id);
   /// Worker-side: true if `w` can take one more job into its local queue.
   [[nodiscard]] bool has_capacity(cluster::WorkerIndex w) const;
 

@@ -106,6 +106,15 @@ void BiddingScheduler::master_receive_bid(const BidSubmission& bid) {
     return;
   }
   Contest& contest = it->second;
+  // Dedupe per worker: a duplicated message (injectable via the broker's
+  // fault policy) must not count the same worker twice toward the quorum
+  // and close the contest with a live worker's bid still in flight.
+  for (const BidSubmission& existing : contest.bids) {
+    if (existing.worker == bid.worker) {
+      ++stats_.duplicate_bids_ignored;
+      return;
+    }
+  }
   contest.bids.push_back(bid);
   if (DLAJA_TRACE_ACTIVE(ctx_.sim->tracer())) {
     ensure_trace_names();
@@ -114,7 +123,7 @@ void BiddingScheduler::master_receive_bid(const BidSubmission& bid) {
   }
 
   // biddingFinished: all active workers have bid (the timeout branch is the
-  // scheduled event from submit()).
+  // scheduled event from submit()). bids.size() counts distinct workers.
   if (contest.bids.size() >= ctx_.active_workers()) {
     ++stats_.contests_closed_full;
     close_contest(bid.contest);
@@ -122,10 +131,22 @@ void BiddingScheduler::master_receive_bid(const BidSubmission& bid) {
 }
 
 cluster::WorkerIndex BiddingScheduler::preferred_worker(
-    const std::vector<BidSubmission>& bids) {
+    const std::vector<BidSubmission>& bids, WorkerIndex excluded) {
   assert(!bids.empty());
-  WorkerIndex best = bids.front().worker;
-  double best_cost = bids.front().cost_s;
+  WorkerIndex best = cluster::kNoWorker;
+  double best_cost = 0.0;
+  for (const BidSubmission& bid : bids) {
+    if (bid.worker == excluded) continue;
+    if (best == cluster::kNoWorker || bid.cost_s < best_cost) {
+      best_cost = bid.cost_s;
+      best = bid.worker;
+    }
+  }
+  if (best != cluster::kNoWorker) return best;
+  // Only the excluded worker bid: a soft exclusion takes it over dropping
+  // the job (the retry is bounded either way).
+  best = bids.front().worker;
+  best_cost = bids.front().cost_s;
   for (const BidSubmission& bid : bids) {
     if (bid.cost_s < best_cost) {
       best_cost = bid.cost_s;
@@ -135,13 +156,22 @@ cluster::WorkerIndex BiddingScheduler::preferred_worker(
   return best;
 }
 
-cluster::WorkerIndex BiddingScheduler::arbitrary_worker() {
+cluster::WorkerIndex BiddingScheduler::arbitrary_worker(WorkerIndex excluded) {
   const std::size_t n = ctx_.worker_count();
+  WorkerIndex excluded_alive = cluster::kNoWorker;
   for (std::size_t probe = 0; probe < n; ++probe) {
     const auto w = static_cast<WorkerIndex>(fallback_cursor_++ % n);
-    if (!ctx_.workers[w]->failed()) return w;
+    if (ctx_.workers[w]->failed()) continue;
+    if (w == excluded) {
+      excluded_alive = w;
+      continue;
+    }
+    return w;
   }
-  return 0;  // all workers failed; the assignment will be dropped anyway
+  // Only the excluded worker survives (soft exclusion), or nobody does:
+  // kNoWorker routes the job back to the lifecycle instead of "assigning"
+  // it to a dead worker and polluting its metrics.
+  return excluded_alive;
 }
 
 void BiddingScheduler::close_contest(std::uint64_t contest_id) {
@@ -151,16 +181,36 @@ void BiddingScheduler::close_contest(std::uint64_t contest_id) {
   contests_.erase(it);
   ctx_.sim->cancel(contest.timeout);
 
+  const auto excluded = static_cast<WorkerIndex>(contest.job.excluded_worker);
   WorkerIndex winner;
   double winning_cost = -1.0;
   if (contest.bids.empty()) {
-    winner = arbitrary_worker();
+    winner = arbitrary_worker(excluded);
+    if (winner == cluster::kNoWorker) {
+      // Zero bids because zero live workers: the job cannot be assigned.
+      // Hand it to the lifecycle (retry/dead-letter) — or, without one,
+      // drop it *without* stamping record.assigned / bids_won for an
+      // assignment that never happened.
+      ++stats_.unassignable_jobs;
+      ctx_.metrics->job(contest.job.id).bids_received = 0;
+      DLAJA_LOG(kWarn, "bidding") << ctx_.sim->log_prefix() << "no live worker for job "
+                                  << contest.job.id
+                                  << (ctx_.notify_unassignable ? "; handing to lifecycle"
+                                                               : "; job dropped");
+      if (ctx_.notify_unassignable) ctx_.notify_unassignable(contest.job);
+      if (config_.serialize_contests && !backlog_.empty()) {
+        const workflow::Job next = backlog_.front();
+        backlog_.pop_front();
+        open_contest(next);
+      }
+      return;
+    }
     ++stats_.fallback_assignments;
     DLAJA_LOG(kDebug, "bidding") << ctx_.sim->log_prefix() << "no bids for job "
                                  << contest.job.id
                                  << "; arbitrary assignment to worker " << winner;
   } else {
-    winner = preferred_worker(contest.bids);
+    winner = preferred_worker(contest.bids, excluded);
     winning_cost = 0.0;
     for (const BidSubmission& bid : contest.bids) {
       if (bid.worker == winner) {
@@ -195,6 +245,7 @@ void BiddingScheduler::close_contest(std::uint64_t contest_id) {
 
   ctx_.broker->send(ctx_.master_node, ctx_.worker_nodes[winner], cluster::mailboxes::kJobs,
                     JobAssignment{contest.job});
+  if (ctx_.notify_assigned) ctx_.notify_assigned(contest.job.id, winner, winning_cost);
 
   // Serial mode: the next queued job gets its contest now. By this point the
   // winner's queue (as seen through its future bids) includes this job's
@@ -206,6 +257,14 @@ void BiddingScheduler::close_contest(std::uint64_t contest_id) {
     backlog_.pop_front();
     open_contest(next);
   }
+}
+
+void BiddingScheduler::on_assignment_void(workflow::JobId id, cluster::WorkerIndex w) {
+  (void)w;
+  // The attempt died with the worker; a completion for it will never arrive,
+  // so drop the learning state keyed on this job id (a retry gets a new id).
+  winning_estimate_s_.erase(id);
+  assigned_at_.erase(id);
 }
 
 void BiddingScheduler::on_completion(const cluster::CompletionReport& report) {

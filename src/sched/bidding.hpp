@@ -54,6 +54,7 @@ class BiddingScheduler final : public Scheduler {
   void attach(const SchedulerContext& ctx) override;
   void submit(const workflow::Job& job) override;
   void on_completion(const cluster::CompletionReport& report) override;
+  void on_assignment_void(workflow::JobId id, cluster::WorkerIndex w) override;
   [[nodiscard]] std::size_t pending_jobs() const override {
     return contests_.size() + backlog_.size();
   }
@@ -65,6 +66,8 @@ class BiddingScheduler final : public Scheduler {
     std::uint64_t contests_closed_timeout = 0;  ///< window elapsed first
     std::uint64_t fallback_assignments = 0;     ///< zero bids -> arbitrary
     std::uint64_t late_bids_ignored = 0;
+    std::uint64_t duplicate_bids_ignored = 0;   ///< same worker bid twice (dup faults)
+    std::uint64_t unassignable_jobs = 0;        ///< zero bids and no live worker
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
@@ -90,12 +93,17 @@ class BiddingScheduler final : public Scheduler {
   void close_contest(std::uint64_t contest_id);
 
   /// Listing 1, getPreferredWorker: lowest estimate wins (first such bid on
-  /// ties, which matches sorting ascending and taking element 0).
+  /// ties, which matches sorting ascending and taking element 0). Bids from
+  /// `excluded` (a lifecycle retry avoiding the worker that just failed the
+  /// job) only win when no other worker bid.
   [[nodiscard]] static cluster::WorkerIndex preferred_worker(
-      const std::vector<cluster::BidSubmission>& bids);
+      const std::vector<cluster::BidSubmission>& bids, cluster::WorkerIndex excluded);
 
-  /// Fallback when no bids arrived: rotate over currently active workers.
-  [[nodiscard]] cluster::WorkerIndex arbitrary_worker();
+  /// Fallback when no bids arrived: rotate over currently active workers,
+  /// preferring non-excluded ones. Returns kNoWorker when every worker is
+  /// dead — the caller routes the job to the lifecycle instead of
+  /// "assigning" it to a corpse.
+  [[nodiscard]] cluster::WorkerIndex arbitrary_worker(cluster::WorkerIndex excluded);
 
   /// Interns the scheduler's span names on first traced use.
   void ensure_trace_names();

@@ -41,9 +41,51 @@ void PullSchedulerBase::attach(const SchedulerContext& ctx) {
   attach_extra();
 }
 
+namespace {
+/// Watchdog period. Much longer than any heartbeat, so it only matters when
+/// the normal poll chain broke (a dropped message, a crashed worker).
+constexpr double kWatchdogPeriodS = 5.0;
+}  // namespace
+
 void PullSchedulerBase::submit(const workflow::Job& job) {
   queue_.push_back(job);
   dispatch_parked();
+  arm_watchdog();
+}
+
+void PullSchedulerBase::arm_watchdog() {
+  if (!ctx_.fault_aware || watchdog_armed_) return;
+  watchdog_armed_ = true;
+  auto fire = [this] { watchdog_fire(); };
+  static_assert(sim::InlineAction::fits_inline<decltype(fire)>());
+  ctx_.sim->schedule_after(ticks_from_seconds(kWatchdogPeriodS), std::move(fire));
+}
+
+void PullSchedulerBase::watchdog_fire() {
+  watchdog_armed_ = false;
+  if (!watchdog_needed()) return;  // self-disarm: no work could be stranded
+  bool any_alive = false;
+  for (WorkerIndex w = 0; w < ctx_.worker_count(); ++w) {
+    if (ctx_.workers[w]->failed()) continue;
+    any_alive = true;
+    watchdog_poke(w);
+  }
+  if (!any_alive && ctx_.notify_unassignable) {
+    // Nobody can ever pull these. Hand them to the lifecycle: it retries
+    // after a backoff (by which time a worker may have recovered) and
+    // dead-letters once the attempt budget runs out.
+    std::deque<workflow::Job> stranded;
+    stranded.swap(queue_);
+    for (const workflow::Job& job : stranded) ctx_.notify_unassignable(job);
+  }
+  arm_watchdog();
+}
+
+void PullSchedulerBase::watchdog_poke(WorkerIndex w) {
+  // An idle, unparked worker with work pending means its poll chain broke
+  // (the poll or the answer was dropped). A duplicate WorkRequest from a
+  // healthy chain is harmless: it either parks (deduped) or pulls a job.
+  if (ctx_.workers[w]->idle() && !parked_[w]) worker_request_work_later(w);
 }
 
 void PullSchedulerBase::on_worker_idle(WorkerIndex w) {
@@ -78,6 +120,7 @@ void PullSchedulerBase::assign_to(WorkerIndex w, const workflow::Job& job) {
   record.worker = w;
   ctx_.broker->send(ctx_.master_node, ctx_.worker_nodes[w], cluster::mailboxes::kJobs,
                     JobAssignment{job});
+  if (ctx_.notify_assigned) ctx_.notify_assigned(job.id, w, ctx_.workers[w]->estimate_bid_s(job));
 }
 
 void PullSchedulerBase::send_no_work(WorkerIndex w) {

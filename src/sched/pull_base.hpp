@@ -58,14 +58,31 @@ class PullSchedulerBase : public Scheduler {
   /// the worker side.
   void worker_request_work_later(cluster::WorkerIndex w);
 
+  // --- fault hardening ---------------------------------------------------
+  // The pull protocol is a one-shot chain: poll -> answer -> poll. A dropped
+  // message breaks the chain and strands the worker forever. Under fault
+  // injection (ctx_.fault_aware) a self-disarming watchdog re-pokes idle
+  // workers while work is pending; fault-free runs never arm it.
+
+  /// Arms the watchdog if fault injection is on and it is not running.
+  void arm_watchdog();
+
+  /// True while the watchdog should keep firing (work could be stranded).
+  [[nodiscard]] virtual bool watchdog_needed() const { return !queue_.empty(); }
+
+  /// Re-kick one live worker. Default: restart polling for idle workers.
+  virtual void watchdog_poke(cluster::WorkerIndex w);
+
   SchedulerContext ctx_;
   std::deque<workflow::Job> queue_;  ///< master's pending jobs, FIFO
 
  private:
   void master_handle_request(cluster::WorkerIndex w);
+  void watchdog_fire();
 
   std::vector<bool> parked_;          ///< master: waiting workers
   std::deque<cluster::WorkerIndex> parked_order_;
+  bool watchdog_armed_ = false;
 };
 
 }  // namespace dlaja::sched

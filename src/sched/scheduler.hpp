@@ -7,6 +7,7 @@
 // The engine owns the nodes and the clock; the scheduler owns the policy.
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,19 @@ struct SchedulerContext {
   net::NodeId master_node = net::kInvalidNode;
   std::vector<cluster::WorkerNode*> workers;  ///< index == WorkerIndex
   std::vector<net::NodeId> worker_nodes;      ///< broker node id per worker
+
+  /// Lifecycle hooks (null unless the engine runs with a job lifecycle —
+  /// fault-free runs leave them unset and schedulers behave bit-identically).
+  /// notify_assigned: the master committed `job` to `worker` with the given
+  /// completion estimate (<= 0 when unknown) — starts the lease clock.
+  std::function<void(workflow::JobId, cluster::WorkerIndex, double)> notify_assigned;
+  /// notify_unassignable: the scheduler cannot place the job at all (e.g.
+  /// every worker is dead) and hands it back for retry/dead-lettering.
+  std::function<void(const workflow::Job&)> notify_unassignable;
+
+  /// True when fault injection is active: schedulers may arm watchdogs /
+  /// timeouts that would otherwise perturb fault-free determinism.
+  bool fault_aware = false;
 
   [[nodiscard]] std::size_t worker_count() const noexcept { return workers.size(); }
 
@@ -71,6 +85,21 @@ class Scheduler {
   /// schedulers with prefetch use it to top their local queue back up.
   /// Default: ignore.
   virtual void on_worker_capacity(cluster::WorkerIndex w) { (void)w; }
+
+  /// Notification that worker `w` recovered from a crash (fault injection).
+  /// The engine has already revived the node and re-probed its speeds.
+  /// Default: treat it like the initial idle notification, which restarts
+  /// pull-based polling; push schedulers need nothing more.
+  virtual void on_worker_recovered(cluster::WorkerIndex w) { on_worker_idle(w); }
+
+  /// Notification that a previously committed assignment of `id` to `w` was
+  /// voided (lease broken by a crash or message loss); the lifecycle is
+  /// retrying or dead-lettering the job. Schedulers drop any per-job state
+  /// keyed on the dead attempt. Default: ignore.
+  virtual void on_assignment_void(workflow::JobId id, cluster::WorkerIndex w) {
+    (void)id;
+    (void)w;
+  }
 
   /// Number of jobs the scheduler accepted but has not yet durably handed
   /// to a worker (used by the engine's quiescence diagnostics).

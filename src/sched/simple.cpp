@@ -71,6 +71,9 @@ void SimplePushScheduler::submit(const workflow::Job& job) {
   record.worker = w;
   ctx_.broker->send(ctx_.master_node, ctx_.worker_nodes[w], cluster::mailboxes::kJobs,
                     JobAssignment{job});
+  if (ctx_.notify_assigned) {
+    ctx_.notify_assigned(job.id, w, ctx_.workers[w]->estimate_bid_s(job));
+  }
 }
 
 }  // namespace dlaja::sched

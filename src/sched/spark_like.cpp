@@ -36,20 +36,39 @@ WorkerIndex SparkLikeScheduler::place(const workflow::Job& job) {
                                    : static_cast<WorkerIndex>(cursor_++ % n);
       break;
   }
+  const auto excluded = static_cast<WorkerIndex>(job.excluded_worker);
+  WorkerIndex excluded_alive = cluster::kNoWorker;
   for (std::size_t probe = 0; probe < n; ++probe) {
     const auto w = static_cast<WorkerIndex>((start + probe) % n);
-    if (!ctx_.workers[w]->failed()) return w;
+    if (ctx_.workers[w]->failed()) continue;
+    if (w == excluded) {
+      excluded_alive = w;  // soft exclusion: only if nobody else is alive
+      continue;
+    }
+    return w;
   }
-  return start;  // all dead; the assignment will be dropped anyway
+  if (excluded_alive != cluster::kNoWorker) return excluded_alive;
+  // All workers dead. With a lifecycle the job goes back for retry or
+  // dead-lettering; without one keep the legacy behaviour (the send is
+  // dropped at delivery).
+  return ctx_.notify_unassignable ? cluster::kNoWorker : start;
 }
 
-void SparkLikeScheduler::assign(const workflow::Job& job) {
+bool SparkLikeScheduler::assign(const workflow::Job& job) {
   const WorkerIndex w = place(job);
+  if (w == cluster::kNoWorker) {
+    ctx_.notify_unassignable(job);  // place() returns kNoWorker only when set
+    return false;
+  }
   metrics::JobRecord& record = ctx_.metrics->job(job.id);
   record.assigned = ctx_.sim->now();
   record.worker = w;
   ctx_.broker->send(ctx_.master_node, ctx_.worker_nodes[w], cluster::mailboxes::kJobs,
                     JobAssignment{job});
+  if (ctx_.notify_assigned) {
+    ctx_.notify_assigned(job.id, w, ctx_.workers[w]->estimate_bid_s(job));
+  }
+  return true;
 }
 
 void SparkLikeScheduler::ensure_trace_names() {
@@ -61,15 +80,20 @@ void SparkLikeScheduler::ensure_trace_names() {
 void SparkLikeScheduler::dispatch_wave() {
   const std::size_t wave = std::min(pending_.size(), std::max<std::size_t>(
                                                          1, ctx_.active_workers()));
+  std::size_t launched = 0;
   for (std::size_t i = 0; i < wave; ++i) {
-    assign(pending_.front());
+    if (assign(pending_.front())) ++launched;
     pending_.pop_front();
   }
-  outstanding_ = wave;
+  outstanding_ = launched;
   wave_started_ = ctx_.sim->now();
   ++wave_index_;
   ctx_.metrics->registry().counter("sched.waves").add(1);
   ctx_.metrics->registry().histogram("sched.wave_size").record(static_cast<double>(wave));
+  // Every task of this wave went to the lifecycle (all workers dead): keep
+  // draining the backlog rather than waiting for a completion that will
+  // never come. Each round pops at least one job, so this terminates.
+  if (launched == 0 && !pending_.empty()) schedule_dispatch();
 }
 
 void SparkLikeScheduler::schedule_dispatch() {
@@ -93,6 +117,20 @@ void SparkLikeScheduler::submit(const workflow::Job& job) {
 void SparkLikeScheduler::on_completion(const cluster::CompletionReport& report) {
   (void)report;
   if (!config_.wave_barrier || outstanding_ == 0) return;
+  wave_slot_freed();
+}
+
+void SparkLikeScheduler::on_assignment_void(workflow::JobId id, cluster::WorkerIndex w) {
+  (void)id;
+  (void)w;
+  // A voided assignment will never report completion; release its wave slot
+  // or the barrier deadlocks. Best-effort: a void landing after its wave
+  // already closed is simply ignored (outstanding_ guard).
+  if (!config_.wave_barrier || outstanding_ == 0) return;
+  wave_slot_freed();
+}
+
+void SparkLikeScheduler::wave_slot_freed() {
   if (--outstanding_ == 0) {
     // The allocation round closes at the wave barrier: slowest task gates it.
     if (DLAJA_TRACE_ACTIVE(ctx_.sim->tracer())) {

@@ -52,12 +52,17 @@ class SparkLikeScheduler final : public Scheduler {
   void attach(const SchedulerContext& ctx) override;
   void submit(const workflow::Job& job) override;
   void on_completion(const cluster::CompletionReport& report) override;
+  void on_assignment_void(workflow::JobId id, cluster::WorkerIndex w) override;
   [[nodiscard]] std::size_t pending_jobs() const override { return pending_.size(); }
 
  private:
   [[nodiscard]] cluster::WorkerIndex place(const workflow::Job& job);
-  void assign(const workflow::Job& job);
+  /// Returns false when the job could not be placed (all workers dead) and
+  /// was handed to the lifecycle instead.
+  bool assign(const workflow::Job& job);
   void dispatch_wave();
+  /// Wave mode: a wave slot opened (completion or voided assignment).
+  void wave_slot_freed();
 
   /// Defers dispatch_wave() by one (zero-length) event so that all tasks
   /// submitted at the same instant batch into one wave.

@@ -1,10 +1,16 @@
 #include "storage/cache.hpp"
 
 #include <cassert>
+#include <cmath>
 
 namespace dlaja::storage {
 
 ResourceCache::ResourceCache(CacheConfig config) : config_(config) {}
+
+std::uint64_t ResourceCache::bytes_of(MegaBytes mb) noexcept {
+  if (!(mb > 0.0)) return 0;  // negative / NaN sizes account as empty
+  return static_cast<std::uint64_t>(std::llround(mb * 1048576.0));
+}
 
 bool ResourceCache::contains(ResourceId id) const noexcept {
   return entries_.find(id) != entries_.end();
@@ -33,21 +39,23 @@ void ResourceCache::admit(const Resource& resource) {
   }
   order_.push_front(resource);
   entries_.emplace(resource.id, order_.begin());
-  used_mb_ += resource.size_mb;
+  used_bytes_ += bytes_of(resource.size_mb);
   stats_.admitted_mb += resource.size_mb;
   enforce_capacity();
 }
 
 void ResourceCache::enforce_capacity() {
   if (config_.policy == EvictionPolicy::kUnbounded) return;
+  const std::uint64_t capacity = bytes_of(config_.capacity_mb);
   // Evict from the back (least recent / oldest) until under capacity, but
-  // never evict the just-admitted front entry even if it alone exceeds the
-  // capacity — a clone in use cannot be deleted out from under its job.
-  while (used_mb_ > config_.capacity_mb && order_.size() > 1) {
+  // never evict the front entry even if it alone exceeds the capacity — a
+  // clone in use cannot be deleted out from under its job.
+  while (used_bytes_ > capacity && order_.size() > 1) {
     const Resource victim = order_.back();
     order_.pop_back();
     entries_.erase(victim.id);
-    used_mb_ -= victim.size_mb;
+    const std::uint64_t bytes = bytes_of(victim.size_mb);
+    used_bytes_ = used_bytes_ >= bytes ? used_bytes_ - bytes : 0;
     ++stats_.evictions;
     stats_.evicted_mb += victim.size_mb;
   }
@@ -59,7 +67,8 @@ bool ResourceCache::evict(ResourceId id) {
   const Resource victim = *it->second;
   order_.erase(it->second);
   entries_.erase(it);
-  used_mb_ -= victim.size_mb;
+  const std::uint64_t bytes = bytes_of(victim.size_mb);
+  used_bytes_ = used_bytes_ >= bytes ? used_bytes_ - bytes : 0;
   ++stats_.evictions;
   stats_.evicted_mb += victim.size_mb;
   return true;
@@ -68,7 +77,7 @@ bool ResourceCache::evict(ResourceId id) {
 void ResourceCache::clear() {
   order_.clear();
   entries_.clear();
-  used_mb_ = 0.0;
+  used_bytes_ = 0;
 }
 
 std::vector<Resource> ResourceCache::snapshot() const {
@@ -78,13 +87,21 @@ std::vector<Resource> ResourceCache::snapshot() const {
 void ResourceCache::restore(std::span<const Resource> resources) {
   clear();
   // Iterate in reverse so the first element of `resources` ends up at the
-  // front (most recent), matching what snapshot() produced.
+  // front (most recent), matching what snapshot() produced. Duplicate ids
+  // keep the most recent copy only (first in `resources`).
   for (auto it = resources.rbegin(); it != resources.rend(); ++it) {
+    const auto existing = entries_.find(it->id);
+    if (existing != entries_.end()) {
+      used_bytes_ -= bytes_of(existing->second->size_mb);
+      order_.erase(existing->second);
+      entries_.erase(existing);
+    }
     order_.push_front(*it);
     entries_.emplace(it->id, order_.begin());
-    used_mb_ += it->size_mb;
+    used_bytes_ += bytes_of(it->size_mb);
   }
   assert(entries_.size() == order_.size());
+  enforce_capacity();
 }
 
 }  // namespace dlaja::storage

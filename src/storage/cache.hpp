@@ -77,8 +77,13 @@ class ResourceCache {
   /// Drops all contents (stats retained).
   void clear();
 
-  /// Sum of resident resource sizes.
-  [[nodiscard]] MegaBytes used_mb() const noexcept { return used_mb_; }
+  /// Sum of resident resource sizes. Internally accounted in whole bytes,
+  /// so admit/evict churn can never drift the total away from the true sum
+  /// (repeated double add/subtract of unequal sizes accumulates error and
+  /// could leave a phantom residue that triggers spurious evictions).
+  [[nodiscard]] MegaBytes used_mb() const noexcept {
+    return static_cast<double>(used_bytes_) / 1048576.0;
+  }
 
   /// Number of resident resources.
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
@@ -94,15 +99,20 @@ class ResourceCache {
   [[nodiscard]] std::vector<Resource> snapshot() const;
 
   /// Replaces contents with `resources` (used to carry caches across
-  /// iterations of an experiment). Stats are untouched.
+  /// iterations of an experiment). Stats are untouched. The capacity is
+  /// enforced after the restore: carrying a snapshot into a smaller cache
+  /// must not leave it silently over budget.
   void restore(std::span<const Resource> resources);
 
  private:
   void enforce_capacity();
 
+  /// Exact size in whole bytes (accounting currency; see used_mb()).
+  [[nodiscard]] static std::uint64_t bytes_of(MegaBytes mb) noexcept;
+
   CacheConfig config_;
   CacheStats stats_;
-  MegaBytes used_mb_ = 0.0;
+  std::uint64_t used_bytes_ = 0;
   // Recency list: front = most recently used / most recently admitted.
   std::list<Resource> order_;
   std::unordered_map<ResourceId, std::list<Resource>::iterator> entries_;

@@ -27,6 +27,9 @@ using TaskId = std::uint32_t;
 
 inline constexpr TaskId kInvalidTask = static_cast<TaskId>(-1);
 
+/// Sentinel for Job::excluded_worker: no exclusion.
+inline constexpr std::uint32_t kNoExcludedWorker = static_cast<std::uint32_t>(-1);
+
 /// One schedulable unit of work flowing through the pipeline.
 struct Job {
   JobId id = 0;
@@ -37,6 +40,10 @@ struct Job {
   Tick fixed_cost = 0;               ///< fixed latency part (e.g. an API call)
   Tick created_at = 0;               ///< arrival time at the master
   std::string key;                   ///< correlation key, e.g. "lodash@repo17"
+  /// Worker index the lifecycle asks schedulers to avoid on a retry (the
+  /// attempt that just failed there). A soft preference: schedulers fall
+  /// back to the excluded worker when nothing else is alive.
+  std::uint32_t excluded_worker = kNoExcludedWorker;
 
   /// True if executing this job requires the resource locally.
   [[nodiscard]] bool needs_resource() const noexcept { return resource != 0; }

@@ -170,5 +170,67 @@ TEST(Cache, RestoredLruOrderGovernsEviction) {
   EXPECT_TRUE(cache.contains(4));
 }
 
+// --- exact accounting regressions (integer-byte bookkeeping) -----------------
+
+TEST(CacheChurn, AdmitEvictChurnLeavesNoPhantomResidue) {
+  CacheConfig config;
+  config.policy = EvictionPolicy::kLru;
+  config.capacity_mb = 512.0;
+  ResourceCache cache(config);
+  // Sizes whose doubles don't sum exactly. Accumulating and subtracting
+  // them thousands of times must land back on exactly zero — float
+  // accounting drifted here and left residue that triggered spurious
+  // evictions.
+  const double sizes[] = {0.1, 0.3, 7.7, 123.456, 0.007};
+  for (int round = 0; round < 2000; ++round) {
+    for (ResourceId id = 1; id <= 5; ++id) {
+      cache.admit({id, sizes[id - 1]});
+    }
+    for (ResourceId id = 1; id <= 5; ++id) {
+      EXPECT_TRUE(cache.evict(id));
+    }
+  }
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.used_mb(), 0.0);  // exactly zero, not NEAR
+}
+
+TEST(CacheChurn, NiceSizesReportExactTotals) {
+  ResourceCache cache;
+  cache.admit({1, 100.0});
+  cache.admit({2, 50.0});
+  cache.admit({3, 25.5});
+  EXPECT_EQ(cache.used_mb(), 175.5);
+  (void)cache.evict(2);
+  EXPECT_EQ(cache.used_mb(), 125.5);
+}
+
+TEST(CacheChurn, RestoreEnforcesCapacity) {
+  CacheConfig config;
+  config.policy = EvictionPolicy::kLru;
+  config.capacity_mb = 100.0;
+  ResourceCache cache(config);
+  const std::vector<Resource> snapshot = {{1, 50.0}, {2, 50.0}, {3, 50.0}};
+  cache.restore(snapshot);
+  // Carrying a snapshot into a smaller cache must not leave it over
+  // budget: the two most recent entries stay, the oldest is evicted.
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.used_mb(), 100.0);
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+  EXPECT_FALSE(cache.contains(3));
+}
+
+TEST(CacheChurn, RestoreDedupesIdsKeepingTheMostRecentCopy) {
+  ResourceCache cache;
+  const std::vector<Resource> snapshot = {{1, 70.0}, {2, 10.0}, {1, 50.0}};
+  cache.restore(snapshot);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.used_mb(), 80.0);  // the 70 MB copy (most recent) wins
+  const auto contents = cache.snapshot();
+  ASSERT_EQ(contents.size(), 2u);
+  EXPECT_EQ(contents[0].id, 1u);
+  EXPECT_EQ(contents[0].size_mb, 70.0);
+}
+
 }  // namespace
 }  // namespace dlaja::storage

@@ -222,7 +222,7 @@ TEST_F(WorkerTest, JobWithoutResourceSkipsTransfer) {
 }
 
 TEST_F(WorkerTest, FailedWorkerDropsAssignments) {
-  worker_->set_failed(true);
+  (void)worker_->set_failed(true);
   worker_->enqueue(make_job(1, 7, 10.0));
   sim_.run();
   EXPECT_EQ(metrics_.worker(0).jobs_completed, 0u);
@@ -231,7 +231,10 @@ TEST_F(WorkerTest, FailedWorkerDropsAssignments) {
 
 TEST_F(WorkerTest, FailureMidJobLosesIt) {
   worker_->enqueue(make_job(1, 7, 100.0));  // takes 3 s
-  sim_.schedule_at(ticks_from_seconds(1.0), [&] { worker_->set_failed(true); });
+  sim_.schedule_at(ticks_from_seconds(1.0), [&] {
+    const auto lost = worker_->set_failed(true);
+    EXPECT_EQ(lost.size(), 1u);  // the in-flight job is reported lost
+  });
   sim_.run();
   EXPECT_FALSE(metrics_.find_job(1)->completed());
   EXPECT_EQ(metrics_.worker(0).jobs_completed, 0u);

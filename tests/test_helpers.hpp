@@ -20,7 +20,10 @@ inline std::vector<cluster::WorkerConfig> uniform_fleet(std::size_t n,
   std::vector<cluster::WorkerConfig> fleet;
   for (std::size_t i = 0; i < n; ++i) {
     cluster::WorkerConfig w;
-    w.name = "w" + std::to_string(i);
+    // Built via append (not operator+) to sidestep a GCC 12 -Wrestrict
+    // false positive on "literal" + to_string(...) under heavy inlining.
+    w.name = "w";
+    w.name += std::to_string(i);
     w.network_mbps = net_mbps;
     w.rw_mbps = rw_mbps;
     w.latency_ms = 5.0;

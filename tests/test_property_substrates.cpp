@@ -102,10 +102,12 @@ TEST_P(CacheSweep, InvariantsUnderRandomChurn) {
     if (!cache.access(id)) {
       cache.admit({id, size});
     }
-    // Size accounting is exact.
+    // Size accounting is exact in integer bytes; summing the raw double
+    // sizes can differ by up to half a byte per resident entry.
     double sum = 0.0;
     for (const auto& resource : cache.snapshot()) sum += resource.size_mb;
-    ASSERT_NEAR(sum, cache.used_mb(), 1e-9);
+    const double quantization = static_cast<double>(cache.size() + 1) * (0.5 / 1048576.0);
+    ASSERT_NEAR(sum, cache.used_mb(), quantization);
     // Bounded policies respect the capacity (unless one resource alone
     // exceeds it, in which case exactly that resource may remain).
     if (policy != storage::EvictionPolicy::kUnbounded) {
@@ -137,7 +139,11 @@ TEST(BrokerProperty, ExactlyOnceDeliveryUnderChurn) {
   net::NetworkModel network(seeds, net::NoiseConfig::none());
   std::vector<net::NodeId> nodes;
   for (int i = 0; i < 6; ++i) {
-    nodes.push_back(network.register_node("n" + std::to_string(i), {}));
+    // Appended (not operator+) to sidestep a GCC 12 -Wrestrict false
+    // positive on "literal" + to_string(...) under heavy inlining.
+    std::string name = "n";
+    name += std::to_string(i);
+    nodes.push_back(network.register_node(name, {}));
   }
   msg::Broker broker(simulator, network);
   RandomStream rng(11);

@@ -94,7 +94,8 @@ TEST_F(SlotTest, FailureCancelsEverySlot) {
   worker.enqueue(job(1, 1, 500.0));
   worker.enqueue(job(2, 2, 500.0));
   sim_.run(ticks_from_seconds(1.0));
-  worker.set_failed(true);
+  const auto lost = worker.set_failed(true);
+  EXPECT_EQ(lost.size(), 2u);  // both slot jobs are reported lost
   sim_.run();
   EXPECT_FALSE(metrics_.find_job(1)->completed());
   EXPECT_FALSE(metrics_.find_job(2)->completed());

@@ -67,6 +67,9 @@ int main(int argc, char** argv) {
   args.add_option("iters", "3", "iterations with cache carry-over");
   args.add_option("seed", "42", "master seed");
   args.add_option("noise", "throttle:0.1,0.3", "noise scheme for effective speeds");
+  args.add_option("faults", "",
+                  "fault plan, e.g. \"crash:w=1,at=15,down=30;drop:p=0.01\" "
+                  "(crash | crashes | degrade | drop | dup clauses, ';'-separated)");
   args.add_option("estimation", "nominal", "bid speeds: nominal | historic");
   args.add_option("csv", "", "write raw run rows to this file");
   args.add_option("timeline", "", "write the last run's concurrency series to this file");
@@ -89,6 +92,15 @@ int main(int argc, char** argv) {
   spec.seed = static_cast<std::uint64_t>(args.get_int("seed"));
   spec.noise = parse_noise(args.get("noise"));
   spec.carry_cache = !args.given("no-carry");
+  if (!args.get("faults").empty()) {
+    try {
+      spec.faults = fault::FaultPlan::parse(args.get("faults"));
+    } catch (const std::invalid_argument& error) {
+      std::cerr << "bad --faults spec: " << error.what() << "\n";
+      return 1;
+    }
+    std::cout << "fault plan: " << spec.faults.describe() << "\n";
+  }
   if (args.get("estimation") == "historic") {
     spec.estimation = cluster::SpeedEstimator::Mode::kHistoric;
     spec.probe_speeds = true;
@@ -99,16 +111,46 @@ int main(int argc, char** argv) {
 
   const auto reports = core::run_experiment(spec);
 
+  const bool with_faults = !spec.faults.empty();
   TextTable table(spec.scheduler + " on " + spec.workload_name() + " / " + spec.fleet_name());
-  table.set_header({"iter", "exec (s)", "misses", "data (MB)", "completed", "alloc lat (s)",
-                    "hit rate"});
+  std::vector<std::string> header = {"iter",      "exec (s)",      "misses",  "data (MB)",
+                                     "completed", "alloc lat (s)", "hit rate"};
+  if (with_faults) {
+    header.push_back("retried");
+    header.push_back("dead");
+  }
+  table.set_header(header);
   for (const auto& r : reports) {
-    table.add_row({std::to_string(r.iteration), fmt_fixed(r.exec_time_s, 1),
-                   std::to_string(r.cache_misses), fmt_fixed(r.data_load_mb, 1),
-                   std::to_string(r.jobs_completed), fmt_fixed(r.avg_alloc_latency_s, 3),
-                   fmt_percent(r.cache_hit_rate)});
+    std::vector<std::string> row = {std::to_string(r.iteration), fmt_fixed(r.exec_time_s, 1),
+                                    std::to_string(r.cache_misses), fmt_fixed(r.data_load_mb, 1),
+                                    std::to_string(r.jobs_completed),
+                                    fmt_fixed(r.avg_alloc_latency_s, 3),
+                                    fmt_percent(r.cache_hit_rate)};
+    if (with_faults) {
+      row.push_back(std::to_string(r.jobs_retried));
+      row.push_back(std::to_string(r.jobs_dead_lettered));
+    }
+    table.add_row(row);
   }
   table.print(std::cout);
+
+  if (with_faults) {
+    // Job conservation across all iterations: every submission is a root or
+    // a retry, and every attempt ends acked, voided-then-retried, or
+    // dead-lettered. `lost` counts attempts that did none of those by the
+    // end of the run; the fault-smoke CI gate pins it at zero.
+    std::uint64_t submitted = 0, completed = 0, retried = 0, dead = 0, lost = 0;
+    for (const auto& r : reports) {
+      submitted += r.jobs_submitted;
+      completed += r.jobs_completed;
+      retried += r.jobs_retried;
+      dead += r.jobs_dead_lettered;
+      lost += r.jobs_lost;
+    }
+    std::cout << "fault summary: submitted=" << submitted << " completed=" << completed
+              << " retried=" << retried << " dead_lettered=" << dead << " lost=" << lost
+              << "\n";
+  }
 
   if (!args.get("csv").empty()) {
     std::ofstream out(args.get("csv"));
@@ -131,6 +173,8 @@ int main(int argc, char** argv) {
     config.noise = spec.noise;
     config.estimation = spec.estimation;
     config.probe_speeds = spec.probe_speeds;
+    config.faults = spec.faults;
+    config.lifecycle = spec.lifecycle;
     const auto workload = workload::generate_workload(wspec, SeedSequencer(spec.seed));
     core::Engine engine(cluster::make_fleet(spec.fleet, spec.worker_count),
                         sched::make_scheduler(spec.scheduler, spec.seed), config);
