@@ -29,11 +29,7 @@ int main(int argc, char** argv) {
     auto fleet = cluster::make_fleet(spec.fleet);
     for (auto& w : fleet) w.bid_straggle_probability = 0.10;
     spec.custom_fleet = fleet;
-    spec.make_scheduler = [window] {
-      sched::BiddingConfig config;
-      config.window_s = window;
-      return std::make_unique<sched::BiddingScheduler>(config);
-    };
+    spec.scheduler = "bidding:window=" + fmt_shortest(window);
     const auto reports = core::run_experiment(spec);
 
     metrics::AggregateCell agg;

@@ -55,11 +55,7 @@ int main(int argc, char** argv) {
         // The Fig. 2 numbers come from Crossflow's own evaluation, where
         // declined jobs re-enter behind the broker backlog (ActiveMQ
         // redelivery-at-tail) — Crossflow's best configuration.
-        spec.make_scheduler = [] {
-          sched::BaselineConfig config;
-          config.requeue_to_back = true;
-          return std::make_unique<sched::BaselineScheduler>(config);
-        };
+        spec.scheduler = "baseline:requeue_back=true";
       }
       specs.push_back(std::move(spec));
     }

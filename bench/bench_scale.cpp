@@ -1,0 +1,121 @@
+// Scale bench: contest fan-out policy × fleet size.
+//
+// Sweeps the bidding scheduler over large fleets with both fan-out
+// policies. `full` is the paper's protocol — every contest broadcasts to
+// every worker and waits for every bid, so contest cost grows linearly
+// with the fleet and the master's wall-clock throughput collapses at
+// thousands of workers. `probe:4` solicits a seeded 4-subset per contest
+// (Dodoor-style), making contest cost independent of fleet size. Both arms
+// run with delivery coalescing on (the scale configuration).
+//
+// Emits BENCH_scale.json with per-cell wall time and contest throughput
+// plus the probe-vs-full speedup per fleet size. The acceptance bar for
+// the scale path: >= 5x contest throughput at 2000 workers, no regression
+// at the paper's 5.
+//
+//   bench_scale [--out BENCH_scale.json] [--jobs 200] [--seed 42]
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "util/json.hpp"
+
+using namespace dlaja;
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_scale.json";
+  std::size_t jobs = 200;
+  std::uint64_t seed = 42;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string { return i + 1 < argc ? argv[++i] : std::string{}; };
+    if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--jobs") {
+      jobs = std::stoul(next());
+    } else if (arg == "--seed") {
+      seed = std::stoull(next());
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "options: [--out path.json] [--jobs n] [--seed n]\n";
+      return 0;
+    }
+  }
+
+  const std::size_t fleets[] = {5, 50, 500, 2000};
+  const char* fanouts[] = {"full", "probe:4"};
+
+  TextTable table("Scale — contest fan-out policy x fleet size (all_diff_equal, " +
+                  std::to_string(jobs) + " jobs)");
+  table.set_header(
+      {"workers", "fanout", "wall (s)", "contests", "contests/s", "msgs", "exec (s)"});
+
+  json::Array cells;
+  double throughput[4][2] = {};
+  for (std::size_t fi = 0; fi < 4; ++fi) {
+    for (std::size_t pi = 0; pi < 2; ++pi) {
+      core::ExperimentSpec spec;
+      spec.scheduler = std::string("bidding:fanout=") + fanouts[pi];
+      workload::WorkloadSpec wspec =
+          workload::make_workload_spec(workload::JobConfig::kAllDiffEqual);
+      wspec.job_count = jobs;
+      spec.custom_workload = wspec;
+      spec.fleet = cluster::FleetPreset::kAllEqual;
+      spec.worker_count = fleets[fi];
+      spec.iterations = 1;
+      spec.seed = seed;
+      spec.coalesce_deliveries = true;
+
+      const auto reports = core::run_experiment(spec);
+      const metrics::RunReport& r = reports.front();
+      const double contests = r.stat("sched.contests");
+      const double wall = r.wall_time_s > 0.0 ? r.wall_time_s : 1e-9;
+      throughput[fi][pi] = contests / wall;
+
+      table.add_row({std::to_string(fleets[fi]), fanouts[pi], fmt_fixed(wall, 3),
+                     fmt_fixed(contests, 0), fmt_fixed(throughput[fi][pi], 0),
+                     std::to_string(r.messages_delivered), fmt_fixed(r.exec_time_s, 1)});
+
+      json::Object cell;
+      cell["workers"] = fleets[fi];
+      cell["fanout"] = fanouts[pi];
+      cell["jobs"] = jobs;
+      cell["wall_time_s"] = wall;
+      cell["contests"] = contests;
+      cell["contest_throughput_per_s"] = throughput[fi][pi];
+      cell["messages_delivered"] = r.messages_delivered;
+      cell["exec_time_s"] = r.exec_time_s;
+      cells.push_back(json::Value{std::move(cell)});
+    }
+  }
+  table.print(std::cout);
+
+  json::Array speedups;
+  std::cout << "\nprobe:4 contest-throughput speedup vs full:";
+  for (std::size_t fi = 0; fi < 4; ++fi) {
+    const double speedup = throughput[fi][0] > 0.0 ? throughput[fi][1] / throughput[fi][0] : 0.0;
+    json::Object row;
+    row["workers"] = fleets[fi];
+    row["speedup_probe_vs_full"] = speedup;
+    speedups.push_back(json::Value{std::move(row)});
+    std::cout << "  " << fleets[fi] << "w=" << fmt_ratio(speedup);
+  }
+  std::cout << "\n";
+
+  json::Object doc;
+  doc["bench"] = "scale";
+  doc["jobs"] = jobs;
+  doc["seed"] = seed;
+  doc["cells"] = json::Value{std::move(cells)};
+  doc["speedup_probe_vs_full"] = json::Value{std::move(speedups)};
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << "\n";
+    return 1;
+  }
+  out << json::Value{std::move(doc)}.dump(2) << "\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

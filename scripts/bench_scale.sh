@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Benchmarks the large-fleet contest path and emits BENCH_scale.json.
+#
+# Sweeps {5, 50, 500, 2000} workers x {full, probe:4} contest fan-out with
+# the bidding scheduler (delivery coalescing on — the scale configuration)
+# and reports per-cell wall time, contest throughput, and the probe-vs-full
+# speedup per fleet size.
+#
+# Usage: scripts/bench_scale.sh [build-dir] [output.json]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_scale.json}"
+JOBS="${BENCH_SCALE_JOBS:-200}"
+BENCH_BIN="${BUILD_DIR}/bench/bench_scale"
+
+if [[ ! -x "${BENCH_BIN}" ]]; then
+  echo "error: ${BENCH_BIN} not found — configure with -DDLAJA_BUILD_BENCH=ON and build" >&2
+  exit 1
+fi
+
+"${BENCH_BIN}" --out "${OUT}" --jobs "${JOBS}"

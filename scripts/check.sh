@@ -19,11 +19,14 @@ done
 # generation-tagged slots whose handlers can re-enter it — exactly the
 # lifetime bugs the sanitizers exist to catch. test_fault rides along
 # because the lifecycle slab-parks retries and cancels in-flight lease
-# events, another lifetime-heavy path. The asan preset bundles
+# events, another lifetime-heavy path. test_scale covers the broker's
+# subscriber slab and in-flight message slab (generation-tagged slots,
+# handler re-entry, coalesced batches). The asan preset bundles
 # address+undefined; the ubsan preset runs undefined alone (no shadow
 # memory), which changes layout enough to surface different misuses.
 SAN_TESTS=(test_simulator test_sim_alloc test_stress
-           test_flow test_flow_properties test_flow_alloc test_obs test_fault)
+           test_flow test_flow_properties test_flow_alloc test_obs test_fault
+           test_scale)
 export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
 export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
 for PRESET in asan ubsan; do

@@ -25,6 +25,9 @@ Engine::Engine(const std::vector<cluster::WorkerConfig>& fleet,
   network_ = std::make_unique<net::NetworkModel>(seeds_, config_.noise);
   master_node_ = network_->register_node("master", config_.master_link);
   broker_ = std::make_unique<msg::Broker>(sim_, *network_);
+  // Opt-in: coalescing changes the kernel event counts (part of the run's
+  // stats signature), so only scale runs that ask for it get it.
+  broker_->set_coalescing(config_.coalesce_deliveries);
 
   workers_.reserve(fleet.size());
   worker_nodes_.reserve(fleet.size());
@@ -66,7 +69,7 @@ Engine::Engine(const std::vector<cluster::WorkerConfig>& fleet,
   // Master-side completion handling.
   broker_->register_mailbox(
       master_node_, cluster::mailboxes::kCompletions, [this](const msg::Message& message) {
-        const auto& report = std::any_cast<const CompletionReport&>(message.payload);
+        const auto& report = message.payload.as<CompletionReport>();
         const auto it = live_jobs_.find(report.job_id);
         if (it == live_jobs_.end()) return;  // duplicate report
         const workflow::Job job = it->second;
@@ -113,6 +116,7 @@ Engine::Engine(const std::vector<cluster::WorkerConfig>& fleet,
   ctx.network = network_.get();
   ctx.metrics = &metrics_;
   ctx.master_node = master_node_;
+  ctx.seeds = &seeds_;
   for (auto& worker : workers_) ctx.workers.push_back(worker.get());
   ctx.worker_nodes = worker_nodes_;
   if (lifecycle_) {
@@ -322,6 +326,12 @@ metrics::RunReport Engine::run(std::span<const workflow::Job> jobs) {
   registry.counter("msg.sent").add(static_cast<double>(broker_stats.sent));
   registry.counter("msg.delivered").add(static_cast<double>(broker_stats.delivered));
   registry.counter("msg.dropped").add(static_cast<double>(broker_stats.dropped));
+  if (broker_->coalescing()) {
+    // Only coalescing runs grow these columns; default runs keep the exact
+    // historical CSV column set.
+    registry.counter("msg.batches").add(static_cast<double>(broker_stats.batches));
+    registry.counter("msg.batched").add(static_cast<double>(broker_stats.batched));
+  }
 
   // fault.* counters exist only when the fault machinery was on, so
   // fault-free CSVs keep their exact pre-fault column set.

@@ -71,6 +71,12 @@ struct EngineConfig {
   /// fail_worker_at schedules).
   LifecycleConfig lifecycle;
 
+  /// Same-tick delivery coalescing in the broker: consecutive deliveries to
+  /// one node on the same tick share a kernel event. Off by default — it
+  /// changes the run's kernel event counts (part of the CSV stats columns),
+  /// so only scale runs that opt in get it.
+  bool coalesce_deliveries = false;
+
   /// Safety horizon: the run aborts (with whatever completed) after this
   /// much simulated time. Generous default: one simulated week.
   Tick horizon = ticks_from_seconds(7.0 * 24.0 * 3600.0);

@@ -55,6 +55,7 @@ std::vector<metrics::RunReport> run_experiment(const ExperimentSpec& spec) {
     engine_config.probe_speeds = spec.probe_speeds;
     engine_config.faults = spec.faults;
     engine_config.lifecycle = spec.lifecycle;
+    engine_config.coalesce_deliveries = spec.coalesce_deliveries;
 
     Engine engine(build_fleet(spec), build_scheduler(spec), engine_config);
     if (spec.carry_cache) {
@@ -79,6 +80,19 @@ std::vector<metrics::RunReport> run_experiment(const ExperimentSpec& spec) {
 
 std::vector<metrics::RunReport> run_matrix(std::span<const ExperimentSpec> specs,
                                            std::size_t threads) {
+  // Validate every cell up front: a matrix run is long, and a bad cell
+  // should fail before any simulation time is spent.
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const std::vector<ValidationIssue> issues = specs[i].validate();
+    if (!issues.empty()) {
+      std::string what = "run_matrix: invalid spec #" + std::to_string(i);
+      if (!specs[i].name.empty()) what += " (" + specs[i].name + ")";
+      for (const ValidationIssue& issue : issues) {
+        what += "\n  " + issue.field + ": " + issue.message;
+      }
+      throw std::invalid_argument(what);
+    }
+  }
   std::vector<std::vector<metrics::RunReport>> per_cell(specs.size());
   ThreadPool pool(threads);
   // Chunk size 1: cells are whole simulations with wildly different

@@ -20,16 +20,30 @@
 #include "core/engine.hpp"
 #include "metrics/report.hpp"
 #include "sched/factory.hpp"
+#include "util/json.hpp"
 #include "workload/generator.hpp"
 
 namespace dlaja::core {
 
+/// One structured problem found by ExperimentSpec::validate().
+struct ValidationIssue {
+  std::string field;    ///< spec field at fault ("worker_count", "scheduler", ...)
+  std::string message;  ///< what is wrong and what would be valid
+};
+
 struct ExperimentSpec {
-  /// Scheduler factory name ("bidding", "baseline", ...). Ignored when
+  /// Optional scenario name (reports/logs; "" = anonymous).
+  std::string name;
+
+  /// Scheduler config string for the factory ("bidding",
+  /// "bidding:fanout=probe:4", "baseline:declines=2", ...). Ignored when
   /// `make_scheduler` is set.
   std::string scheduler = "bidding";
 
-  /// Custom scheduler constructor (for ablations with non-default configs).
+  /// Deprecated escape hatch: a custom scheduler constructor. Prefer
+  /// config-string specs (they validate, serialize to scenarios, and name
+  /// themselves in reports); kept for tests and ablations that need a
+  /// hand-built scheduler object.
   std::function<std::unique_ptr<sched::Scheduler>()> make_scheduler;
 
   /// Workload: one of the §6.3.1 presets, or a fully custom spec.
@@ -60,9 +74,30 @@ struct ExperimentSpec {
   fault::FaultPlan faults;
   LifecycleConfig lifecycle;
 
+  /// Same-tick delivery coalescing in the broker (scale runs only; changes
+  /// the kernel event counts in the CSV stats columns, so off by default).
+  bool coalesce_deliveries = false;
+
   /// Resolved names for reports.
   [[nodiscard]] std::string workload_name() const;
   [[nodiscard]] std::string fleet_name() const;
+
+  /// Checks the spec for problems a run would only surface as a crash or a
+  /// silently wrong cell: zero workers/iterations/jobs, a scheduler spec
+  /// the factory rejects (including a probe k larger than the fleet), fault
+  /// clauses naming workers outside the fleet, a zero-attempt lifecycle
+  /// under faults. Empty result = valid. run_matrix and the CLI call this;
+  /// run_experiment itself stays unchecked (tests exercise edge cells).
+  [[nodiscard]] std::vector<ValidationIssue> validate() const;
+
+  /// Declarative scenario form. from_json accepts an object with the keys
+  /// written by to_json (unknown keys are errors listing the valid set);
+  /// to_json emits only what differs from a default-constructed spec, plus
+  /// the identity fields, so files stay small and diffable. Specs using
+  /// `make_scheduler` or a custom fleet/workload beyond a preset + job
+  /// count are not expressible; to_json throws std::invalid_argument.
+  [[nodiscard]] static ExperimentSpec from_json(const json::Value& doc);
+  [[nodiscard]] json::Value to_json() const;
 };
 
 /// Runs one cell: `iterations` sequential runs of the same workload, caches

@@ -1,0 +1,210 @@
+// Declarative scenarios: ExperimentSpec <-> JSON, plus validate(). One
+// scenario file is one experiment cell; the CLI's --scenario flag and the
+// examples under examples/scenarios/ use exactly this format.
+
+#include <optional>
+#include <stdexcept>
+
+#include "core/experiment.hpp"
+
+namespace dlaja::core {
+
+namespace {
+
+constexpr const char* kValidKeys =
+    "name, scheduler, workload, jobs, fleet, workers, iterations, carry_cache, "
+    "seed, noise, estimation, faults, lifecycle, coalesce_deliveries";
+
+[[noreturn]] void key_error(const std::string& key, const std::string& what) {
+  throw std::invalid_argument("scenario: key '" + key + "' " + what);
+}
+
+const std::string& need_string(const json::Value& value, const std::string& key) {
+  if (!value.is_string()) key_error(key, "wants a string");
+  return value.as_string();
+}
+
+bool need_bool(const json::Value& value, const std::string& key) {
+  if (!value.is_bool()) key_error(key, "wants true or false");
+  return value.as_bool();
+}
+
+double need_number(const json::Value& value, const std::string& key) {
+  if (!value.is_number()) key_error(key, "wants a number");
+  return value.as_number();
+}
+
+std::uint64_t need_count(const json::Value& value, const std::string& key) {
+  const double n = need_number(value, key);
+  if (n < 0.0 || n != static_cast<double>(static_cast<std::uint64_t>(n))) {
+    key_error(key, "wants a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(n);
+}
+
+LifecycleConfig parse_lifecycle(const json::Value& value) {
+  if (!value.is_object()) key_error("lifecycle", "wants an object");
+  LifecycleConfig lifecycle;
+  for (const auto& [key, member] : value.as_object()) {
+    if (key == "max_attempts") {
+      lifecycle.max_attempts = static_cast<std::uint32_t>(need_count(member, "lifecycle.max_attempts"));
+    } else if (key == "lease_factor") {
+      lifecycle.lease_factor = need_number(member, "lifecycle.lease_factor");
+    } else if (key == "lease_min_s") {
+      lifecycle.lease_min_s = need_number(member, "lifecycle.lease_min_s");
+    } else if (key == "retry_backoff_s") {
+      lifecycle.retry_backoff_s = need_number(member, "lifecycle.retry_backoff_s");
+    } else {
+      throw std::invalid_argument(
+          "scenario: unknown lifecycle key '" + key +
+          "' (valid: max_attempts, lease_factor, lease_min_s, retry_backoff_s)");
+    }
+  }
+  return lifecycle;
+}
+
+}  // namespace
+
+std::vector<ValidationIssue> ExperimentSpec::validate() const {
+  std::vector<ValidationIssue> issues;
+  const std::size_t fleet_size = custom_fleet ? custom_fleet->size() : worker_count;
+  if (fleet_size == 0) {
+    issues.push_back({"workers", "the fleet is empty (need at least one worker)"});
+  }
+  if (iterations <= 0) {
+    issues.push_back(
+        {"iterations", "need at least one iteration, got " + std::to_string(iterations)});
+  }
+  const std::size_t jobs =
+      custom_workload ? custom_workload->job_count : workload::make_workload_spec(job_config).job_count;
+  if (jobs == 0) issues.push_back({"jobs", "the workload has zero jobs"});
+  if (!make_scheduler) {
+    std::string error = sched::check_scheduler_spec(scheduler, fleet_size);
+    if (!error.empty()) issues.push_back({"scheduler", std::move(error)});
+  }
+  for (const fault::CrashEvent& crash : faults.crashes) {
+    if (crash.worker >= fleet_size) {
+      issues.push_back({"faults", "crash clause names worker " + std::to_string(crash.worker) +
+                                      " but the fleet has " + std::to_string(fleet_size) +
+                                      " workers"});
+    }
+  }
+  for (const fault::DegradeWindow& window : faults.degradations) {
+    if (window.worker >= fleet_size) {
+      issues.push_back({"faults", "degrade clause names worker " + std::to_string(window.worker) +
+                                      " but the fleet has " + std::to_string(fleet_size) +
+                                      " workers"});
+    }
+  }
+  if (!faults.empty() && lifecycle.max_attempts == 0) {
+    issues.push_back({"lifecycle",
+                      "max_attempts is 0 under a fault plan: every faulted job would "
+                      "dead-letter immediately"});
+  }
+  return issues;
+}
+
+ExperimentSpec ExperimentSpec::from_json(const json::Value& doc) {
+  if (!doc.is_object()) throw std::invalid_argument("scenario: document must be a JSON object");
+  ExperimentSpec spec;
+  std::optional<std::size_t> jobs;
+  for (const auto& [key, value] : doc.as_object()) {
+    if (key == "name") {
+      spec.name = need_string(value, key);
+    } else if (key == "scheduler") {
+      spec.scheduler = need_string(value, key);
+    } else if (key == "workload") {
+      spec.job_config = workload::job_config_from_name(need_string(value, key));
+    } else if (key == "jobs") {
+      jobs = static_cast<std::size_t>(need_count(value, key));
+    } else if (key == "fleet") {
+      spec.fleet = cluster::fleet_preset_from_name(need_string(value, key));
+    } else if (key == "workers") {
+      spec.worker_count = static_cast<std::size_t>(need_count(value, key));
+    } else if (key == "iterations") {
+      spec.iterations = static_cast<int>(need_count(value, key));
+    } else if (key == "carry_cache") {
+      spec.carry_cache = need_bool(value, key);
+    } else if (key == "seed") {
+      spec.seed = need_count(value, key);
+    } else if (key == "noise") {
+      spec.noise = net::NoiseConfig::parse(need_string(value, key));
+    } else if (key == "estimation") {
+      const std::string& mode = need_string(value, key);
+      if (mode == "historic") {
+        spec.estimation = cluster::SpeedEstimator::Mode::kHistoric;
+        spec.probe_speeds = true;
+      } else if (mode != "nominal") {
+        key_error(key, "must be \"nominal\" or \"historic\", got \"" + mode + "\"");
+      }
+    } else if (key == "faults") {
+      spec.faults = fault::FaultPlan::parse(need_string(value, key));
+    } else if (key == "lifecycle") {
+      spec.lifecycle = parse_lifecycle(value);
+    } else if (key == "coalesce_deliveries") {
+      spec.coalesce_deliveries = need_bool(value, key);
+    } else {
+      throw std::invalid_argument("scenario: unknown key '" + key + "' (valid: " +
+                                  std::string(kValidKeys) + ")");
+    }
+  }
+  // Mirror the CLI: a preset workload with an optional job-count override
+  // is materialized into custom_workload, so runs and reports see one form.
+  workload::WorkloadSpec wspec = workload::make_workload_spec(spec.job_config);
+  if (jobs) wspec.job_count = *jobs;
+  spec.custom_workload = wspec;
+  return spec;
+}
+
+json::Value ExperimentSpec::to_json() const {
+  if (make_scheduler) {
+    throw std::invalid_argument(
+        "scenario: spec uses a custom make_scheduler and cannot be serialized "
+        "(use a scheduler config string)");
+  }
+  if (custom_fleet) {
+    throw std::invalid_argument("scenario: custom fleets cannot be serialized (use a preset)");
+  }
+  std::size_t jobs = workload::make_workload_spec(job_config).job_count;
+  if (custom_workload) {
+    workload::WorkloadSpec preset = workload::make_workload_spec(job_config);
+    preset.job_count = custom_workload->job_count;
+    if (!(*custom_workload == preset)) {
+      throw std::invalid_argument(
+          "scenario: custom workloads beyond a preset + job count cannot be serialized");
+    }
+    jobs = custom_workload->job_count;
+  }
+
+  json::Object obj;
+  if (!name.empty()) obj["name"] = name;
+  obj["scheduler"] = scheduler;
+  obj["workload"] = workload::job_config_name(job_config);
+  obj["jobs"] = jobs;
+  obj["fleet"] = cluster::fleet_preset_name(fleet);
+  obj["workers"] = worker_count;
+  obj["iterations"] = iterations;
+  if (!carry_cache) obj["carry_cache"] = false;
+  obj["seed"] = seed;
+  obj["noise"] = noise.spec();
+  if (estimation == cluster::SpeedEstimator::Mode::kHistoric) obj["estimation"] = "historic";
+  if (!faults.empty()) {
+    obj["faults"] = faults.spec();
+    const LifecycleConfig defaults;
+    if (lifecycle.max_attempts != defaults.max_attempts ||
+        lifecycle.lease_factor != defaults.lease_factor ||
+        lifecycle.lease_min_s != defaults.lease_min_s ||
+        lifecycle.retry_backoff_s != defaults.retry_backoff_s) {
+      json::Object lc;
+      lc["max_attempts"] = static_cast<std::uint64_t>(lifecycle.max_attempts);
+      lc["lease_factor"] = lifecycle.lease_factor;
+      lc["lease_min_s"] = lifecycle.lease_min_s;
+      lc["retry_backoff_s"] = lifecycle.retry_backoff_s;
+      obj["lifecycle"] = json::Value{std::move(lc)};
+    }
+  }
+  if (coalesce_deliveries) obj["coalesce_deliveries"] = true;
+  return json::Value{std::move(obj)};
+}
+
+}  // namespace dlaja::core

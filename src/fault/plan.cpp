@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "util/table.hpp"
+
 namespace dlaja::fault {
 
 namespace {
@@ -113,6 +115,35 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
     }
   }
   return plan;
+}
+
+std::string FaultPlan::spec() const {
+  std::string out;
+  const auto clause = [&out](const std::string& text) {
+    if (!out.empty()) out += ';';
+    out += text;
+  };
+  for (const CrashEvent& crash : crashes) {
+    std::string c = "crash:w=" + std::to_string(crash.worker) +
+                    ",at=" + fmt_shortest(seconds_from_ticks(crash.at));
+    if (crash.down_for > 0) c += ",down=" + fmt_shortest(seconds_from_ticks(crash.down_for));
+    clause(c);
+  }
+  for (const RandomCrashes& random : random_crashes) {
+    std::string c = "crashes:p=" + fmt_shortest(random.per_worker_p) +
+                    ",window=" + fmt_shortest(random.window_s);
+    if (random.mean_down_s > 0.0) c += ",down=" + fmt_shortest(random.mean_down_s);
+    clause(c);
+  }
+  for (const DegradeWindow& window : degradations) {
+    clause("degrade:w=" + std::to_string(window.worker) +
+           ",at=" + fmt_shortest(seconds_from_ticks(window.at)) +
+           ",for=" + fmt_shortest(seconds_from_ticks(window.duration)) +
+           ",x=" + fmt_shortest(window.factor));
+  }
+  if (messages.drop_p > 0.0) clause("drop:p=" + fmt_shortest(messages.drop_p));
+  if (messages.dup_p > 0.0) clause("dup:p=" + fmt_shortest(messages.dup_p));
+  return out;
 }
 
 std::string FaultPlan::describe() const {

@@ -79,6 +79,10 @@ struct FaultPlan {
   /// One-line human summary ("2 crashes, drop 1%, ...") for logs/CLI.
   [[nodiscard]] std::string describe() const;
 
+  /// Emits the plan back in the spec grammar above (times in seconds), so
+  /// parse(spec()) reproduces the plan. Empty string for an empty plan.
+  [[nodiscard]] std::string spec() const;
+
   /// Resolves the randomized crash clauses into concrete CrashEvents using
   /// the "fault/plan" substream and validates explicit worker indices.
   /// Returns explicit crashes followed by materialized random ones, sorted

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <stdexcept>
+#include <vector>
+
+#include "util/table.hpp"
 
 namespace dlaja::net {
 
@@ -26,6 +30,49 @@ NoiseConfig NoiseConfig::throttle(double probability, double factor) noexcept {
   c.throttle_probability = probability;
   c.throttle_factor = factor;
   return c;
+}
+
+NoiseConfig NoiseConfig::parse(const std::string& text) {
+  const auto colon = text.find(':');
+  const std::string kind = text.substr(0, colon);
+  std::vector<double> params;
+  if (colon != std::string::npos) {
+    const std::string rest = text.substr(colon + 1);
+    std::size_t pos = 0;
+    while (pos < rest.size()) {
+      const auto comma = rest.find(',', pos);
+      try {
+        params.push_back(std::stod(rest.substr(pos, comma - pos)));
+      } catch (const std::exception&) {
+        params.clear();
+        break;
+      }
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+  if (kind == "none" && colon == std::string::npos) return none();
+  if (kind == "uniform" && params.size() == 2) return uniform(params[0], params[1]);
+  if (kind == "lognormal" && params.size() == 1) return lognormal(params[0]);
+  if (kind == "throttle" && params.size() == 2) return throttle(params[0], params[1]);
+  throw std::invalid_argument("bad noise spec '" + text +
+                              "' (none | uniform:lo,hi | lognormal:sigma | "
+                              "throttle:p,factor)");
+}
+
+std::string NoiseConfig::spec() const {
+  switch (kind) {
+    case Kind::kNone:
+      return "none";
+    case Kind::kUniform:
+      return "uniform:" + fmt_shortest(uniform_lo) + "," + fmt_shortest(uniform_hi);
+    case Kind::kLognormal:
+      return "lognormal:" + fmt_shortest(lognormal_sigma);
+    case Kind::kThrottle:
+      return "throttle:" + fmt_shortest(throttle_probability) + "," +
+             fmt_shortest(throttle_factor);
+  }
+  return "none";
 }
 
 double NoiseModel::sample(RandomStream& rng) const noexcept {

@@ -44,6 +44,15 @@ struct NoiseConfig {
   [[nodiscard]] static NoiseConfig uniform(double lo, double hi) noexcept;
   [[nodiscard]] static NoiseConfig lognormal(double sigma) noexcept;
   [[nodiscard]] static NoiseConfig throttle(double probability, double factor) noexcept;
+
+  /// Parses the CLI/scenario grammar: "none", "uniform:lo,hi",
+  /// "lognormal:sigma", "throttle:p,factor". Throws std::invalid_argument
+  /// on malformed specs.
+  [[nodiscard]] static NoiseConfig parse(const std::string& text);
+
+  /// The spec string for this config; parse(spec()) reproduces the config
+  /// exactly (the kind's parameters round-trip at full precision).
+  [[nodiscard]] std::string spec() const;
 };
 
 /// Samples multiplicative speed factors per NoiseConfig. Factors are clamped

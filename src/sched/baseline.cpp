@@ -26,14 +26,14 @@ void BaselineScheduler::attach_extra() {
             worker_request(w);
             return;
           }
-          worker_handle_offer(w, std::any_cast<const JobOffer&>(message.payload));
+          worker_handle_offer(w, message.payload.as<JobOffer>());
         });
   }
 
   ctx_.broker->register_mailbox(
       ctx_.master_node, cluster::mailboxes::kOfferResponses,
       [this](const msg::Message& message) {
-        master_handle_response(std::any_cast<const OfferResponse&>(message.payload));
+        master_handle_response(message.payload.as<OfferResponse>());
       });
 }
 

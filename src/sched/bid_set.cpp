@@ -1,0 +1,69 @@
+#include "sched/bid_set.hpp"
+
+namespace dlaja::sched {
+
+void BidSet::reset(cluster::WorkerIndex excluded) {
+  count_ = 0;
+  excluded_ = excluded;
+  best_ = Entry{};
+  best_excluded_ = Entry{};
+  seen_.clear();
+}
+
+bool BidSet::contains(cluster::WorkerIndex worker) const {
+  if (!seen_.empty()) {
+    const std::size_t word = worker >> 6;
+    return word < seen_.size() && ((seen_[word] >> (worker & 63)) & 1) != 0;
+  }
+  for (std::uint32_t i = 0; i < count_; ++i) {
+    if (inline_[i].worker == worker) return true;
+  }
+  return false;
+}
+
+bool BidSet::insert(cluster::WorkerIndex worker, double cost_s) {
+  if (contains(worker)) return false;
+
+  if (count_ < kInlineCapacity) {
+    inline_[count_] = Entry{worker, cost_s};
+    if (!seen_.empty()) {
+      const std::size_t word = worker >> 6;
+      if (word >= seen_.size()) seen_.resize(word + 1, 0);
+      seen_[word] |= std::uint64_t{1} << (worker & 63);
+    }
+  } else {
+    if (seen_.empty()) {
+      // Spill: seed the bitmap from the inline entries, then keep only the
+      // bitmap for dedupe.
+      for (std::uint32_t i = 0; i < count_; ++i) {
+        const std::size_t word = inline_[i].worker >> 6;
+        if (word >= seen_.size()) seen_.resize(word + 1, 0);
+        seen_[word] |= std::uint64_t{1} << (inline_[i].worker & 63);
+      }
+    }
+    const std::size_t word = worker >> 6;
+    if (word >= seen_.size()) seen_.resize(word + 1, 0);
+    seen_[word] |= std::uint64_t{1} << (worker & 63);
+  }
+  ++count_;
+
+  // Running minima with strict `<`: the first bid at the minimal cost wins
+  // ties, matching a forward scan over an insertion-ordered vector.
+  if (worker == excluded_) {
+    best_excluded_ = Entry{worker, cost_s};
+  } else if (best_.worker == cluster::kNoWorker || cost_s < best_.cost_s) {
+    best_ = Entry{worker, cost_s};
+  }
+  return true;
+}
+
+cluster::WorkerIndex BidSet::winner(double* cost_out) const {
+  // A non-excluded bidder always beats the excluded one; the excluded
+  // worker's bid only stands when it was the sole bidder (soft exclusion
+  // beats dropping the job — the retry is bounded either way).
+  const Entry& pick = best_.worker != cluster::kNoWorker ? best_ : best_excluded_;
+  if (cost_out != nullptr && pick.worker != cluster::kNoWorker) *cost_out = pick.cost_s;
+  return pick.worker;
+}
+
+}  // namespace dlaja::sched

@@ -1,0 +1,65 @@
+#pragma once
+// Fixed small-buffer bid collection for contests.
+//
+// A contest needs exactly three things from its bids: the distinct-bidder
+// count (quorum + metrics), the winning (worker, cost) under the exclusion
+// rule, and per-worker dedupe. None of that requires storing every bid: the
+// set keeps running minima plus a dedupe structure — a 16-entry inline
+// buffer that spills to a worker-index bitmap only when a contest actually
+// collects more than 16 distinct bidders. A 2,000-worker full-fanout
+// contest therefore costs one 256-byte bitmap instead of a 2,000-entry
+// vector of BidSubmissions per contest.
+//
+// Winner semantics replicate the historical scan over a bid vector exactly:
+// lowest cost wins, first-arrived wins ties (strict `<` on a running
+// minimum), and the excluded worker (a lifecycle retry avoiding the worker
+// that just failed the job) wins only when nobody else bid.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/protocol.hpp"
+
+namespace dlaja::sched {
+
+class BidSet {
+ public:
+  /// Clears the set and pins the contest's excluded worker (kNoWorker for
+  /// none). Must be called before the first insert of each contest.
+  void reset(cluster::WorkerIndex excluded);
+
+  /// Records a bid. Returns false (and changes nothing) when this worker
+  /// already bid in this contest.
+  bool insert(cluster::WorkerIndex worker, double cost_s);
+
+  /// Distinct workers that bid so far.
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+
+  /// The contest winner under the exclusion rule, or kNoWorker when empty.
+  /// `cost_out` (optional) receives the winning bid.
+  [[nodiscard]] cluster::WorkerIndex winner(double* cost_out = nullptr) const;
+
+ private:
+  static constexpr std::size_t kInlineCapacity = 16;
+
+  struct Entry {
+    cluster::WorkerIndex worker = cluster::kNoWorker;
+    double cost_s = 0.0;
+  };
+
+  [[nodiscard]] bool contains(cluster::WorkerIndex worker) const;
+
+  std::array<Entry, kInlineCapacity> inline_{};
+  std::uint32_t count_ = 0;
+  cluster::WorkerIndex excluded_ = cluster::kNoWorker;
+  Entry best_;           ///< running minimum over non-excluded bidders
+  Entry best_excluded_;  ///< the excluded worker's bid, if it made one
+  /// Dedupe bitmap, built lazily from the inline buffer on the 17th
+  /// distinct bidder; empty until then (the paper-scale 5-worker runs
+  /// never allocate).
+  std::vector<std::uint64_t> seen_;
+};
+
+}  // namespace dlaja::sched

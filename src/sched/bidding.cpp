@@ -1,6 +1,6 @@
 #include "sched/bidding.hpp"
 
-#include <any>
+#include <algorithm>
 #include <cassert>
 #include <limits>
 
@@ -18,27 +18,39 @@ void BiddingScheduler::attach(const SchedulerContext& ctx) {
   ctx_ = ctx;
   correction_.assign(ctx_.worker_count(), 1.0);
 
+  // Resolve the protocol's topic and mailbox names once: every publish/send
+  // below goes through dense ids, never a string hash.
+  bid_topic_ = ctx_.broker->topic(cluster::topics::kBidRequests);
+  jobs_box_ = ctx_.broker->mailbox(cluster::mailboxes::kJobs);
+  bids_box_ = ctx_.broker->mailbox(cluster::mailboxes::kBids);
+
   // Worker side: every worker listens for bid broadcasts and for direct
   // job assignments.
   for (WorkerIndex w = 0; w < ctx_.worker_count(); ++w) {
     cluster::WorkerNode* worker = ctx_.workers[w];
-    ctx_.broker->subscribe(
-        cluster::topics::kBidRequests, ctx_.worker_nodes[w],
-        [this, w](const msg::Message& message) {
-          worker_handle_bid_request(w, std::any_cast<const BidRequest&>(message.payload));
-        });
-    ctx_.broker->register_mailbox(
-        ctx_.worker_nodes[w], cluster::mailboxes::kJobs,
-        [worker](const msg::Message& message) {
-          worker->enqueue(std::any_cast<const JobAssignment&>(message.payload).job);
-        });
+    ctx_.broker->subscribe(bid_topic_, ctx_.worker_nodes[w],
+                           [this, w](const msg::Message& message) {
+                             worker_handle_bid_request(w, message.payload.as<BidRequest>());
+                           });
+    ctx_.broker->register_mailbox(ctx_.worker_nodes[w], cluster::mailboxes::kJobs,
+                                  [worker](const msg::Message& message) {
+                                    worker->enqueue(message.payload.as<JobAssignment>().job);
+                                  });
   }
 
   // Master side: collect bids.
   ctx_.broker->register_mailbox(
       ctx_.master_node, cluster::mailboxes::kBids, [this](const msg::Message& message) {
-        master_receive_bid(std::any_cast<const BidSubmission&>(message.payload));
+        master_receive_bid(message.payload.as<BidSubmission>());
       });
+
+  // The probe substream exists only in probe mode: full-fanout runs must
+  // draw exactly the streams the historical implementation drew.
+  if (config_.fanout.probing()) {
+    const std::uint64_t seed =
+        ctx_.seeds != nullptr ? ctx_.seeds->seed_for("sched/bidding/probe") : 1;
+    probe_rng_.emplace(seed);
+  }
 }
 
 void BiddingScheduler::ensure_trace_names() {
@@ -56,18 +68,45 @@ void BiddingScheduler::submit(const workflow::Job& job) {
   open_contest(job);
 }
 
+std::uint32_t BiddingScheduler::solicit_probes(std::uint64_t contest_id,
+                                               const workflow::Job& job) {
+  probe_scratch_.clear();
+  for (WorkerIndex w = 0; w < ctx_.worker_count(); ++w) {
+    if (!ctx_.workers[w]->failed()) probe_scratch_.push_back(w);
+  }
+  const auto k = static_cast<std::uint32_t>(
+      std::min<std::size_t>(config_.fanout.probe_k, probe_scratch_.size()));
+  // Partial Fisher-Yates: the first k slots become a uniform k-subset, in
+  // the (seeded) shuffle's order.
+  probe_targets_.clear();
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const auto j = i + static_cast<std::uint32_t>(probe_rng_->uniform_int(
+                           0, static_cast<std::uint64_t>(probe_scratch_.size() - 1 - i)));
+    std::swap(probe_scratch_[i], probe_scratch_[j]);
+    probe_targets_.push_back(ctx_.worker_nodes[probe_scratch_[i]]);
+  }
+  stats_.probes_sent += k;
+  ctx_.broker->publish_to(bid_topic_, ctx_.master_node, BidRequest{contest_id, job},
+                          probe_targets_);
+  return k;
+}
+
 void BiddingScheduler::open_contest(const workflow::Job& job) {
   // Listing 1, sendJob: publish for bidding and open the contest.
   const std::uint64_t contest_id = next_contest_++;
   Contest& contest = contests_[contest_id];
   contest.job = job;
+  contest.bids.reset(static_cast<WorkerIndex>(job.excluded_worker));
   ++stats_.contests_opened;
 
   metrics::JobRecord& record = ctx_.metrics->job(job.id);
   record.contest_opened = ctx_.sim->now();
 
-  ctx_.broker->publish(cluster::topics::kBidRequests, ctx_.master_node,
-                       BidRequest{contest_id, job});
+  if (config_.fanout.probing()) {
+    contest.solicited = solicit_probes(contest_id, job);
+  } else {
+    ctx_.broker->publish(bid_topic_, ctx_.master_node, BidRequest{contest_id, job});
+  }
   contest.timeout = ctx_.sim->schedule_after(ticks_from_seconds(config_.window_s),
                                              [this, contest_id] {
                                                ++stats_.contests_closed_timeout;
@@ -91,8 +130,7 @@ void BiddingScheduler::worker_handle_bid_request(WorkerIndex w, const BidRequest
     cluster::WorkerNode* again = ctx_.workers[w];
     if (again->failed()) return;
     ++ctx_.metrics->worker(w).bids_submitted;
-    ctx_.broker->send(ctx_.worker_nodes[w], ctx_.master_node, cluster::mailboxes::kBids,
-                      bid);
+    ctx_.broker->send(ctx_.worker_nodes[w], ctx_.master_node, bids_box_, bid);
   };
   static_assert(sim::InlineAction::fits_inline<decltype(submit)>());
   ctx_.sim->schedule_after(delay, std::move(submit));
@@ -109,51 +147,25 @@ void BiddingScheduler::master_receive_bid(const BidSubmission& bid) {
   // Dedupe per worker: a duplicated message (injectable via the broker's
   // fault policy) must not count the same worker twice toward the quorum
   // and close the contest with a live worker's bid still in flight.
-  for (const BidSubmission& existing : contest.bids) {
-    if (existing.worker == bid.worker) {
-      ++stats_.duplicate_bids_ignored;
-      return;
-    }
+  if (!contest.bids.insert(bid.worker, bid.cost_s)) {
+    ++stats_.duplicate_bids_ignored;
+    return;
   }
-  contest.bids.push_back(bid);
   if (DLAJA_TRACE_ACTIVE(ctx_.sim->tracer())) {
     ensure_trace_names();
     ctx_.sim->tracer()->instant(obs::Component::kSched, trace_bid_, bid.worker,
                                 ctx_.sim->now(), bid.job_id);
   }
 
-  // biddingFinished: all active workers have bid (the timeout branch is the
-  // scheduled event from submit()). bids.size() counts distinct workers.
-  if (contest.bids.size() >= ctx_.active_workers()) {
+  // biddingFinished: the quorum is every active worker (full fan-out; the
+  // timeout branch is the scheduled event from open_contest) or every
+  // solicited worker (probe fan-out). bids.size() counts distinct workers.
+  const std::size_t quorum =
+      config_.fanout.probing() ? contest.solicited : ctx_.active_workers();
+  if (contest.bids.size() >= quorum) {
     ++stats_.contests_closed_full;
     close_contest(bid.contest);
   }
-}
-
-cluster::WorkerIndex BiddingScheduler::preferred_worker(
-    const std::vector<BidSubmission>& bids, WorkerIndex excluded) {
-  assert(!bids.empty());
-  WorkerIndex best = cluster::kNoWorker;
-  double best_cost = 0.0;
-  for (const BidSubmission& bid : bids) {
-    if (bid.worker == excluded) continue;
-    if (best == cluster::kNoWorker || bid.cost_s < best_cost) {
-      best_cost = bid.cost_s;
-      best = bid.worker;
-    }
-  }
-  if (best != cluster::kNoWorker) return best;
-  // Only the excluded worker bid: a soft exclusion takes it over dropping
-  // the job (the retry is bounded either way).
-  best = bids.front().worker;
-  best_cost = bids.front().cost_s;
-  for (const BidSubmission& bid : bids) {
-    if (bid.cost_s < best_cost) {
-      best_cost = bid.cost_s;
-      best = bid.worker;
-    }
-  }
-  return best;
 }
 
 cluster::WorkerIndex BiddingScheduler::arbitrary_worker(WorkerIndex excluded) {
@@ -210,14 +222,8 @@ void BiddingScheduler::close_contest(std::uint64_t contest_id) {
                                  << contest.job.id
                                  << "; arbitrary assignment to worker " << winner;
   } else {
-    winner = preferred_worker(contest.bids, excluded);
     winning_cost = 0.0;
-    for (const BidSubmission& bid : contest.bids) {
-      if (bid.worker == winner) {
-        winning_cost = bid.cost_s;
-        break;
-      }
-    }
+    winner = contest.bids.winner(&winning_cost);
   }
 
   metrics::JobRecord& record = ctx_.metrics->job(contest.job.id);
@@ -243,7 +249,7 @@ void BiddingScheduler::close_contest(std::uint64_t contest_id) {
     assigned_at_[contest.job.id] = ctx_.sim->now();
   }
 
-  ctx_.broker->send(ctx_.master_node, ctx_.worker_nodes[winner], cluster::mailboxes::kJobs,
+  ctx_.broker->send(ctx_.master_node, ctx_.worker_nodes[winner], jobs_box_,
                     JobAssignment{contest.job});
   if (ctx_.notify_assigned) ctx_.notify_assigned(contest.job.id, winner, winning_cost);
 

@@ -1,6 +1,7 @@
 #include "sched/factory.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "sched/bar.hpp"
 #include "sched/baseline.hpp"
@@ -12,42 +13,249 @@
 
 namespace dlaja::sched {
 
-std::unique_ptr<Scheduler> make_scheduler(const std::string& name, std::uint64_t seed) {
-  if (name == "bidding") return std::make_unique<BiddingScheduler>();
-  if (name == "bidding+learned") {
-    BiddingConfig config;
-    config.learn_correction = true;
-    return std::make_unique<BiddingScheduler>(config);
+namespace {
+
+using Option = std::pair<std::string, std::string>;
+
+/// A spec split into its base name and key=value options. Legacy '+' alias
+/// suffixes are rewritten into implied options before the per-scheduler
+/// builder sees them.
+struct ParsedSpec {
+  std::string name;
+  std::vector<Option> options;
+};
+
+ParsedSpec split_spec(const std::string& spec) {
+  ParsedSpec parsed;
+  const std::size_t colon = spec.find(':');
+  parsed.name = spec.substr(0, colon);
+
+  // Legacy aliases: still accepted everywhere, and they compose with
+  // options ("spark-like+hash:wave=true" works).
+  if (parsed.name == "bidding+learned") {
+    parsed.name = "bidding";
+    parsed.options.emplace_back("learn", "true");
+  } else if (parsed.name == "spark-like+hash") {
+    parsed.name = "spark-like";
+    parsed.options.emplace_back("placement", "hash");
+  } else if (parsed.name == "spark-like+wave") {
+    parsed.name = "spark-like";
+    parsed.options.emplace_back("wave", "true");
   }
-  if (name == "baseline") return std::make_unique<BaselineScheduler>();
-  if (name == "spark-like") return std::make_unique<SparkLikeScheduler>();
-  if (name == "spark-like+hash") {
-    SparkLikeConfig config;
-    config.placement = SparkLikeConfig::Placement::kHashByResource;
-    return std::make_unique<SparkLikeScheduler>(config);
+
+  if (colon == std::string::npos) return parsed;
+  const std::string body = spec.substr(colon + 1);
+  std::size_t pos = 0;
+  while (pos <= body.size()) {
+    const std::size_t comma = body.find(',', pos);
+    const std::string pair =
+        body.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? body.size() + 1 : comma + 1;
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("bad scheduler spec '" + spec + "': expected key=value, got '" +
+                                  pair + "'");
+    }
+    parsed.options.emplace_back(pair.substr(0, eq), pair.substr(eq + 1));
   }
-  if (name == "spark-like+wave") {
-    SparkLikeConfig config;
-    config.wave_barrier = true;
-    return std::make_unique<SparkLikeScheduler>(config);
+  return parsed;
+}
+
+[[noreturn]] void unknown_key(const ParsedSpec& spec, const std::string& key,
+                              const char* valid) {
+  throw std::invalid_argument("scheduler '" + spec.name + "': unknown key '" + key +
+                              "' (valid keys: " + valid + ")");
+}
+
+[[noreturn]] void no_keys(const ParsedSpec& spec) {
+  throw std::invalid_argument("scheduler '" + spec.name + "' takes no options (got '" +
+                              spec.options.front().first + "')");
+}
+
+bool parse_bool(const ParsedSpec& spec, const Option& option) {
+  const std::string& v = option.second;
+  if (v == "true" || v == "1" || v == "on" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "off" || v == "no") return false;
+  throw std::invalid_argument("scheduler '" + spec.name + "': key '" + option.first +
+                              "' wants a bool, got '" + v + "'");
+}
+
+double parse_double(const ParsedSpec& spec, const Option& option) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(option.second, &used);
+    if (used == option.second.size()) return value;
+  } catch (const std::exception&) {
   }
-  if (name == "matchmaking") return std::make_unique<MatchmakingScheduler>();
-  if (name == "delay") return std::make_unique<DelayScheduler>();
-  if (name == "bar") return std::make_unique<BarScheduler>();
-  if (name == "random") return std::make_unique<SimplePushScheduler>(PushPolicy::kRandom, seed);
-  if (name == "round-robin") {
+  throw std::invalid_argument("scheduler '" + spec.name + "': key '" + option.first +
+                              "' wants a number, got '" + option.second + "'");
+}
+
+std::uint32_t parse_uint(const ParsedSpec& spec, const Option& option) {
+  const double value = parse_double(spec, option);
+  if (value < 0.0 || value != static_cast<double>(static_cast<std::uint32_t>(value))) {
+    throw std::invalid_argument("scheduler '" + spec.name + "': key '" + option.first +
+                                "' wants a non-negative integer, got '" + option.second + "'");
+  }
+  return static_cast<std::uint32_t>(value);
+}
+
+BiddingConfig bidding_config(const ParsedSpec& spec) {
+  BiddingConfig config;
+  for (const Option& option : spec.options) {
+    const std::string& key = option.first;
+    if (key == "fanout") {
+      config.fanout = FanoutPolicy::parse(option.second);
+    } else if (key == "window") {
+      config.window_s = parse_double(spec, option);
+    } else if (key == "serialize") {
+      config.serialize_contests = parse_bool(spec, option);
+    } else if (key == "learn") {
+      config.learn_correction = parse_bool(spec, option);
+    } else if (key == "alpha") {
+      config.correction_alpha = parse_double(spec, option);
+    } else {
+      unknown_key(spec, key, "fanout, window, serialize, learn, alpha");
+    }
+  }
+  return config;
+}
+
+BaselineConfig baseline_config(const ParsedSpec& spec) {
+  BaselineConfig config;
+  for (const Option& option : spec.options) {
+    const std::string& key = option.first;
+    if (key == "declines") {
+      config.max_declines_per_worker = parse_uint(spec, option);
+    } else if (key == "prefetch") {
+      config.prefetch_depth = parse_uint(spec, option);
+    } else if (key == "requeue_back") {
+      config.requeue_to_back = parse_bool(spec, option);
+    } else {
+      unknown_key(spec, key, "declines, prefetch, requeue_back");
+    }
+  }
+  return config;
+}
+
+SparkLikeConfig spark_like_config(const ParsedSpec& spec) {
+  SparkLikeConfig config;
+  for (const Option& option : spec.options) {
+    const std::string& key = option.first;
+    if (key == "placement") {
+      if (option.second == "rr") {
+        config.placement = SparkLikeConfig::Placement::kRoundRobin;
+      } else if (option.second == "hash") {
+        config.placement = SparkLikeConfig::Placement::kHashByResource;
+      } else {
+        throw std::invalid_argument("scheduler 'spark-like': placement must be rr|hash, got '" +
+                                    option.second + "'");
+      }
+    } else if (key == "wave") {
+      config.wave_barrier = parse_bool(spec, option);
+    } else {
+      unknown_key(spec, key, "placement, wave");
+    }
+  }
+  return config;
+}
+
+DelayConfig delay_config(const ParsedSpec& spec) {
+  DelayConfig config;
+  for (const Option& option : spec.options) {
+    if (option.first == "skips") {
+      config.max_skips = parse_uint(spec, option);
+    } else {
+      unknown_key(spec, option.first, "skips");
+    }
+  }
+  return config;
+}
+
+BarConfig bar_config(const ParsedSpec& spec) {
+  BarConfig config;
+  for (const Option& option : spec.options) {
+    const std::string& key = option.first;
+    if (key == "window") {
+      config.batch_window_s = parse_double(spec, option);
+    } else if (key == "moves") {
+      config.max_rebalance_moves = parse_uint(spec, option);
+    } else {
+      unknown_key(spec, key, "window, moves");
+    }
+  }
+  return config;
+}
+
+std::unique_ptr<Scheduler> build(const ParsedSpec& spec, std::uint64_t seed) {
+  if (spec.name == "bidding") {
+    return std::make_unique<BiddingScheduler>(bidding_config(spec));
+  }
+  if (spec.name == "baseline") {
+    return std::make_unique<BaselineScheduler>(baseline_config(spec));
+  }
+  if (spec.name == "spark-like") {
+    return std::make_unique<SparkLikeScheduler>(spark_like_config(spec));
+  }
+  if (spec.name == "delay") {
+    return std::make_unique<DelayScheduler>(delay_config(spec));
+  }
+  if (spec.name == "bar") {
+    return std::make_unique<BarScheduler>(bar_config(spec));
+  }
+  if (spec.name == "matchmaking") {
+    if (!spec.options.empty()) no_keys(spec);
+    return std::make_unique<MatchmakingScheduler>();
+  }
+  if (spec.name == "random") {
+    if (!spec.options.empty()) no_keys(spec);
+    return std::make_unique<SimplePushScheduler>(PushPolicy::kRandom, seed);
+  }
+  if (spec.name == "round-robin") {
+    if (!spec.options.empty()) no_keys(spec);
     return std::make_unique<SimplePushScheduler>(PushPolicy::kRoundRobin, seed);
   }
-  if (name == "least-queue") {
+  if (spec.name == "least-queue") {
+    if (!spec.options.empty()) no_keys(spec);
     return std::make_unique<SimplePushScheduler>(PushPolicy::kLeastQueue, seed);
   }
-  throw std::invalid_argument("unknown scheduler: " + name);
+  std::string names;
+  for (const std::string& name : scheduler_names()) {
+    if (!names.empty()) names += ", ";
+    names += name;
+  }
+  throw std::invalid_argument("unknown scheduler: " + spec.name + " (known: " + names + ")");
+}
+
+}  // namespace
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& spec, std::uint64_t seed) {
+  return build(split_spec(spec), seed);
 }
 
 std::vector<std::string> scheduler_names() {
   return {"bidding",         "bidding+learned", "baseline",    "spark-like",
           "spark-like+hash", "spark-like+wave", "matchmaking", "delay",
           "bar",             "random",          "round-robin", "least-queue"};
+}
+
+std::string check_scheduler_spec(const std::string& spec, std::size_t worker_count) {
+  try {
+    const ParsedSpec parsed = split_spec(spec);
+    (void)build(parsed, 1);
+    if (parsed.name == "bidding" && worker_count > 0) {
+      const BiddingConfig config = bidding_config(parsed);
+      if (config.fanout.probing() && config.fanout.probe_k > worker_count) {
+        return "scheduler '" + spec + "': probe fan-out k=" +
+               std::to_string(config.fanout.probe_k) + " exceeds the fleet (" +
+               std::to_string(worker_count) + " workers)";
+      }
+    }
+  } catch (const std::invalid_argument& error) {
+    return error.what();
+  }
+  return {};
 }
 
 }  // namespace dlaja::sched

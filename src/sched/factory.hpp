@@ -1,6 +1,22 @@
 #pragma once
-// Scheduler factory: construct any scheduler by its report name. Used by
-// benches and examples to sweep algorithms uniformly.
+// Scheduler factory: construct any scheduler from a config string. Used by
+// benches, tools, and scenarios to sweep algorithms uniformly.
+//
+// Spec grammar: "name" or "name:key=val,key=val,...". Values may themselves
+// contain ':' (e.g. "bidding:fanout=probe:4"); keys are comma-separated.
+// Unknown names and unknown keys are errors that list the valid choices.
+//
+// Per-scheduler keys:
+//   bidding     fanout=full|probe:K  window=<s>  serialize=<bool>
+//               learn=<bool>  alpha=<0..1>
+//   baseline    declines=<n>  prefetch=<n>  requeue_back=<bool>
+//   spark-like  placement=rr|hash  wave=<bool>
+//   delay       skips=<n>
+//   bar         window=<s>  moves=<n>
+//   matchmaking, random, round-robin, least-queue: no keys
+//
+// The legacy alias names ("bidding+learned", "spark-like+hash",
+// "spark-like+wave") keep working and may be combined with options.
 
 #include <memory>
 #include <string>
@@ -10,14 +26,20 @@
 
 namespace dlaja::sched {
 
-/// Creates a scheduler by name: "bidding", "bidding+learned", "baseline",
-/// "spark-like", "spark-like+hash", "matchmaking", "delay", "random",
-/// "round-robin", "least-queue". Throws std::invalid_argument on unknown
-/// names. `seed` only affects the random policy.
-[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
+/// Creates a scheduler from a spec string (see the grammar above). Throws
+/// std::invalid_argument on unknown names, unknown keys, or bad values.
+/// `seed` only affects the random policy.
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(const std::string& spec,
                                                         std::uint64_t seed = 1);
 
-/// All scheduler names the factory accepts.
+/// All base scheduler names the factory accepts (aliases included).
 [[nodiscard]] std::vector<std::string> scheduler_names();
+
+/// Validates `spec` without constructing a scheduler. Returns an empty
+/// string when valid, otherwise the error message make_scheduler would
+/// throw. When `worker_count` is nonzero, additionally rejects a bidding
+/// probe fan-out whose k exceeds the fleet.
+[[nodiscard]] std::string check_scheduler_spec(const std::string& spec,
+                                               std::size_t worker_count = 0);
 
 }  // namespace dlaja::sched

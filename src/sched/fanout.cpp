@@ -1,0 +1,34 @@
+#include "sched/fanout.hpp"
+
+#include <stdexcept>
+
+namespace dlaja::sched {
+
+FanoutPolicy FanoutPolicy::parse(const std::string& text) {
+  FanoutPolicy policy;
+  if (text == "full") return policy;
+  if (text.rfind("probe:", 0) == 0) {
+    const std::string count = text.substr(6);
+    std::size_t used = 0;
+    unsigned long k = 0;
+    try {
+      k = std::stoul(count, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    if (used != count.size() || k == 0) {
+      throw std::invalid_argument("bad fan-out '" + text + "': probe:K needs K >= 1");
+    }
+    policy.mode = Mode::kProbe;
+    policy.probe_k = static_cast<std::uint32_t>(k);
+    return policy;
+  }
+  throw std::invalid_argument("bad fan-out '" + text + "' (expected 'full' or 'probe:K')");
+}
+
+std::string FanoutPolicy::describe() const {
+  if (mode == Mode::kFull) return "full";
+  return "probe:" + std::to_string(probe_k);
+}
+
+}  // namespace dlaja::sched

@@ -1,0 +1,39 @@
+#pragma once
+// Contest fan-out policy for the bidding scheduler.
+//
+// `full` is the paper's protocol: every contest is broadcast to every
+// subscribed worker and the quorum is "all active workers have bid" —
+// bit-identical to the pre-policy implementation and the default.
+//
+// `probe:k` is the Dodoor-style scale path (arXiv:2510.12889): each contest
+// solicits a seeded random k-subset of the currently alive workers and
+// closes once those k have bid (or the window elapses). Contest cost drops
+// from O(workers) messages to O(k), which is what lets a single master run
+// 1,000+ worker fleets. This is an extension beyond the source paper.
+
+#include <cstdint>
+#include <string>
+
+namespace dlaja::sched {
+
+struct FanoutPolicy {
+  enum class Mode : std::uint8_t {
+    kFull,   ///< broadcast to all subscribers (paper-faithful, default)
+    kProbe,  ///< solicit a random k-subset of alive workers
+  };
+
+  Mode mode = Mode::kFull;
+  std::uint32_t probe_k = 4;
+
+  [[nodiscard]] bool probing() const noexcept { return mode == Mode::kProbe; }
+
+  /// Parses "full" or "probe:K" (K >= 1). Throws std::invalid_argument.
+  [[nodiscard]] static FanoutPolicy parse(const std::string& text);
+
+  /// "full" or "probe:K" — the inverse of parse().
+  [[nodiscard]] std::string describe() const;
+
+  bool operator==(const FanoutPolicy&) const = default;
+};
+
+}  // namespace dlaja::sched

@@ -20,7 +20,7 @@ void PullSchedulerBase::attach(const SchedulerContext& ctx) {
     ctx_.broker->register_mailbox(
         ctx_.worker_nodes[w], cluster::mailboxes::kJobs,
         [worker](const msg::Message& message) {
-          worker->enqueue(std::any_cast<const JobAssignment&>(message.payload).job);
+          worker->enqueue(message.payload.as<JobAssignment>().job);
         });
     // "Nothing for you": poll again after the heartbeat.
     ctx_.broker->register_mailbox(
@@ -35,7 +35,7 @@ void PullSchedulerBase::attach(const SchedulerContext& ctx) {
   ctx_.broker->register_mailbox(
       ctx_.master_node, cluster::mailboxes::kWorkRequests,
       [this](const msg::Message& message) {
-        master_handle_request(std::any_cast<const WorkRequest&>(message.payload).worker);
+        master_handle_request(message.payload.as<WorkRequest>().worker);
       });
 
   attach_extra();

@@ -17,6 +17,7 @@
 #include "msg/broker.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
+#include "util/rng.hpp"
 #include "workflow/workflow.hpp"
 
 namespace dlaja::sched {
@@ -33,6 +34,12 @@ struct SchedulerContext {
   net::NodeId master_node = net::kInvalidNode;
   std::vector<cluster::WorkerNode*> workers;  ///< index == WorkerIndex
   std::vector<net::NodeId> worker_nodes;      ///< broker node id per worker
+
+  /// The engine's seed sequencer: schedulers that need their own randomness
+  /// (e.g. probe fan-out) derive named substreams from it so they never
+  /// perturb the engine's other streams. May be null in bare-bones tests;
+  /// schedulers must fall back to a fixed seed then.
+  const SeedSequencer* seeds = nullptr;
 
   /// Lifecycle hooks (null unless the engine runs with a job lifecycle —
   /// fault-free runs leave them unset and schedulers behave bit-identically).

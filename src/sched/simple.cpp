@@ -24,7 +24,7 @@ void SimplePushScheduler::attach(const SchedulerContext& ctx) {
     ctx_.broker->register_mailbox(
         ctx_.worker_nodes[w], cluster::mailboxes::kJobs,
         [worker](const msg::Message& message) {
-          worker->enqueue(std::any_cast<const JobAssignment&>(message.payload).job);
+          worker->enqueue(message.payload.as<JobAssignment>().job);
         });
   }
 }

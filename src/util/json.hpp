@@ -1,0 +1,87 @@
+#pragma once
+// Minimal JSON value, parser, and writer — just enough for declarative
+// scenario files, with zero external dependencies. Objects preserve
+// insertion order so a parse -> dump round trip is stable (scenario tests
+// compare serialized forms). Numbers are doubles (scenario fields fit
+// comfortably); integers up to 2^53 round-trip exactly.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dlaja::json {
+
+class Value;
+using Array = std::vector<Value>;
+
+/// An insertion-ordered string -> Value map (std::map would reorder keys).
+class Object {
+ public:
+  /// Returns the member, inserting a null on first access (like operator[]).
+  Value& operator[](const std::string& key);
+
+  /// Null when absent.
+  [[nodiscard]] const Value* find(const std::string& key) const;
+  [[nodiscard]] bool contains(const std::string& key) const { return find(key) != nullptr; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return members_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return members_.empty(); }
+  [[nodiscard]] auto begin() const { return members_.begin(); }
+  [[nodiscard]] auto end() const { return members_.end(); }
+
+ private:
+  std::vector<std::pair<std::string, Value>> members_;
+};
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+  Value(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  Value(bool b) : kind_(Kind::kBool), bool_(b) {}  // NOLINT
+  Value(double n) : kind_(Kind::kNumber), number_(n) {}  // NOLINT
+  Value(int n) : Value(static_cast<double>(n)) {}  // NOLINT
+  Value(std::int64_t n) : Value(static_cast<double>(n)) {}  // NOLINT
+  Value(std::uint64_t n) : Value(static_cast<double>(n)) {}  // NOLINT
+  Value(const char* s) : kind_(Kind::kString), string_(s) {}  // NOLINT
+  Value(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}  // NOLINT
+  Value(Array a);  // NOLINT(google-explicit-constructor)
+  Value(Object o);  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const noexcept { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; throw std::invalid_argument on a kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Serializes compactly (indent < 0) or pretty-printed with the given
+  /// indent width.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::shared_ptr<Array> array_;    // shared: keeps Value copyable + cheap
+  std::shared_ptr<Object> object_;
+};
+
+/// Parses a complete JSON document (trailing junk is an error). Throws
+/// std::invalid_argument with a byte offset on malformed input.
+[[nodiscard]] Value parse(const std::string& text);
+
+}  // namespace dlaja::json

@@ -1,7 +1,9 @@
 #include "util/table.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <ostream>
 #include <sstream>
 
@@ -72,6 +74,22 @@ std::string fmt_ratio(double value, int decimals) {
 
 std::string fmt_percent(double fraction, int decimals) {
   return fmt_fixed(fraction * 100.0, decimals) + "%";
+}
+
+std::string fmt_shortest(double value) {
+  char buf[64];
+  // Whole numbers print as integers: "%.*g" would otherwise pick scientific
+  // notation ("3e+01") over "30" when one significant digit round-trips.
+  if (value == static_cast<double>(static_cast<long long>(value)) &&
+      std::abs(value) < 9007199254740992.0) {  // 2^53: exact integer range
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(value));
+    return buf;
+  }
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return buf;
 }
 
 }  // namespace dlaja

@@ -46,4 +46,9 @@ class TextTable {
 /// Formats a fraction as a percentage, e.g. 0.245 -> "24.5%".
 [[nodiscard]] std::string fmt_percent(double fraction, int decimals = 1);
 
+/// Shortest decimal string that parses back to exactly `value` (0.1 ->
+/// "0.1", not "0.10000000000000001"). Spec emitters use this so a
+/// config -> spec -> config round trip is bit-exact.
+[[nodiscard]] std::string fmt_shortest(double value);
+
 }  // namespace dlaja

@@ -27,6 +27,8 @@ struct SizeRanges {
   MegaBytes small_lo = 1.0, small_hi = 50.0;
   MegaBytes medium_lo = 50.0, medium_hi = 500.0;
   MegaBytes large_lo = 500.0, large_hi = 1024.0;
+
+  bool operator==(const SizeRanges&) const = default;
 };
 
 /// A growing registry of repositories with stable ids (starting at 1; id 0

@@ -73,6 +73,8 @@ struct WorkloadSpec {
   /// Size-class boundaries; override to pin sizes (e.g. a sweep point can
   /// set small_lo == small_hi and weight only the small class).
   SizeRanges ranges{};
+
+  bool operator==(const WorkloadSpec&) const = default;
 };
 
 /// The spec corresponding to one of the §6.3.1 configurations.

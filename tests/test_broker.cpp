@@ -30,7 +30,7 @@ class BrokerTest : public ::testing::Test {
 TEST_F(BrokerTest, PointToPointDelivery) {
   std::vector<int> received;
   broker_.register_mailbox(b_, "box", [&](const Message& m) {
-    received.push_back(std::any_cast<int>(m.payload));
+    received.push_back(m.payload.as<int>());
   });
   broker_.send(a_, b_, "box", 7);
   broker_.send(a_, b_, "box", 8);
@@ -137,15 +137,15 @@ TEST_F(BrokerTest, MessageCarriesSenderAndTimestamp) {
 }
 
 TEST_F(BrokerTest, TypedPayloadsRoundTrip) {
-  struct Payload {
+  struct Parcel {
     int x;
     std::string s;
   };
-  Payload got{};
+  Parcel got{};
   broker_.register_mailbox(b_, "box", [&](const Message& m) {
-    got = std::any_cast<Payload>(m.payload);
+    got = m.payload.as<Parcel>();
   });
-  broker_.send(a_, b_, "box", Payload{42, "hi"});
+  broker_.send(a_, b_, "box", Parcel{42, "hi"});
   sim_.run();
   EXPECT_EQ(got.x, 42);
   EXPECT_EQ(got.s, "hi");
@@ -155,10 +155,10 @@ TEST_F(BrokerTest, HandlersMaySendMoreMessages) {
   // Ping-pong a bounded number of rounds through the broker.
   int rounds = 0;
   broker_.register_mailbox(b_, "ping", [&](const Message& m) {
-    broker_.send(b_, a_, "pong", std::any_cast<int>(m.payload) + 1);
+    broker_.send(b_, a_, "pong", m.payload.as<int>() + 1);
   });
   broker_.register_mailbox(a_, "pong", [&](const Message& m) {
-    const int v = std::any_cast<int>(m.payload);
+    const int v = m.payload.as<int>();
     ++rounds;
     if (v < 5) broker_.send(a_, b_, "ping", v);
   });

@@ -1,0 +1,112 @@
+// Unit tests for the minimal JSON value/parser/writer that backs the
+// scenario files.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/json.hpp"
+
+namespace dlaja::json {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_EQ(parse("true").as_bool(), true);
+  EXPECT_EQ(parse("false").as_bool(), false);
+  EXPECT_EQ(parse("42").as_number(), 42.0);
+  EXPECT_EQ(parse("-3.5e2").as_number(), -350.0);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(parse("  \"padded\"  ").as_string(), "padded");
+}
+
+TEST(Json, ParsesContainers) {
+  const Value doc = parse(R"({"a": [1, 2, {"b": true}], "c": null})");
+  ASSERT_TRUE(doc.is_object());
+  const Array& a = doc.as_object().find("a")->as_array();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[0].as_number(), 1.0);
+  EXPECT_EQ(a[2].as_object().find("b")->as_bool(), true);
+  EXPECT_TRUE(doc.as_object().find("c")->is_null());
+  EXPECT_EQ(doc.as_object().find("missing"), nullptr);
+  EXPECT_TRUE(doc.as_object().contains("c"));
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder) {
+  Object obj;
+  obj["zebra"] = 1;
+  obj["apple"] = 2;
+  obj["mango"] = 3;
+  obj["apple"] = 4;  // overwrite must not move the key
+  EXPECT_EQ(Value{std::move(obj)}.dump(), R"({"zebra":1,"apple":4,"mango":3})");
+
+  const std::string text = R"({"z":1,"a":2,"m":3})";
+  EXPECT_EQ(parse(text).dump(), text);
+}
+
+TEST(Json, DumpRoundTripsEscapesAndUnicode) {
+  const std::string text = R"({"s":"line\nbreak \"quoted\" tab\t\\ é"})";
+  const Value doc = parse(text);
+  EXPECT_EQ(doc.as_object().find("s")->as_string(), "line\nbreak \"quoted\" tab\t\\ \xc3\xa9");
+  // dump -> parse -> dump is a fixed point even when the first dump
+  // normalizes escape forms.
+  const std::string dumped = doc.dump();
+  EXPECT_EQ(parse(dumped).dump(), dumped);
+}
+
+TEST(Json, IntegersRoundTripExactly) {
+  EXPECT_EQ(Value{std::uint64_t{9007199254740992ull}}.dump(), "9007199254740992");
+  EXPECT_EQ(Value{std::int64_t{-1234567890123}}.dump(), "-1234567890123");
+  EXPECT_EQ(parse("9007199254740992").as_number(), 9007199254740992.0);
+  EXPECT_EQ(Value{0.5}.dump(), "0.5");
+}
+
+TEST(Json, PrettyPrintIsReparseable) {
+  Object inner;
+  inner["k"] = "v";
+  Object obj;
+  obj["list"] = Array{Value{1}, Value{2}};
+  obj["nested"] = Value{std::move(inner)};
+  const Value doc{std::move(obj)};
+  const std::string pretty = doc.dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_EQ(parse(pretty).dump(), doc.dump());
+}
+
+TEST(Json, MalformedInputThrowsWithByteOffset) {
+  const char* bad[] = {
+      "",            // empty document
+      "{",           // unterminated object
+      "[1, 2",       // unterminated array
+      "tru",         // bad literal
+      "\"open",      // unterminated string
+      "1 2",         // trailing junk
+      "{\"a\" 1}",   // missing colon
+      "{'a': 1}",    // single quotes
+      "[1,]",        // trailing comma
+      "nan",         // not a JSON number
+  };
+  for (const char* text : bad) {
+    SCOPED_TRACE(std::string("input: ") + text);
+    EXPECT_THROW((void)parse(text), std::invalid_argument);
+  }
+  try {
+    (void)parse("[true, flase]");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    // Error text points at the offending byte offset.
+    EXPECT_NE(std::string(error.what()).find("7"), std::string::npos);
+  }
+}
+
+TEST(Json, KindMismatchAccessorsThrow) {
+  const Value num = parse("1");
+  EXPECT_THROW((void)num.as_string(), std::invalid_argument);
+  EXPECT_THROW((void)num.as_bool(), std::invalid_argument);
+  EXPECT_THROW((void)num.as_array(), std::invalid_argument);
+  EXPECT_THROW((void)num.as_object(), std::invalid_argument);
+  EXPECT_THROW((void)parse("\"s\"").as_number(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dlaja::json

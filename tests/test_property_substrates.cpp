@@ -153,7 +153,7 @@ TEST(BrokerProperty, ExactlyOnceDeliveryUnderChurn) {
   std::vector<msg::SubscriptionId> subs;
   for (int n = 1; n < 6; ++n) {
     subs.push_back(broker.subscribe("t", nodes[n], [&received, n](const msg::Message& m) {
-      ++received[{n, std::any_cast<int>(m.payload)}];
+      ++received[{n, m.payload.as<int>()}];
     }));
   }
 

@@ -7,58 +7,32 @@
 //   dlaja_run --scheduler bidding --workload 80%_large --fleet fast-slow
 //   dlaja_run --scheduler baseline --jobs 240 --iters 5 --noise lognormal:0.5
 //   dlaja_run --scheduler bidding --estimation historic --csv runs.csv
+//   dlaja_run --scenario examples/scenarios/paper_bidding.json
 
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "core/experiment.hpp"
 #include "metrics/timeline.hpp"
 #include "obs/export.hpp"
 #include "obs/trace.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
 
 using namespace dlaja;
 
-namespace {
-
-/// Parses "none", "uniform:lo,hi", "lognormal:sigma", "throttle:p,factor".
-net::NoiseConfig parse_noise(const std::string& text) {
-  const auto colon = text.find(':');
-  const std::string kind = text.substr(0, colon);
-  std::vector<double> params;
-  if (colon != std::string::npos) {
-    std::string rest = text.substr(colon + 1);
-    std::size_t pos = 0;
-    while (pos < rest.size()) {
-      const auto comma = rest.find(',', pos);
-      params.push_back(std::stod(rest.substr(pos, comma - pos)));
-      if (comma == std::string::npos) break;
-      pos = comma + 1;
-    }
-  }
-  if (kind == "none") return net::NoiseConfig::none();
-  if (kind == "uniform" && params.size() == 2) {
-    return net::NoiseConfig::uniform(params[0], params[1]);
-  }
-  if (kind == "lognormal" && params.size() == 1) {
-    return net::NoiseConfig::lognormal(params[0]);
-  }
-  if (kind == "throttle" && params.size() == 2) {
-    return net::NoiseConfig::throttle(params[0], params[1]);
-  }
-  throw std::invalid_argument("bad --noise spec: '" + text +
-                              "' (none | uniform:lo,hi | lognormal:sigma | "
-                              "throttle:p,factor)");
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   ArgParser args("dlaja_run",
                  "run a locality-scheduling experiment and print the paper's metrics");
-  args.add_option("scheduler", "bidding", "scheduler name (see sched::scheduler_names())");
+  args.add_option("scenario", "",
+                  "run a scenario file (JSON) instead of the spec flags; output "
+                  "flags (--csv, --timeline, --trace, ...) still apply");
+  args.add_option("scheduler", "bidding",
+                  "scheduler spec, e.g. bidding, bidding:fanout=probe:4, "
+                  "baseline:declines=2 (see sched::scheduler_names())");
   args.add_option("workload", "80%_large",
                   "job config: all_diff_equal|all_diff_large|all_diff_small|80%_large|80%_small");
   args.add_option("fleet", "all-equal", "fleet preset: all-equal|one-fast|one-slow|fast-slow");
@@ -81,33 +55,67 @@ int main(int argc, char** argv) {
   set_log_level(parse_log_level(args.get("log-level")));
 
   core::ExperimentSpec spec;
-  spec.scheduler = args.get("scheduler");
-  spec.job_config = workload::job_config_from_name(args.get("workload"));
-  workload::WorkloadSpec wspec = workload::make_workload_spec(spec.job_config);
-  wspec.job_count = static_cast<std::size_t>(args.get_int("jobs"));
-  spec.custom_workload = wspec;
-  spec.fleet = cluster::fleet_preset_from_name(args.get("fleet"));
-  spec.worker_count = static_cast<std::size_t>(args.get_int("workers"));
-  spec.iterations = static_cast<int>(args.get_int("iters"));
-  spec.seed = static_cast<std::uint64_t>(args.get_int("seed"));
-  spec.noise = parse_noise(args.get("noise"));
-  spec.carry_cache = !args.given("no-carry");
-  if (!args.get("faults").empty()) {
-    try {
-      spec.faults = fault::FaultPlan::parse(args.get("faults"));
-    } catch (const std::invalid_argument& error) {
-      std::cerr << "bad --faults spec: " << error.what() << "\n";
+  if (!args.get("scenario").empty()) {
+    // A scenario file IS the experiment spec: mixing it with spec flags
+    // would silently ignore one side, so that's an error.
+    for (const char* flag : {"scheduler", "workload", "fleet", "workers", "jobs", "iters",
+                             "seed", "noise", "faults", "estimation", "no-carry"}) {
+      if (args.given(flag)) {
+        std::cerr << "--scenario is exclusive with --" << flag
+                  << " (edit the scenario file instead)\n";
+        return 1;
+      }
+    }
+    std::ifstream in(args.get("scenario"));
+    if (!in) {
+      std::cerr << "cannot open " << args.get("scenario") << "\n";
       return 1;
     }
-    std::cout << "fault plan: " << spec.faults.describe() << "\n";
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+      spec = core::ExperimentSpec::from_json(json::parse(text.str()));
+    } catch (const std::invalid_argument& error) {
+      std::cerr << args.get("scenario") << ": " << error.what() << "\n";
+      return 1;
+    }
+    if (!spec.name.empty()) std::cout << "scenario: " << spec.name << "\n";
+  } else {
+    try {
+      spec.scheduler = args.get("scheduler");
+      spec.job_config = workload::job_config_from_name(args.get("workload"));
+      workload::WorkloadSpec wspec = workload::make_workload_spec(spec.job_config);
+      wspec.job_count = static_cast<std::size_t>(args.get_int("jobs"));
+      spec.custom_workload = wspec;
+      spec.fleet = cluster::fleet_preset_from_name(args.get("fleet"));
+      spec.worker_count = static_cast<std::size_t>(args.get_int("workers"));
+      spec.iterations = static_cast<int>(args.get_int("iters"));
+      spec.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+      spec.noise = net::NoiseConfig::parse(args.get("noise"));
+      spec.carry_cache = !args.given("no-carry");
+      if (!args.get("faults").empty()) spec.faults = fault::FaultPlan::parse(args.get("faults"));
+      if (args.get("estimation") == "historic") {
+        spec.estimation = cluster::SpeedEstimator::Mode::kHistoric;
+        spec.probe_speeds = true;
+      } else if (args.get("estimation") != "nominal") {
+        std::cerr << "bad --estimation (nominal|historic)\n";
+        return 1;
+      }
+    } catch (const std::invalid_argument& error) {
+      std::cerr << error.what() << "\n";
+      return 1;
+    }
   }
-  if (args.get("estimation") == "historic") {
-    spec.estimation = cluster::SpeedEstimator::Mode::kHistoric;
-    spec.probe_speeds = true;
-  } else if (args.get("estimation") != "nominal") {
-    std::cerr << "bad --estimation (nominal|historic)\n";
+
+  const auto issues = spec.validate();
+  if (!issues.empty()) {
+    std::cerr << "invalid experiment spec:\n";
+    for (const auto& issue : issues) {
+      std::cerr << "  " << issue.field << ": " << issue.message << "\n";
+    }
     return 1;
   }
+  if (!spec.faults.empty()) std::cout << "fault plan: " << spec.faults.describe() << "\n";
 
   const auto reports = core::run_experiment(spec);
 
@@ -175,6 +183,9 @@ int main(int argc, char** argv) {
     config.probe_speeds = spec.probe_speeds;
     config.faults = spec.faults;
     config.lifecycle = spec.lifecycle;
+    config.coalesce_deliveries = spec.coalesce_deliveries;
+    const workload::WorkloadSpec wspec =
+        spec.custom_workload ? *spec.custom_workload : workload::make_workload_spec(spec.job_config);
     const auto workload = workload::generate_workload(wspec, SeedSequencer(spec.seed));
     core::Engine engine(cluster::make_fleet(spec.fleet, spec.worker_count),
                         sched::make_scheduler(spec.scheduler, spec.seed), config);
