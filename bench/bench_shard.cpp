@@ -1,0 +1,151 @@
+// Shard bench: parallel-kernel scaling curve, shards x fleet size.
+//
+// Sweeps the sharded engine over {1, 2, 4, 8} shards at 10k and 100k
+// workers (probe fan-out + delivery coalescing — the scale configuration)
+// and reports per-cell wall time plus the speedup of each shard count over
+// the 1-shard run of the same fleet. The paper's own 5-worker cell runs
+// once at 1 shard as the no-regression reference.
+//
+// The acceptance bar — >= 3x at 4 shards on the 10k-worker cell — assumes
+// >= 4 physical cores; the emitted JSON records hardware_concurrency so a
+// single-core CI box's numbers are not mistaken for the real curve.
+//
+//   bench_shard [--out BENCH_shard.json] [--jobs n] [--seed 42] [--full]
+//
+// --jobs 0 (the default) sizes each cell's workload at 4x its fleet so
+// every worker stays busy — per-window parallel work must dominate barrier
+// cost for the shard threads to pay off.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "util/json.hpp"
+
+using namespace dlaja;
+
+namespace {
+
+double run_cell(std::size_t workers, std::size_t shards, std::size_t jobs,
+                std::uint64_t seed, metrics::RunReport* out) {
+  core::ExperimentSpec spec;
+  spec.scheduler = "bidding:fanout=probe:4";
+  workload::WorkloadSpec wspec =
+      workload::make_workload_spec(workload::JobConfig::kAllDiffEqual);
+  wspec.job_count = jobs;
+  spec.custom_workload = wspec;
+  spec.fleet = cluster::FleetPreset::kAllEqual;
+  spec.worker_count = workers;
+  spec.iterations = 1;
+  spec.seed = seed;
+  spec.coalesce_deliveries = true;
+  spec.shards = shards;
+  auto reports = core::run_experiment(spec);
+  if (out != nullptr) *out = reports.front();
+  return reports.front().wall_time_s > 0.0 ? reports.front().wall_time_s : 1e-9;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_shard.json";
+  std::size_t jobs = 0;  // 0 = 4x the fleet size, per cell
+  std::uint64_t seed = 42;
+  bool full = false;  // include the 100k-worker fleet (slow on small boxes)
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string { return i + 1 < argc ? argv[++i] : std::string{}; };
+    if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--jobs") {
+      jobs = std::stoul(next());
+    } else if (arg == "--seed") {
+      seed = std::stoull(next());
+    } else if (arg == "--full") {
+      full = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "options: [--out path.json] [--jobs n] [--seed n] [--full]\n";
+      return 0;
+    }
+  }
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::vector<std::size_t> fleets = {10000};
+  if (full) fleets.push_back(100000);
+  const std::size_t shard_counts[] = {1, 2, 4, 8};
+
+  TextTable table("Shard — parallel kernel scaling (all_diff_equal, " +
+                  (jobs != 0 ? std::to_string(jobs) + " jobs" : std::string("jobs = 4x fleet")) +
+                  ", " + std::to_string(cores) + " cores)");
+  table.set_header({"workers", "shards", "jobs", "wall (s)", "speedup vs 1", "exec (s)"});
+
+  json::Array cells;
+  json::Array speedups;
+  for (const std::size_t workers : fleets) {
+    const std::size_t cell_jobs = jobs != 0 ? jobs : 4 * workers;
+    double base_wall = 0.0;
+    for (const std::size_t shards : shard_counts) {
+      metrics::RunReport report;
+      const double wall = run_cell(workers, shards, cell_jobs, seed, &report);
+      if (shards == 1) base_wall = wall;
+      const double speedup = wall > 0.0 ? base_wall / wall : 0.0;
+
+      table.add_row({std::to_string(workers), std::to_string(shards),
+                     std::to_string(cell_jobs), fmt_fixed(wall, 3), fmt_ratio(speedup),
+                     fmt_fixed(report.exec_time_s, 1)});
+
+      json::Object cell;
+      cell["workers"] = workers;
+      cell["shards"] = shards;
+      cell["jobs"] = cell_jobs;
+      cell["wall_time_s"] = wall;
+      cell["speedup_vs_1shard"] = speedup;
+      cell["messages_delivered"] = report.messages_delivered;
+      cell["exec_time_s"] = report.exec_time_s;
+      cells.push_back(json::Value{std::move(cell)});
+
+      if (shards == 4) {
+        json::Object row;
+        row["workers"] = workers;
+        row["speedup_4shard_vs_1shard"] = speedup;
+        speedups.push_back(json::Value{std::move(row)});
+      }
+    }
+  }
+  table.print(std::cout);
+
+  // No-regression reference: the paper's 5-worker cell on the classic
+  // 1-shard kernel (full fan-out, the paper's protocol).
+  core::ExperimentSpec paper;
+  paper.scheduler = "bidding";
+  paper.worker_count = 5;
+  paper.iterations = 1;
+  paper.seed = seed;
+  const auto paper_reports = core::run_experiment(paper);
+  const double paper_wall =
+      paper_reports.front().wall_time_s > 0.0 ? paper_reports.front().wall_time_s : 1e-9;
+  std::cout << "paper 5-worker cell (1 shard): " << fmt_fixed(paper_wall, 4) << " s wall\n";
+
+  json::Object doc;
+  doc["bench"] = "shard";
+  doc["seed"] = seed;
+  doc["hardware_concurrency"] = static_cast<std::uint64_t>(cores);
+  doc["target_speedup_4shard_10k"] = 3.0;
+  doc["note"] =
+      "speedups are meaningful only when hardware_concurrency >= shards; a "
+      "single-core host serializes the shard threads";
+  doc["cells"] = json::Value{std::move(cells)};
+  doc["speedup_4shard_vs_1shard"] = json::Value{std::move(speedups)};
+  doc["paper_cell_5_workers_wall_s"] = paper_wall;
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << "\n";
+    return 1;
+  }
+  out << json::Value{std::move(doc)}.dump(2) << "\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Benchmarks the sharded parallel kernel and emits BENCH_shard.json.
+#
+# Sweeps {1, 2, 4, 8} shards at 10k workers (add the 100k fleet with
+# BENCH_SHARD_FULL=1) with probe fan-out + delivery coalescing — the scale
+# configuration — and reports per-cell wall time plus each shard count's
+# speedup over the 1-shard run. The emitted JSON records the host's
+# hardware_concurrency: the >= 3x @ 4-shards target only applies on hosts
+# with >= 4 physical cores.
+#
+# Usage: scripts/bench_shard.sh [build-dir] [output.json]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_shard.json}"
+JOBS="${BENCH_SHARD_JOBS:-0}"  # 0 = 4x the fleet size, per cell
+BENCH_BIN="${BUILD_DIR}/bench/bench_shard"
+
+if [[ ! -x "${BENCH_BIN}" ]]; then
+  echo "error: ${BENCH_BIN} not found — configure with -DDLAJA_BUILD_BENCH=ON and build" >&2
+  exit 1
+fi
+
+ARGS=(--out "${OUT}" --jobs "${JOBS}")
+if [[ "${BENCH_SHARD_FULL:-0}" == "1" ]]; then
+  ARGS+=(--full)
+fi
+"${BENCH_BIN}" "${ARGS[@]}"

@@ -26,7 +26,7 @@ done
 # memory), which changes layout enough to surface different misuses.
 SAN_TESTS=(test_simulator test_sim_alloc test_stress
            test_flow test_flow_properties test_flow_alloc test_obs test_fault
-           test_scale)
+           test_scale test_shard)
 export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
 export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
 for PRESET in asan ubsan; do
@@ -36,5 +36,18 @@ for PRESET in asan ubsan; do
   for t in "${SAN_TESTS[@]}"; do
     "build-$PRESET/tests/$t"
   done
+done
+
+# The sharded kernel runs shards on real threads; TSan is the only sanitizer
+# that can vouch for the window-barrier protocol (shard sims run in parallel,
+# cross-shard traffic parks in per-shard outboxes drained at barriers).
+# test_thread_pool exercises the pool itself, test_shard the full engine.
+TSAN_TESTS=(test_thread_pool test_shard)
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+echo "==== sanitizer pass (tsan)"
+cmake --preset tsan
+cmake --build --preset tsan --target "${TSAN_TESTS[@]}"
+for t in "${TSAN_TESTS[@]}"; do
+  "build-tsan/tests/$t"
 done
 echo "ALL CHECKS PASSED"

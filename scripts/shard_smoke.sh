@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Shard smoke: a contest-free (flat control plane, zero jitter) workload must
+# produce the same results at 1, 2, and 4 shards. Runs the flat smoke
+# scenario at each shard count and compares the CSVs field by field:
+#
+#   - wall_time_s is skipped (host timing, never reproducible);
+#   - every other numeric field must agree within 1e-9 relative tolerance —
+#     histogram-derived stats can differ in the last ulp because N-shard runs
+#     absorb per-shard histograms in shard order, which reorders the fp sums;
+#   - non-numeric fields must match exactly.
+#
+# The report's first-class fields (exec time, turnaround, alloc latency,
+# cache misses, jobs, messages, fairness) are exact across shard counts —
+# that invariant is pinned by ShardFlat.ReportIndependentOfShardCount in
+# tests/test_shard.cpp; this smoke extends the check to the full CSV export.
+#
+# Usage: scripts/shard_smoke.sh [build-dir]
+set -euo pipefail
+BUILD="${1:-build}"
+RUN="${BUILD}/tools/dlaja_run"
+SCENARIO="examples/scenarios/shard_flat_smoke.json"
+TMP="$(mktemp -d)"
+trap 'rm -rf "${TMP}"' EXIT
+
+if [[ ! -x "${RUN}" ]]; then
+  echo "error: ${RUN} not found — build the tools first" >&2
+  exit 1
+fi
+
+for shards in 1 2 4; do
+  "${RUN}" --scenario "${SCENARIO}" --shards "${shards}" \
+    --csv "${TMP}/s${shards}.csv" >/dev/null
+done
+
+compare() {
+  awk -F, -v tol=1e-9 '
+    NR == FNR {
+      if (FNR == 1) for (i = 1; i <= NF; i++) if ($i == "wall_time_s") skip = i
+      for (i = 1; i <= NF; i++) a[FNR, i] = $i
+      cols[FNR] = NF
+      rows = FNR
+      next
+    }
+    {
+      if (FNR > rows || NF != cols[FNR]) { bad = 1; exit }
+      for (i = 1; i <= NF; i++) {
+        if (i == skip) continue
+        x = a[FNR, i]; y = $i
+        if (x == y) continue
+        if (x + 0 != x || y + 0 != y) {  # not numeric: must match exactly
+          printf "row %d col %d: %s != %s\n", FNR, i, x, y; bad = 1; continue
+        }
+        d = x - y; if (d < 0) d = -d
+        m = (x < 0 ? -x : x); n = (y < 0 ? -y : y); if (n > m) m = n
+        if (d > tol * (m > 1 ? m : 1)) {
+          printf "row %d col %d: %s vs %s (rel err too large)\n", FNR, i, x, y
+          bad = 1
+        }
+      }
+    }
+    END { exit bad }
+  ' "$1" "$2"
+}
+
+for shards in 2 4; do
+  if compare "${TMP}/s1.csv" "${TMP}/s${shards}.csv"; then
+    echo "shard smoke: ${shards}-shard run matches 1-shard"
+  else
+    echo "shard smoke: ${shards}-shard run DIVERGES from 1-shard" >&2
+    exit 1
+  fi
+done
+echo "SHARD SMOKE PASSED"

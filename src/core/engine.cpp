@@ -1,11 +1,16 @@
 #include "core/engine.hpp"
 
+#include <algorithm>
 #include <any>
+#include <limits>
 #include <stdexcept>
+#include <string>
 #include <unordered_map>
 
+#include "obs/export.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dlaja::core {
 
@@ -21,6 +26,14 @@ Engine::Engine(const std::vector<cluster::WorkerConfig>& fleet,
       expansion_rng_(seeds_.seed_for("expansion")) {
   if (fleet.empty()) throw std::invalid_argument("Engine: empty fleet");
   if (!scheduler_) throw std::invalid_argument("Engine: null scheduler");
+  if (config_.shards == 0) throw std::invalid_argument("Engine: shards must be >= 1");
+  if (config_.shards > fleet.size()) {
+    throw std::invalid_argument("Engine: more shards than workers");
+  }
+  if (config_.shards > 1 && !scheduler_->supports_sharding()) {
+    throw std::invalid_argument("Engine: scheduler '" + scheduler_->name() +
+                                "' does not support sharded execution");
+  }
 
   network_ = std::make_unique<net::NetworkModel>(seeds_, config_.noise);
   master_node_ = network_->register_node("master", config_.master_link);
@@ -28,6 +41,18 @@ Engine::Engine(const std::vector<cluster::WorkerConfig>& fleet,
   // Opt-in: coalescing changes the kernel event counts (part of the run's
   // stats signature), so only scale runs that ask for it get it.
   broker_->set_coalescing(config_.coalesce_deliveries);
+
+  // Worker shards: worker w lives on shard w % N (round-robin keeps the
+  // paper's speed-spread presets balanced), with its own event queue and
+  // metrics buffers. The master plus broker/lifecycle bookkeeping stay on
+  // the engine's own simulator — the control shard.
+  if (config_.shards > 1) {
+    shards_.reserve(config_.shards);
+    for (std::size_t s = 0; s < config_.shards; ++s) {
+      shards_.push_back(std::make_unique<Shard>(fleet.size()));
+    }
+    worker_shard_.reserve(fleet.size());
+  }
 
   workers_.reserve(fleet.size());
   worker_nodes_.reserve(fleet.size());
@@ -39,25 +64,51 @@ Engine::Engine(const std::vector<cluster::WorkerConfig>& fleet,
     link.latency_jitter_ms = cfg.latency_jitter_ms;
     const net::NodeId node = network_->register_node(cfg.name, link);
     worker_nodes_.push_back(node);
+    sim::Simulator* worker_sim = &sim_;
+    metrics::MetricsCollector* worker_metrics = &metrics_;
+    if (!shards_.empty()) {
+      const auto shard = static_cast<std::uint32_t>(i % shards_.size());
+      worker_shard_.push_back(shard);
+      worker_sim = &shards_[shard]->sim;
+      worker_metrics = &shards_[shard]->metrics;
+    }
     workers_.push_back(std::make_unique<cluster::WorkerNode>(
-        static_cast<WorkerIndex>(i), cfg, sim_, *network_, node, metrics_, seeds_,
-        config_.estimation));
+        static_cast<WorkerIndex>(i), cfg, *worker_sim, *network_, node, *worker_metrics,
+        seeds_, config_.estimation));
   }
 
   if (config_.shared_bandwidth) {
-    flow_network_ = std::make_unique<net::FlowNetwork>(sim_, config_.origin_capacity_mbps);
-    for (std::size_t i = 0; i < fleet.size(); ++i) {
-      flow_network_->set_node_capacity(worker_nodes_[i], fleet[i].network_mbps);
-      workers_[i]->set_flow_network(flow_network_.get());
+    if (sharded()) {
+      // Per-shard flow slabs: bulk transfers contend within their shard
+      // (each slab gets the full origin capacity — cross-shard origin
+      // contention is intentionally not modelled in sharded runs).
+      for (auto& shard : shards_) {
+        shard->flows =
+            std::make_unique<net::FlowNetwork>(shard->sim, config_.origin_capacity_mbps);
+      }
+      for (std::size_t i = 0; i < fleet.size(); ++i) {
+        net::FlowNetwork* flows = shards_[worker_shard_[i]]->flows.get();
+        flows->set_node_capacity(worker_nodes_[i], fleet[i].network_mbps);
+        workers_[i]->set_flow_network(flows);
+      }
+    } else {
+      flow_network_ = std::make_unique<net::FlowNetwork>(sim_, config_.origin_capacity_mbps);
+      for (std::size_t i = 0; i < fleet.size(); ++i) {
+        flow_network_->set_node_capacity(worker_nodes_[i], fleet[i].network_mbps);
+        workers_[i]->set_flow_network(flow_network_.get());
+      }
     }
   }
 
   // Worker callbacks: report completions to the master over the broker;
   // surface idleness to the scheduler (it runs worker-side logic there).
+  // The completions mailbox id is resolved up front: interning it lazily
+  // from a completion callback would mutate broker tables on a shard thread.
+  completions_box_ = broker_->mailbox(cluster::mailboxes::kCompletions);
   for (std::size_t i = 0; i < workers_.size(); ++i) {
     const auto w = static_cast<WorkerIndex>(i);
     workers_[i]->on_complete = [this, w](const workflow::Job& job, WorkerIndex) {
-      broker_->send(worker_nodes_[w], master_node_, cluster::mailboxes::kCompletions,
+      broker_->send(worker_nodes_[w], master_node_, completions_box_,
                     CompletionReport{job.id, w});
       scheduler_->on_worker_capacity(w);
     };
@@ -98,8 +149,11 @@ Engine::Engine(const std::vector<cluster::WorkerConfig>& fleet,
     };
     lifecycle_ =
         std::make_unique<JobLifecycle>(sim_, metrics_, config_.lifecycle, std::move(callbacks));
+    // Sharded: a lease probe reads worker state owned by another shard's
+    // thread, so expiries queue up and are probed at window barriers.
+    if (sharded()) lifecycle_->set_barrier_probes(true);
   }
-  if (faults_on) {
+  if (faults_on && !sharded()) {
     fault::InjectorHooks hooks;
     hooks.crash = [this](std::uint32_t w) { apply_crash(static_cast<WorkerIndex>(w)); };
     hooks.recover = [this](std::uint32_t w) { apply_recover(static_cast<WorkerIndex>(w)); };
@@ -108,6 +162,31 @@ Engine::Engine(const std::vector<cluster::WorkerConfig>& fleet,
         config_.faults.materialize_crashes(seeds_, workers_.size()),
         config_.faults.degradations, config_.faults.messages, seeds_, std::move(hooks));
     injector_->arm();
+  }
+  if (faults_on && sharded()) {
+    // Sharded runs apply crash/recover/degrade at window barriers instead of
+    // via injector events: the hooks mutate worker and network state that a
+    // shard thread may be reading mid-window. Same schedule, same substreams.
+    for (const fault::CrashEvent& crash :
+         config_.faults.materialize_crashes(seeds_, workers_.size())) {
+      const auto w = static_cast<WorkerIndex>(crash.worker);
+      fault_timeline_.push_back(TimedFault{crash.at, TimedFault::Kind::kCrash, w});
+      if (crash.down_for > 0) {
+        fault_timeline_.push_back(
+            TimedFault{crash.at + crash.down_for, TimedFault::Kind::kRecover, w});
+      }
+    }
+    for (const fault::DegradeWindow& window : config_.faults.degradations) {
+      if (window.worker >= workers_.size()) {
+        throw std::invalid_argument("fault plan: degrade worker index " +
+                                    std::to_string(window.worker) + " out of range");
+      }
+      const auto w = static_cast<WorkerIndex>(window.worker);
+      fault_timeline_.push_back(
+          TimedFault{window.at, TimedFault::Kind::kDegrade, w, window.factor});
+      fault_timeline_.push_back(
+          TimedFault{window.at + window.duration, TimedFault::Kind::kDegrade, w, 1.0});
+    }
   }
 
   sched::SchedulerContext ctx;
@@ -119,6 +198,12 @@ Engine::Engine(const std::vector<cluster::WorkerConfig>& fleet,
   ctx.seeds = &seeds_;
   for (auto& worker : workers_) ctx.workers.push_back(worker.get());
   ctx.worker_nodes = worker_nodes_;
+  if (sharded()) {
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      ctx.worker_sims.push_back(&shards_[worker_shard_[i]]->sim);
+      ctx.worker_metrics.push_back(&shards_[worker_shard_[i]]->metrics);
+    }
+  }
   if (lifecycle_) {
     ctx.notify_assigned = [this](workflow::JobId id, WorkerIndex w, double estimate_s) {
       lifecycle_->assigned(id, w, estimate_s);
@@ -129,6 +214,60 @@ Engine::Engine(const std::vector<cluster::WorkerConfig>& fleet,
   }
   ctx.fault_aware = faults_on || config_.lifecycle.enabled;
   scheduler_->attach(ctx);
+
+  if (sharded()) {
+    // Conservative lookahead: any cross-shard message spends at least the
+    // source link's base latency plus the destination link's base latency in
+    // flight, so the tightest bound over all node pairs is the sum of the
+    // two smallest base latencies in the cluster.
+    double min1 = std::numeric_limits<double>::infinity();
+    double min2 = std::numeric_limits<double>::infinity();
+    for (net::NodeId node = 0; node < network_->node_count(); ++node) {
+      const double latency = network_->link(node).latency_ms;
+      if (latency < min1) {
+        min2 = min1;
+        min1 = latency;
+      } else if (latency < min2) {
+        min2 = latency;
+      }
+    }
+    lookahead_ = ticks_from_millis(min1 + min2);
+    if (lookahead_ <= 0) {
+      throw std::invalid_argument(
+          "Engine: sharded runs need a nonzero control-plane base latency "
+          "(the conservative window lookahead would be zero)");
+    }
+
+    msg::ShardLayout layout;
+    layout.sims.push_back(&sim_);
+    for (auto& shard : shards_) layout.sims.push_back(&shard->sim);
+    layout.node_shard.assign(network_->node_count(), 0);  // master et al -> control
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      layout.node_shard[worker_nodes_[i]] = worker_shard_[i] + 1;
+    }
+    for (std::size_t s = 0; s < layout.sims.size(); ++s) {
+      layout.delay_seeds.push_back(
+          seeds_.seed_for("msg/delay/shard" + std::to_string(s)));
+    }
+    broker_->enable_sharding(std::move(layout));
+
+    if (faults_on && config_.faults.messages.any()) {
+      // Per-shard message-fault streams: each shard draws its drop/dup
+      // bernoullis independently so the policy never contends across
+      // threads. Draw order matches the injector's (drop first, then dup).
+      const fault::MessageFaults messages = config_.faults.messages;
+      for (std::size_t s = 0; s < 1 + shards_.size(); ++s) {
+        auto rng = std::make_shared<RandomStream>(
+            seeds_.seed_for("fault/messages/shard" + std::to_string(s)));
+        broker_->set_shard_fault_policy(
+            s, [rng, messages](net::NodeId, net::NodeId) -> std::uint32_t {
+              if (messages.drop_p > 0.0 && rng->bernoulli(messages.drop_p)) return 0;
+              if (messages.dup_p > 0.0 && rng->bernoulli(messages.dup_p)) return 2;
+              return 1;
+            });
+      }
+    }
+  }
 }
 
 void Engine::set_workflow(std::shared_ptr<const workflow::Workflow> wf) {
@@ -156,6 +295,12 @@ cluster::WorkerNode& Engine::worker(WorkerIndex w) {
 
 void Engine::fail_worker_at(WorkerIndex w, Tick at) {
   (void)worker(w);  // validates the index up front
+  if (sharded()) {
+    // Barrier-applied in sharded runs; the event path would mutate worker
+    // state owned by a shard thread mid-window.
+    fault_timeline_.push_back(TimedFault{at, TimedFault::Kind::kCrash, w});
+    return;
+  }
   auto crash = [this, w] { apply_crash(w); };
   static_assert(sim::InlineAction::fits_inline<decltype(crash)>());
   sim_.schedule_at(at, std::move(crash));
@@ -163,6 +308,10 @@ void Engine::fail_worker_at(WorkerIndex w, Tick at) {
 
 void Engine::recover_worker_at(WorkerIndex w, Tick at) {
   (void)worker(w);
+  if (sharded()) {
+    fault_timeline_.push_back(TimedFault{at, TimedFault::Kind::kRecover, w});
+    return;
+  }
   auto recover = [this, w] { apply_recover(w); };
   static_assert(sim::InlineAction::fits_inline<decltype(recover)>());
   sim_.schedule_at(at, std::move(recover));
@@ -275,6 +424,76 @@ void Engine::master_handle_completion(const CompletionReport& report,
   }
 }
 
+void Engine::apply_timed_fault(const TimedFault& fault) {
+  switch (fault.kind) {
+    case TimedFault::Kind::kCrash: apply_crash(fault.worker); break;
+    case TimedFault::Kind::kRecover: apply_recover(fault.worker); break;
+    case TimedFault::Kind::kDegrade:
+      network_->set_degradation(worker_nodes_[fault.worker], fault.factor);
+      break;
+  }
+}
+
+void Engine::run_windows() {
+  // Stable: simultaneous faults apply in schedule order (injector parity).
+  std::stable_sort(fault_timeline_.begin(), fault_timeline_.end(),
+                   [](const TimedFault& a, const TimedFault& b) { return a.at < b.at; });
+  std::size_t next_fault = 0;
+
+  std::vector<sim::Simulator*> sims;
+  sims.reserve(1 + shards_.size());
+  sims.push_back(&sim_);
+  for (auto& shard : shards_) sims.push_back(&shard->sim);
+  ThreadPool pool(sims.size());
+  const Tick horizon = config_.horizon;
+
+  // Conservative windows. Invariant at every barrier: all simulators sit at
+  // the same tick (Simulator::run advances `now` to `until` even when no
+  // event fires there), and every undelivered cross-shard message is parked
+  // in a broker outbox with deliver_at > that tick (delay >= lookahead).
+  while (true) {
+    (void)broker_->drain_outboxes();
+    if (lifecycle_) lifecycle_->run_barrier_probes();
+    // Barrier work can park new cross-shard traffic (a broken lease
+    // resubmits through the scheduler, which publishes bid requests);
+    // re-drain until the outboxes settle.
+    if (!broker_->outboxes_empty()) continue;
+
+    Tick next_event = kNeverTick;
+    for (sim::Simulator* sim : sims) next_event = std::min(next_event, sim->next_event_at());
+    const Tick fault_at =
+        next_fault < fault_timeline_.size() ? fault_timeline_[next_fault].at : kNeverTick;
+    const Tick next = std::min(next_event, fault_at);
+    if (next == kNeverTick || next > horizon) break;
+
+    // Window end: anything the earliest event can cause on another shard
+    // lands at >= next_event + lookahead, so every shard may safely run
+    // through next_event + lookahead - 1. Faults clamp the window — they
+    // must apply at a barrier, exactly at their tick.
+    Tick end = horizon;
+    if (next_event != kNeverTick && next_event <= kNeverTick - lookahead_) {
+      end = std::min(end, next_event + lookahead_ - 1);
+    }
+    end = std::min(end, fault_at);
+
+    // Waking the pool costs more than an empty run: windows where at most
+    // one simulator has events due (sparse phases, drain tails) run inline.
+    std::size_t busy = 0;
+    for (sim::Simulator* sim : sims) busy += sim->next_event_at() <= end ? 1u : 0u;
+    if (busy <= 1) {
+      for (sim::Simulator* sim : sims) sim->run(end);
+    } else {
+      pool.parallel_for(sims.size(),
+                        [&sims, end](std::size_t i) { sims[i]->run(end); });
+    }
+
+    while (next_fault < fault_timeline_.size() && fault_timeline_[next_fault].at <= end) {
+      apply_timed_fault(fault_timeline_[next_fault]);
+      ++next_fault;
+    }
+  }
+}
+
 metrics::RunReport Engine::run(std::span<const workflow::Job> jobs) {
   if (ran_) throw std::logic_error("Engine::run: already ran");
   ran_ = true;
@@ -299,7 +518,31 @@ metrics::RunReport Engine::run(std::span<const workflow::Job> jobs) {
     sim_.schedule_at(arrivals_[i].created_at, arrive);
   }
 
-  sim_.run(config_.horizon);
+  if (!sharded()) {
+    sim_.run(config_.horizon);
+  } else {
+    // Traced sharded runs: give each shard its own trace buffer (appending
+    // to the master tracer from shard threads would race), merged into one
+    // deterministic timeline after the run.
+    const bool traced = DLAJA_TRACE_ACTIVE(sim_.tracer());
+    if (traced) {
+      for (auto& shard : shards_) {
+        shard->tracer = std::make_unique<obs::Tracer>();
+        shard->tracer->set_enabled(true);
+        shard->sim.set_tracer(shard->tracer.get());
+      }
+      broker_->prepare_shard_tracing();
+    }
+    run_windows();
+    for (auto& shard : shards_) metrics_.absorb(shard->metrics);
+    if (traced) {
+      std::vector<const obs::Tracer*> sources;
+      sources.reserve(shards_.size());
+      for (auto& shard : shards_) sources.push_back(shard->tracer.get());
+      obs::merge_tracers(*sim_.tracer(), sources);
+      for (auto& shard : shards_) shard->sim.set_tracer(nullptr);
+    }
+  }
 
   // Attempts the master never acked split into intentionally voided ones
   // (the lifecycle already retried or dead-lettered them) and genuinely
@@ -318,9 +561,17 @@ metrics::RunReport Engine::run(std::span<const workflow::Job> jobs) {
   // Fold the kernel and messaging counters into the registry so they land in
   // the flattened per-run stats (and the CSV's trailing columns).
   metrics::Registry& registry = metrics_.registry();
-  registry.counter("sim.events_fired").add(static_cast<double>(sim_.fired()));
-  registry.counter("sim.events_scheduled").add(static_cast<double>(sim_.scheduled()));
-  registry.counter("sim.events_cancelled").add(static_cast<double>(sim_.cancelled()));
+  std::uint64_t events_fired = sim_.fired();
+  std::uint64_t events_scheduled = sim_.scheduled();
+  std::uint64_t events_cancelled = sim_.cancelled();
+  for (const auto& shard : shards_) {
+    events_fired += shard->sim.fired();
+    events_scheduled += shard->sim.scheduled();
+    events_cancelled += shard->sim.cancelled();
+  }
+  registry.counter("sim.events_fired").add(static_cast<double>(events_fired));
+  registry.counter("sim.events_scheduled").add(static_cast<double>(events_scheduled));
+  registry.counter("sim.events_cancelled").add(static_cast<double>(events_cancelled));
   const msg::BrokerStats& broker_stats = broker_->stats();
   registry.counter("msg.published").add(static_cast<double>(broker_stats.published));
   registry.counter("msg.sent").add(static_cast<double>(broker_stats.sent));

@@ -21,6 +21,7 @@
 #include "msg/broker.hpp"
 #include "net/flow.hpp"
 #include "net/network.hpp"
+#include "obs/trace.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/simulator.hpp"
 #include "workflow/workflow.hpp"
@@ -80,6 +81,17 @@ struct EngineConfig {
   /// Safety horizon: the run aborts (with whatever completed) after this
   /// much simulated time. Generous default: one simulated week.
   Tick horizon = ticks_from_seconds(7.0 * 24.0 * 3600.0);
+
+  /// Sharded execution: partition the fleet across this many worker shards,
+  /// each with its own event queue, flow network and metrics buffers, run on
+  /// ThreadPool threads and synchronized through the broker with
+  /// conservative time windows (lookahead = the minimum control-message
+  /// latency). 1 = the classic single-threaded kernel, bit-identical to all
+  /// prior releases. Requires a scheduler whose supports_sharding() is true
+  /// and shards <= fleet size. N-shard runs are deterministic per (seed,
+  /// shard count), but different shard counts draw message delays from
+  /// different streams, so their jittered runs differ from 1-shard runs.
+  std::size_t shards = 1;
 };
 
 class Engine {
@@ -136,8 +148,45 @@ class Engine {
   [[nodiscard]] std::uint64_t worker_recoveries() const noexcept { return recoveries_; }
   /// Null when the lifecycle is disabled (fault-free runs).
   [[nodiscard]] const JobLifecycle* lifecycle() const noexcept { return lifecycle_.get(); }
+  /// Number of worker shards (1 = single-threaded kernel).
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.empty() ? 1 : shards_.size();
+  }
+  /// Conservative window lookahead in ticks (0 in single-shard runs).
+  [[nodiscard]] Tick lookahead() const noexcept { return lookahead_; }
 
  private:
+  /// One worker shard: its own event queue, metrics buffers, flow network
+  /// and (traced runs) trace buffer. Workers w with w % N == shard index
+  /// live here; the master plus broker bookkeeping stay on the engine's own
+  /// simulator (the "control shard").
+  struct Shard {
+    sim::Simulator sim;
+    metrics::MetricsCollector metrics;
+    std::unique_ptr<net::FlowNetwork> flows;  ///< shared-bandwidth mode only
+    std::unique_ptr<obs::Tracer> tracer;      ///< traced sharded runs only
+    explicit Shard(std::size_t workers) : metrics(workers) {}
+  };
+
+  /// A fault application pinned to a tick, applied at window barriers in
+  /// sharded runs (the injector's event-driven path would mutate worker
+  /// state mid-window).
+  struct TimedFault {
+    enum class Kind : std::uint8_t { kCrash, kRecover, kDegrade };
+    Tick at = 0;
+    Kind kind = Kind::kCrash;
+    cluster::WorkerIndex worker = 0;
+    double factor = 1.0;  ///< degrade multiplier (1.0 restores)
+  };
+
+  [[nodiscard]] bool sharded() const noexcept { return !shards_.empty(); }
+
+  /// The conservative-window loop: run every shard to the window end in
+  /// parallel, then (at the barrier) drain cross-shard messages, flush
+  /// lifecycle probes and apply due timeline faults.
+  void run_windows();
+
+  void apply_timed_fault(const TimedFault& fault);
   void master_handle_completion(const cluster::CompletionReport& report,
                                 const workflow::Job& job);
   void submit_job(workflow::Job job);
@@ -180,6 +229,12 @@ class Engine {
   /// Both null in fault-free runs: nothing is constructed, armed or drawn.
   std::unique_ptr<JobLifecycle> lifecycle_;
   std::unique_ptr<fault::FaultInjector> injector_;
+  /// Sharded execution state; all empty/zero in single-shard runs.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::uint32_t> worker_shard_;  ///< WorkerIndex -> shards_ index
+  Tick lookahead_ = 0;
+  std::vector<TimedFault> fault_timeline_;  ///< sorted by run_windows()
+  msg::MailboxId completions_box_ = 0;
   bool ran_ = false;
   std::uint16_t trace_job_ = 0;      ///< "job": arrival -> completion span
   std::uint16_t trace_crash_ = 0;    ///< "crash" instants (fault component)

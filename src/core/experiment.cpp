@@ -56,8 +56,15 @@ std::vector<metrics::RunReport> run_experiment(const ExperimentSpec& spec) {
     engine_config.faults = spec.faults;
     engine_config.lifecycle = spec.lifecycle;
     engine_config.coalesce_deliveries = spec.coalesce_deliveries;
+    engine_config.shards = spec.shards;
 
-    Engine engine(build_fleet(spec), build_scheduler(spec), engine_config);
+    std::vector<cluster::WorkerConfig> fleet = build_fleet(spec);
+    if (spec.flat_control_plane) {
+      for (cluster::WorkerConfig& cfg : fleet) cfg.latency_jitter_ms = 0.0;
+      engine_config.master_link.latency_jitter_ms = 0.0;
+    }
+
+    Engine engine(std::move(fleet), build_scheduler(spec), engine_config);
     if (spec.carry_cache) {
       for (std::size_t w = 0; w < carried.size() && w < engine.worker_count(); ++w) {
         engine.preload_cache(static_cast<cluster::WorkerIndex>(w), carried[w]);

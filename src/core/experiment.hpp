@@ -78,6 +78,18 @@ struct ExperimentSpec {
   /// the kernel event counts in the CSV stats columns, so off by default).
   bool coalesce_deliveries = false;
 
+  /// Worker shards for the engine's parallel kernel (1 = the classic
+  /// single-threaded kernel, bit-identical to prior releases). Requires a
+  /// sharding-capable scheduler and shards <= workers; validate() enforces
+  /// both up front.
+  std::size_t shards = 1;
+
+  /// Zeroes all latency jitter (fleet links and the master link). Combined
+  /// with noise "none" the run depends on no per-message random draw, so 1-,
+  /// 2- and N-shard runs of the same cell produce identical reports — the CI
+  /// shard-smoke diff relies on exactly this.
+  bool flat_control_plane = false;
+
   /// Resolved names for reports.
   [[nodiscard]] std::string workload_name() const;
   [[nodiscard]] std::string fleet_name() const;

@@ -13,7 +13,8 @@ namespace {
 
 constexpr const char* kValidKeys =
     "name, scheduler, workload, jobs, fleet, workers, iterations, carry_cache, "
-    "seed, noise, estimation, faults, lifecycle, coalesce_deliveries";
+    "seed, noise, estimation, faults, lifecycle, coalesce_deliveries, shards, "
+    "flat_control_plane";
 
 [[noreturn]] void key_error(const std::string& key, const std::string& what) {
   throw std::invalid_argument("scenario: key '" + key + "' " + what);
@@ -101,6 +102,20 @@ std::vector<ValidationIssue> ExperimentSpec::validate() const {
                       "max_attempts is 0 under a fault plan: every faulted job would "
                       "dead-letter immediately"});
   }
+  if (shards == 0) {
+    issues.push_back({"shards", "need at least one shard"});
+  } else if (fleet_size > 0 && shards > fleet_size) {
+    issues.push_back({"shards", "more shards (" + std::to_string(shards) +
+                                    ") than workers (" + std::to_string(fleet_size) + ")"});
+  }
+  if (shards > 1 && !make_scheduler &&
+      sched::check_scheduler_spec(scheduler, fleet_size).empty()) {
+    const std::unique_ptr<sched::Scheduler> probe = sched::make_scheduler(scheduler, seed);
+    if (!probe->supports_sharding()) {
+      issues.push_back({"shards", "scheduler '" + probe->name() +
+                                      "' does not support sharded execution"});
+    }
+  }
   return issues;
 }
 
@@ -143,6 +158,10 @@ ExperimentSpec ExperimentSpec::from_json(const json::Value& doc) {
       spec.lifecycle = parse_lifecycle(value);
     } else if (key == "coalesce_deliveries") {
       spec.coalesce_deliveries = need_bool(value, key);
+    } else if (key == "shards") {
+      spec.shards = static_cast<std::size_t>(need_count(value, key));
+    } else if (key == "flat_control_plane") {
+      spec.flat_control_plane = need_bool(value, key);
     } else {
       throw std::invalid_argument("scenario: unknown key '" + key + "' (valid: " +
                                   std::string(kValidKeys) + ")");
@@ -204,6 +223,8 @@ json::Value ExperimentSpec::to_json() const {
     }
   }
   if (coalesce_deliveries) obj["coalesce_deliveries"] = true;
+  if (shards != 1) obj["shards"] = static_cast<std::uint64_t>(shards);
+  if (flat_control_plane) obj["flat_control_plane"] = true;
   return json::Value{std::move(obj)};
 }
 

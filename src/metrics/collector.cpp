@@ -25,6 +25,42 @@ WorkerRecord& MetricsCollector::worker(std::uint32_t index) {
   return workers_[index];
 }
 
+void MetricsCollector::absorb(const MetricsCollector& other) {
+  if (workers_.size() != other.workers_.size()) {
+    throw std::invalid_argument("MetricsCollector::absorb: worker table size mismatch");
+  }
+  for (const workflow::JobId id : other.order_) {
+    const JobRecord& src = other.jobs_.at(id);
+    JobRecord& dst = job(id);
+    if (src.worker != static_cast<std::uint32_t>(-1)) dst.worker = src.worker;
+    if (src.arrived != kNeverTick) dst.arrived = src.arrived;
+    if (src.contest_opened != kNeverTick) dst.contest_opened = src.contest_opened;
+    if (src.assigned != kNeverTick) dst.assigned = src.assigned;
+    if (src.started != kNeverTick) dst.started = src.started;
+    if (src.finished != kNeverTick) dst.finished = src.finished;
+    if (src.cache_miss) dst.cache_miss = true;
+    dst.downloaded_mb += src.downloaded_mb;
+    if (src.winning_bid_s >= 0.0) dst.winning_bid_s = src.winning_bid_s;
+    dst.bids_received += src.bids_received;
+    dst.offers_rejected += src.offers_rejected;
+  }
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    const WorkerRecord& src = other.workers_[w];
+    WorkerRecord& dst = workers_[w];
+    if (dst.name.empty()) dst.name = src.name;
+    dst.jobs_completed += src.jobs_completed;
+    dst.cache_misses += src.cache_misses;
+    dst.cache_hits += src.cache_hits;
+    dst.downloaded_mb += src.downloaded_mb;
+    dst.busy_ticks += src.busy_ticks;
+    dst.downloading_ticks += src.downloading_ticks;
+    dst.bids_submitted += src.bids_submitted;
+    dst.bids_won += src.bids_won;
+    dst.offers_declined += src.offers_declined;
+  }
+  registry_.absorb(other.registry_);
+}
+
 std::vector<const JobRecord*> MetricsCollector::jobs_in_arrival_order() const {
   std::vector<const JobRecord*> result;
   result.reserve(order_.size());

@@ -75,6 +75,13 @@ class MetricsCollector {
   [[nodiscard]] Registry& registry() noexcept { return registry_; }
   [[nodiscard]] const Registry& registry() const noexcept { return registry_; }
 
+  /// Folds `other` into this collector after a sharded run: job records
+  /// merge field-wise (a timestamp or worker id set on either side wins;
+  /// per-job counters add), worker records and the registry add. Each
+  /// field is written by exactly one shard during a run, so the merge has
+  /// no ambiguous collisions. Worker tables must have equal sizes.
+  void absorb(const MetricsCollector& other);
+
   /// All job records in arrival order.
   [[nodiscard]] std::vector<const JobRecord*> jobs_in_arrival_order() const;
 

@@ -123,17 +123,19 @@ void BiddingScheduler::worker_handle_bid_request(WorkerIndex w, const BidRequest
   if (config_.learn_correction) cost_s *= correction_[w];
 
   // The bidding thread needs time to compute the estimate and may straggle;
-  // the reply then crosses the network back to the master.
+  // the reply then crosses the network back to the master. Worker-side
+  // work stays on the worker's own simulator/metrics (its shard, when
+  // sharded); the send crosses back through the broker.
   const Tick delay = worker->sample_bid_delay();
   const BidSubmission bid{request.contest, request.job.id, w, cost_s};
   auto submit = [this, w, bid] {
     cluster::WorkerNode* again = ctx_.workers[w];
     if (again->failed()) return;
-    ++ctx_.metrics->worker(w).bids_submitted;
+    ++ctx_.worker_metrics_for(w)->worker(w).bids_submitted;
     ctx_.broker->send(ctx_.worker_nodes[w], ctx_.master_node, bids_box_, bid);
   };
   static_assert(sim::InlineAction::fits_inline<decltype(submit)>());
-  ctx_.sim->schedule_after(delay, std::move(submit));
+  ctx_.worker_sim(w)->schedule_after(delay, std::move(submit));
 }
 
 void BiddingScheduler::master_receive_bid(const BidSubmission& bid) {

@@ -54,6 +54,24 @@ struct SchedulerContext {
   /// timeouts that would otherwise perturb fault-free determinism.
   bool fault_aware = false;
 
+  /// Sharded runs: per-worker event queue and metrics sink. Worker-side
+  /// handlers (which run on the worker's shard thread) must schedule and
+  /// record through these instead of `sim`/`metrics`, which belong to the
+  /// master's shard. Empty in single-shard runs — worker_sim()/
+  /// worker_metrics() fall back to the shared objects.
+  std::vector<sim::Simulator*> worker_sims;
+  std::vector<metrics::MetricsCollector*> worker_metrics;
+
+  /// The simulator worker-side logic of `w` must schedule on.
+  [[nodiscard]] sim::Simulator* worker_sim(cluster::WorkerIndex w) const {
+    return worker_sims.empty() ? sim : worker_sims[w];
+  }
+
+  /// The metrics sink worker-side logic of `w` must record into.
+  [[nodiscard]] metrics::MetricsCollector* worker_metrics_for(cluster::WorkerIndex w) const {
+    return worker_metrics.empty() ? metrics : worker_metrics[w];
+  }
+
   [[nodiscard]] std::size_t worker_count() const noexcept { return workers.size(); }
 
   /// Workers that are currently alive (the paper's "activeWorkers").
@@ -111,6 +129,13 @@ class Scheduler {
   /// Number of jobs the scheduler accepted but has not yet durably handed
   /// to a worker (used by the engine's quiescence diagnostics).
   [[nodiscard]] virtual std::size_t pending_jobs() const { return 0; }
+
+  /// Whether this scheduler's worker-side handlers are safe to run on shard
+  /// threads: they must confine themselves to the worker's own state plus
+  /// the ctx worker_sim()/worker_metrics_for() accessors, and communicate
+  /// with the master only through the broker. Default: no — the engine
+  /// rejects `shards > 1` for schedulers that haven't opted in.
+  [[nodiscard]] virtual bool supports_sharding() const { return false; }
 };
 
 }  // namespace dlaja::sched

@@ -111,6 +111,13 @@ class Simulator {
     return heap_.size() <= kRoot ? 0 : heap_.size() - kRoot;
   }
 
+  /// Timestamp of the earliest pending event, or kNeverTick when the queue
+  /// is empty. The sharded engine's window loop uses this to size each
+  /// conservative time window without firing anything.
+  [[nodiscard]] Tick next_event_at() const noexcept {
+    return heap_.size() <= kRoot ? kNeverTick : heap_[kRoot].at;
+  }
+
   /// Total events fired since construction.
   [[nodiscard]] std::uint64_t fired() const noexcept { return fired_; }
 

@@ -1,0 +1,286 @@
+// Sharded parallel kernel: validation, determinism, goldens, conservation.
+//
+// The sharded engine promises (a) shards=1 stays bit-identical to the
+// classic kernel, (b) N-shard runs are deterministic per (seed, shard
+// count) — thread interleaving must never leak into results, (c) with zero
+// latency jitter and no noise the report is independent of the shard count
+// entirely, and (d) cross-shard messaging conserves messages and the fault
+// lifecycle conserves jobs. The hexfloat goldens pin (b) across releases.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "cluster/config.hpp"
+#include "core/engine.hpp"
+#include "core/experiment.hpp"
+#include "sched/factory.hpp"
+#include "test_helpers.hpp"
+#include "util/json.hpp"
+#include "workload/generator.hpp"
+
+namespace dlaja {
+namespace {
+
+core::EngineConfig flat_config(std::uint64_t seed, std::size_t shards) {
+  core::EngineConfig config = testutil::noiseless(seed);
+  config.master_link.latency_jitter_ms = 0.0;  // fleet jitter is already 0
+  config.shards = shards;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+
+TEST(ShardConfig, RejectsZeroShards) {
+  core::EngineConfig config;
+  config.shards = 0;
+  EXPECT_THROW(core::Engine(testutil::uniform_fleet(3), sched::make_scheduler("bidding"),
+                            config),
+               std::invalid_argument);
+}
+
+TEST(ShardConfig, RejectsMoreShardsThanWorkers) {
+  core::EngineConfig config;
+  config.shards = 4;
+  EXPECT_THROW(core::Engine(testutil::uniform_fleet(3), sched::make_scheduler("bidding"),
+                            config),
+               std::invalid_argument);
+}
+
+TEST(ShardConfig, RejectsSchedulerWithoutShardingSupport) {
+  core::EngineConfig config;
+  config.shards = 2;
+  // The learned-correction variant reads master-side state from worker
+  // handlers, so it must refuse to shard.
+  EXPECT_THROW(core::Engine(testutil::uniform_fleet(4),
+                            sched::make_scheduler("bidding+learned"), config),
+               std::invalid_argument);
+  EXPECT_THROW(core::Engine(testutil::uniform_fleet(4), sched::make_scheduler("baseline"),
+                            config),
+               std::invalid_argument);
+}
+
+TEST(ShardConfig, RejectsZeroLookahead) {
+  auto fleet = testutil::uniform_fleet(4);
+  for (auto& w : fleet) w.latency_ms = 0.0;
+  core::EngineConfig config = flat_config(1, 2);
+  config.master_link.latency_ms = 0.0;
+  EXPECT_THROW(core::Engine(fleet, sched::make_scheduler("bidding"), config),
+               std::invalid_argument);
+}
+
+TEST(ShardSpec, ValidateCatchesBadShardCounts) {
+  core::ExperimentSpec spec;
+  spec.worker_count = 4;
+  spec.shards = 0;
+  auto issues = spec.validate();
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].field, "shards");
+
+  spec.shards = 8;
+  issues = spec.validate();
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].field, "shards");
+
+  spec.shards = 2;
+  EXPECT_TRUE(spec.validate().empty());
+
+  spec.scheduler = "baseline";
+  issues = spec.validate();
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].field, "shards");
+  EXPECT_NE(issues[0].message.find("baseline"), std::string::npos);
+}
+
+TEST(ShardSpec, ScenarioRoundTripsShardFields) {
+  core::ExperimentSpec spec;
+  spec.name = "shard-rt";
+  spec.shards = 4;
+  spec.flat_control_plane = true;
+  const core::ExperimentSpec back = core::ExperimentSpec::from_json(spec.to_json());
+  EXPECT_EQ(back.shards, 4u);
+  EXPECT_TRUE(back.flat_control_plane);
+
+  // Default values stay out of the serialized form.
+  core::ExperimentSpec plain;
+  const std::string text = plain.to_json().dump();
+  EXPECT_EQ(text.find("shards"), std::string::npos);
+  EXPECT_EQ(text.find("flat_control_plane"), std::string::npos);
+}
+
+TEST(ShardSpec, UnknownKeyErrorListsShardKeys) {
+  const auto doc = json::parse("{\"bogus_key\": 1}");
+  try {
+    (void)core::ExperimentSpec::from_json(doc);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("shards"), std::string::npos) << what;
+    EXPECT_NE(what.find("flat_control_plane"), std::string::npos) << what;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shard-count independence (flat control plane)
+
+metrics::RunReport run_flat(std::size_t shards, std::uint64_t* conserved_enqueued) {
+  core::Engine engine(testutil::uniform_fleet(5), sched::make_scheduler("bidding"),
+                      flat_config(42, shards));
+  const metrics::RunReport report = engine.run(testutil::distinct_jobs(40, 200.0, 0.25));
+  EXPECT_TRUE(engine.broker().stats().conserved());
+  if (conserved_enqueued != nullptr) *conserved_enqueued = engine.broker().stats().enqueued;
+  return report;
+}
+
+TEST(ShardFlat, ReportIndependentOfShardCount) {
+  std::uint64_t enqueued1 = 0;
+  const metrics::RunReport base = run_flat(1, &enqueued1);
+  for (const std::size_t shards : {2u, 4u, 5u}) {
+    std::uint64_t enqueuedn = 0;
+    const metrics::RunReport report = run_flat(shards, &enqueuedn);
+    EXPECT_EQ(report.exec_time_s, base.exec_time_s) << shards << " shards";
+    EXPECT_EQ(report.avg_turnaround_s, base.avg_turnaround_s) << shards << " shards";
+    EXPECT_EQ(report.avg_alloc_latency_s, base.avg_alloc_latency_s) << shards << " shards";
+    EXPECT_EQ(report.data_load_mb, base.data_load_mb) << shards << " shards";
+    EXPECT_EQ(report.cache_misses, base.cache_misses) << shards << " shards";
+    EXPECT_EQ(report.jobs_completed, base.jobs_completed) << shards << " shards";
+    EXPECT_EQ(report.messages_delivered, base.messages_delivered) << shards << " shards";
+    EXPECT_EQ(report.fairness_index, base.fairness_index) << shards << " shards";
+    EXPECT_EQ(enqueuedn, enqueued1) << shards << " shards";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism and goldens (jittered paper cells)
+
+struct Golden {
+  double exec_time_s;
+  double data_load_mb;
+  double avg_turnaround_s;
+  double fairness_index;
+  std::uint64_t cache_misses;
+  std::uint64_t jobs_completed;
+  std::uint64_t messages_delivered;
+};
+
+metrics::RunReport run_cell(std::uint64_t seed, std::size_t shards) {
+  const auto workload = workload::generate_workload(
+      workload::make_workload_spec(workload::JobConfig::k80Small), SeedSequencer(seed));
+  core::EngineConfig config;
+  config.seed = seed;
+  config.shards = shards;
+  core::Engine engine(cluster::make_fleet(cluster::FleetPreset::kFastSlow),
+                      sched::make_scheduler("bidding"), config);
+  metrics::RunReport report = engine.run(workload.jobs);
+  EXPECT_TRUE(engine.broker().stats().conserved());
+  EXPECT_EQ(engine.shard_count(), shards);
+  if (shards > 1) {
+    EXPECT_GT(engine.lookahead(), 0);
+  }
+  return report;
+}
+
+void expect_matches(std::uint64_t seed, std::size_t shards, const Golden& golden) {
+  const metrics::RunReport report = run_cell(seed, shards);
+  // Dump actuals in full precision so a deliberate re-golden can copy them
+  // from the failure log.
+  std::printf("shard_golden[%llu/%zu] = {%a, %a, %a, %a, %lluu, %lluu, %lluu}\n",
+              static_cast<unsigned long long>(seed), shards, report.exec_time_s,
+              report.data_load_mb, report.avg_turnaround_s, report.fairness_index,
+              static_cast<unsigned long long>(report.cache_misses),
+              static_cast<unsigned long long>(report.jobs_completed),
+              static_cast<unsigned long long>(report.messages_delivered));
+  EXPECT_EQ(report.exec_time_s, golden.exec_time_s);
+  EXPECT_EQ(report.data_load_mb, golden.data_load_mb);
+  EXPECT_EQ(report.avg_turnaround_s, golden.avg_turnaround_s);
+  EXPECT_EQ(report.fairness_index, golden.fairness_index);
+  EXPECT_EQ(report.cache_misses, golden.cache_misses);
+  EXPECT_EQ(report.jobs_completed, golden.jobs_completed);
+  EXPECT_EQ(report.messages_delivered, golden.messages_delivered);
+}
+
+TEST(ShardGolden, Seed42TwoShards) {
+  expect_matches(42, 2,
+                 Golden{0x1.df3b65a9a8049p+7, 0x1.8c691f48d62dap+13, 0x1.1f196bcfeb1ddp+2,
+                        0x1.02dd6c7e89fbdp-1, 53u, 120u, 1440u});
+}
+
+TEST(ShardGolden, Seed42FourShards) {
+  expect_matches(42, 4,
+                 Golden{0x1.df3b09a671ef3p+7, 0x1.8c691f48d62dap+13, 0x1.1f1dd310fb41cp+2,
+                        0x1.02dd6c7e89fbdp-1, 53u, 120u, 1440u});
+}
+
+TEST(ShardGolden, Seed7FourShards) {
+  expect_matches(7, 4,
+                 Golden{0x1.f3e7a9e2bcf92p+7, 0x1.96b08cb7aa73dp+13, 0x1.a67c7d948055p+1,
+                        0x1.b76a95f969adfp-2, 54u, 120u, 1440u});
+}
+
+TEST(ShardGolden, SingleShardMatchesClassicKernel) {
+  // shards=1 must reproduce the classic kernel's golden bit-for-bit (the
+  // values are test_kernel_golden.cpp's bidding/42 entry).
+  expect_matches(42, 1,
+                 Golden{0x1.d6922fad6cb53p+7, 0x1.8bc3de6a27b07p+13, 0x1.dd53b62ac9d82p+1,
+                        0x1.ff39dd442f14ap-2, 52u, 120u, 1440u});
+}
+
+TEST(ShardGolden, SameSeedAndShardCountTwiceIsBitIdentical) {
+  const metrics::RunReport a = run_cell(1234, 4);
+  const metrics::RunReport b = run_cell(1234, 4);
+  EXPECT_EQ(a.exec_time_s, b.exec_time_s);
+  EXPECT_EQ(a.data_load_mb, b.data_load_mb);
+  EXPECT_EQ(a.avg_turnaround_s, b.avg_turnaround_s);
+  EXPECT_EQ(a.fairness_index, b.fairness_index);
+  EXPECT_EQ(a.cache_misses, b.cache_misses);
+  EXPECT_EQ(a.messages_delivered, b.messages_delivered);
+}
+
+// ---------------------------------------------------------------------------
+// Conservation under faults
+
+TEST(ShardFaults, FaultPlanConservesJobsUnderFourShards) {
+  core::EngineConfig config;
+  config.seed = 99;
+  config.shards = 4;
+  config.faults = fault::FaultPlan::parse(
+      "crash:w=1,at=10,down=25;crashes:p=0.4,window=40,down=15;"
+      "degrade:w=2,at=5,for=20,x=0.25;drop:p=0.01;dup:p=0.005");
+  core::Engine engine(testutil::uniform_fleet(8), sched::make_scheduler("bidding"), config);
+  const metrics::RunReport report = engine.run(testutil::distinct_jobs(60, 150.0, 0.5));
+
+  // Lease-based lifecycle: every submission either completes, dead-letters,
+  // or was voided and resubmitted — nothing falls through the cracks.
+  EXPECT_EQ(report.jobs_lost, 0u);
+  EXPECT_EQ(engine.jobs_submitted(),
+            static_cast<std::uint64_t>(60 + engine.jobs_retried()));
+  EXPECT_GE(engine.jobs_completed() + engine.jobs_dead_lettered(), 60u);
+  EXPECT_GT(engine.worker_crashes(), 0u);
+
+  // Cross-shard message conservation: published == delivered + dropped +
+  // missed, with fault drops/dups accounted before enqueue.
+  const msg::BrokerStats& stats = engine.broker().stats();
+  EXPECT_TRUE(stats.conserved());
+  EXPECT_GT(stats.fault_dropped, 0u);
+  EXPECT_GT(stats.fault_duplicated, 0u);
+}
+
+TEST(ShardFaults, ManualCrashAndRecoveryAppliesAtBarriers) {
+  core::EngineConfig config = flat_config(7, 3);
+  config.lifecycle.enabled = true;
+  core::Engine engine(testutil::uniform_fleet(6), sched::make_scheduler("bidding"), config);
+  engine.fail_worker_at(1, ticks_from_seconds(4.0));
+  engine.recover_worker_at(1, ticks_from_seconds(20.0));
+  const metrics::RunReport report = engine.run(testutil::distinct_jobs(30, 120.0, 0.4));
+  EXPECT_EQ(engine.worker_crashes(), 1u);
+  EXPECT_EQ(engine.worker_recoveries(), 1u);
+  EXPECT_EQ(report.jobs_lost, 0u);
+  EXPECT_EQ(report.jobs_completed + report.jobs_dead_lettered,
+            engine.jobs_submitted() - engine.jobs_retried());
+  EXPECT_TRUE(engine.broker().stats().conserved());
+}
+
+}  // namespace
+}  // namespace dlaja

@@ -50,7 +50,13 @@ int main(int argc, char** argv) {
   args.add_option("trace", "", "write a Chrome trace-event JSON of a detail run to this file");
   args.add_option("trace-csv", "", "write the detail run's trace events as CSV to this file");
   args.add_option("log-level", "warn", "log verbosity: trace|debug|info|warn|error|off");
+  args.add_option("shards", "",
+                  "worker shards for the parallel kernel (1 = classic single-threaded "
+                  "kernel); also overrides a scenario's 'shards' field");
   args.add_flag("no-carry", "do not carry caches across iterations");
+  args.add_flag("flat-latency",
+                "zero all latency jitter (with --noise none, reports become "
+                "independent of the shard count)");
   if (!args.parse(argc, argv)) return 1;
   set_log_level(parse_log_level(args.get("log-level")));
 
@@ -106,6 +112,11 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+
+  // --shards / --flat-latency apply on top of either source, so one scenario
+  // file can be diffed across shard counts (the CI shard-smoke job does).
+  if (args.given("shards")) spec.shards = static_cast<std::size_t>(args.get_int("shards"));
+  if (args.given("flat-latency")) spec.flat_control_plane = true;
 
   const auto issues = spec.validate();
   if (!issues.empty()) {
@@ -184,10 +195,16 @@ int main(int argc, char** argv) {
     config.faults = spec.faults;
     config.lifecycle = spec.lifecycle;
     config.coalesce_deliveries = spec.coalesce_deliveries;
+    config.shards = spec.shards;
     const workload::WorkloadSpec wspec =
         spec.custom_workload ? *spec.custom_workload : workload::make_workload_spec(spec.job_config);
     const auto workload = workload::generate_workload(wspec, SeedSequencer(spec.seed));
-    core::Engine engine(cluster::make_fleet(spec.fleet, spec.worker_count),
+    std::vector<cluster::WorkerConfig> fleet = cluster::make_fleet(spec.fleet, spec.worker_count);
+    if (spec.flat_control_plane) {
+      for (cluster::WorkerConfig& cfg : fleet) cfg.latency_jitter_ms = 0.0;
+      config.master_link.latency_jitter_ms = 0.0;
+    }
+    core::Engine engine(std::move(fleet),
                         sched::make_scheduler(spec.scheduler, spec.seed), config);
     obs::Tracer tracer;
     if (!trace_path.empty() || !trace_csv_path.empty()) {
