@@ -1,17 +1,19 @@
 #!/usr/bin/env bash
-# Benchmarks the large-fleet contest path and emits BENCH_scale.json.
+# Benchmarks the large-fleet placement path and emits BENCH_scale.json.
 #
-# Sweeps {5, 50, 500, 2000} workers x {full, probe:4} contest fan-out with
-# the bidding scheduler (delivery coalescing on — the scale configuration)
-# and reports per-cell wall time, contest throughput, and the probe-vs-full
-# speedup per fleet size.
+# Sweeps {5, 50, 500, 2000, 10000} workers x {full, probe:4, cached:4}
+# fan-out with the bidding scheduler (delivery coalescing on — the scale
+# configuration) and reports per-cell wall time, decision throughput,
+# messages per job, placement quality vs the full broadcast, and the
+# probe-vs-full / cached-vs-probe speedups per fleet size. The 10k-worker
+# full-broadcast cell is skipped unless BENCH_SCALE_FULL=1.
 #
 # Usage: scripts/bench_scale.sh [build-dir] [output.json]
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_scale.json}"
-JOBS="${BENCH_SCALE_JOBS:-200}"
+JOBS="${BENCH_SCALE_JOBS:-2000}"
 BENCH_BIN="${BUILD_DIR}/bench/bench_scale"
 
 if [[ ! -x "${BENCH_BIN}" ]]; then

@@ -41,8 +41,9 @@ done
 # The sharded kernel runs shards on real threads; TSan is the only sanitizer
 # that can vouch for the window-barrier protocol (shard sims run in parallel,
 # cross-shard traffic parks in per-shard outboxes drained at barriers).
-# test_thread_pool exercises the pool itself, test_shard the full engine.
-TSAN_TESTS=(test_thread_pool test_shard)
+# test_thread_pool exercises the pool itself, test_shard the full engine,
+# test_scale the fan-out policies (the cached goldens run under --shards 4).
+TSAN_TESTS=(test_thread_pool test_shard test_scale)
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 echo "==== sanitizer pass (tsan)"
 cmake --preset tsan

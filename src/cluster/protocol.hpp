@@ -8,6 +8,9 @@
 //   mailbox worker "offers"  -> JobOffer          (pull schedulers offer)
 //   mailbox master "offers"  -> OfferResponse     (worker accepts/declines)
 //   mailbox master "done"    -> CompletionReport  (worker reports results)
+//   mailbox worker "placements"     -> DirectPlacement   (cached fan-out)
+//   mailbox master "placement-acks" -> PlacementResponse (accept/decline)
+//   mailbox master "load-reports"   -> LoadReport        (async load refresh)
 
 #include <cstdint>
 #include <vector>
@@ -34,6 +37,9 @@ struct BidSubmission {
   workflow::JobId job_id = 0;
   WorkerIndex worker = kNoWorker;
   double cost_s = 0.0;  ///< estimated seconds until this worker finishes the job
+  /// Piggy-backed raw backlog for the master's load cache (cached fan-out
+  /// only; full/probe bids leave it 0 and the master never reads it).
+  double backlog_s = 0.0;
 };
 
 /// Master -> winning worker: job assignment (Listing 1, sendToWorker).
@@ -54,6 +60,33 @@ struct OfferResponse {
   workflow::JobId job_id = 0;
   WorkerIndex worker = kNoWorker;
   bool accepted = false;
+};
+
+/// Master -> one worker (cached fan-out): a direct placement decided from
+/// the master's load cache — no contest, no bid round-trip. The worker
+/// accepts (enqueue) or declines when its actual backlog is meaningfully
+/// worse than the master's cached view (late binding).
+struct DirectPlacement {
+  workflow::Job job;
+  double expected_backlog_s = 0.0;  ///< the cached backlog the decision used
+};
+
+/// Worker -> master: accept/decline of a direct placement. Carries the
+/// worker's authoritative backlog either way, so the cache refreshes even
+/// from a decline. Kept small: the worker-side delayed send captures it
+/// inline within the kernel's 64-byte action budget.
+struct PlacementResponse {
+  workflow::JobId job_id = 0;
+  WorkerIndex worker = kNoWorker;
+  bool accepted = false;
+  double backlog_s = 0.0;  ///< backlog after the decision (post-enqueue on accept)
+};
+
+/// Worker -> master (cached fan-out): asynchronous load refresh, sent when
+/// a job finishes (a queue slot freed) — the cache's heartbeat channel.
+struct LoadReport {
+  WorkerIndex worker = kNoWorker;
+  double backlog_s = 0.0;
 };
 
 /// Worker -> master: job finished (Listing 2, consumeJob tail).
@@ -82,6 +115,9 @@ inline constexpr const char* kOffers = "offers";
 inline constexpr const char* kOfferResponses = "offer-responses";
 inline constexpr const char* kCompletions = "done";
 inline constexpr const char* kWorkRequests = "work-requests";
+inline constexpr const char* kPlacements = "placements";          ///< worker: DirectPlacement
+inline constexpr const char* kPlacementAcks = "placement-acks";   ///< master: PlacementResponse
+inline constexpr const char* kLoadReports = "load-reports";       ///< master: LoadReport
 }  // namespace mailboxes
 
 }  // namespace dlaja::cluster

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <ostream>
+#include <tuple>
 
 #include "util/table.hpp"
 
@@ -39,16 +40,38 @@ Profile build_profile(const Tracer& tracer) {
   // keeps both deterministic regardless of interning order.
   std::map<std::pair<std::uint8_t, std::uint16_t>, std::uint32_t> row_ids;
   std::map<std::pair<std::uint8_t, std::uint32_t>, std::vector<SpanRef>> timelines;
+  // Mark per (component, name, kind): instants and counters keep their name
+  // resolution too, so point events are inspectable and not just a tally.
+  std::map<std::tuple<std::uint8_t, std::uint16_t, bool>, std::uint32_t> mark_ids;
+
+  auto record_mark = [&](const TraceEvent& event, bool is_counter) {
+    const auto key = std::make_tuple(static_cast<std::uint8_t>(event.comp), event.name,
+                                     is_counter);
+    auto [it, inserted] =
+        mark_ids.emplace(key, static_cast<std::uint32_t>(profile.marks.size()));
+    if (inserted) {
+      MarkRow mark;
+      mark.comp = event.comp;
+      mark.name = tracer.name(event.name);
+      mark.is_counter = is_counter;
+      profile.marks.push_back(std::move(mark));
+    }
+    MarkRow& mark = profile.marks[it->second];
+    ++mark.count;
+    if (is_counter) mark.last_value = event.value;
+  };
 
   std::uint32_t order = 0;
   for (const TraceEvent& event : tracer.events()) {
     ComponentProfile& comp = profile.components[static_cast<std::size_t>(event.comp)];
     if (event.type == EventType::kInstant) {
       ++comp.instants;
+      record_mark(event, /*is_counter=*/false);
       continue;
     }
     if (event.type == EventType::kCounter) {
       ++comp.counters;
+      record_mark(event, /*is_counter=*/true);
       continue;
     }
     ++comp.spans;
@@ -114,6 +137,12 @@ Profile build_profile(const Tracer& tracer) {
               if (a.comp != b.comp) return a.comp < b.comp;
               return a.name < b.name;
             });
+  std::sort(profile.marks.begin(), profile.marks.end(),
+            [](const MarkRow& a, const MarkRow& b) {
+              if (a.count != b.count) return a.count > b.count;
+              if (a.comp != b.comp) return a.comp < b.comp;
+              return a.name < b.name;
+            });
   return profile;
 }
 
@@ -151,6 +180,20 @@ void print_profile(std::ostream& out, const Tracer& tracer, std::size_t top_n) {
                            3)});
   }
   top.print(out);
+
+  if (!profile.marks.empty()) {
+    out << "\n";
+    TextTable marks("instants and counters by name");
+    marks.set_header({"component", "name", "kind", "count", "last value"});
+    const std::size_t mark_rows = std::min(top_n, profile.marks.size());
+    for (std::size_t i = 0; i < mark_rows; ++i) {
+      const MarkRow& mark = profile.marks[i];
+      marks.add_row({component_name(mark.comp), mark.name,
+                     mark.is_counter ? "counter" : "instant", std::to_string(mark.count),
+                     mark.is_counter ? fmt_fixed(mark.last_value, 3) : "-"});
+    }
+    marks.print(out);
+  }
   if (tracer.dropped() > 0) {
     out << "note: " << tracer.dropped() << " events were dropped (buffer full)\n";
   }

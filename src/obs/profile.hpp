@@ -36,8 +36,22 @@ struct ComponentProfile {
   Tick self = 0;
 };
 
+/// Aggregated occurrences of one (component, name) instant or counter —
+/// point events have no self time, but their rates and final values are
+/// what cache-style subsystems report (e.g. the scheduler's
+/// fanout.cache_hit / fanout.stale_decline instants and the
+/// fanout.msgs_per_job counter).
+struct MarkRow {
+  Component comp = Component::kCore;
+  std::string name;
+  bool is_counter = false;  ///< counter (sampled value) vs instant (event)
+  std::uint64_t count = 0;
+  double last_value = 0.0;  ///< counters: the most recent sample
+};
+
 struct Profile {
   std::vector<ProfileRow> rows;             ///< sorted by self time, descending
+  std::vector<MarkRow> marks;               ///< sorted by count, descending
   std::vector<ComponentProfile> components; ///< component order (sim..core)
 };
 

@@ -8,7 +8,7 @@
 // elapses, and assigns the job to the lowest bidder; if nobody bid in time
 // the job goes to an arbitrary worker.
 //
-// Two extensions beyond the paper:
+// Three extensions beyond the paper:
 //  - Bid correction: workers learn from the history of their bids (the
 //    paper's future-work idea), scaling future bids by a smoothed ratio of
 //    actual to estimated completion time.
@@ -16,6 +16,13 @@
 //    k-subset of alive workers instead of broadcasting, bounding contest
 //    cost at fleet scale. The default `full` policy is bit-identical to the
 //    historical broadcast implementation.
+//  - Cached fan-out (FanoutPolicy cached:k): the master keeps a per-worker
+//    load/locality cache (LoadCache) refreshed from completion load
+//    reports, placement acks and piggy-backed bids, and places each job
+//    directly on the best of k seeded-random cached candidates — O(1)
+//    messages per job. Late binding: the worker declines a placement whose
+//    cached backlog view is stale, triggering exactly one fallback probe:k
+//    re-contest, so correctness never depends on cache freshness.
 
 #include <cstdint>
 #include <deque>
@@ -25,6 +32,7 @@
 
 #include "sched/bid_set.hpp"
 #include "sched/fanout.hpp"
+#include "sched/load_cache.hpp"
 #include "sched/scheduler.hpp"
 
 namespace dlaja::sched {
@@ -49,8 +57,16 @@ struct BiddingConfig {
   /// EMA weight for new observations when learning corrections.
   double correction_alpha = 0.2;
 
-  /// Contest fan-out: full broadcast (paper) or a probed k-subset (scale).
+  /// Contest fan-out: full broadcast (paper), a probed k-subset (scale), or
+  /// direct placement on cached load estimates with late binding (cached).
   FanoutPolicy fanout;
+
+  /// Cached fan-out only: how much worse (seconds) the worker's actual
+  /// backlog may be than the master's cached view before it declines the
+  /// placement. Generous slack trades placement quality for fewer fallback
+  /// re-contests; a negative slack declines everything (test hook for the
+  /// all-stale path).
+  double decline_slack_s = 0.5;
 };
 
 class BiddingScheduler final : public Scheduler {
@@ -60,7 +76,7 @@ class BiddingScheduler final : public Scheduler {
   [[nodiscard]] std::string name() const override {
     std::string name = "bidding";
     if (config_.learn_correction) name += "+learned";
-    if (config_.fanout.probing()) name += "+" + config_.fanout.describe();
+    if (config_.fanout.contest_probes()) name += "+" + config_.fanout.describe();
     return name;
   }
 
@@ -68,8 +84,10 @@ class BiddingScheduler final : public Scheduler {
   void submit(const workflow::Job& job) override;
   void on_completion(const cluster::CompletionReport& report) override;
   void on_assignment_void(workflow::JobId id, cluster::WorkerIndex w) override;
+  void on_worker_capacity(cluster::WorkerIndex w) override;
+  void on_worker_recovered(cluster::WorkerIndex w) override;
   [[nodiscard]] std::size_t pending_jobs() const override {
-    return contests_.size() + backlog_.size();
+    return contests_.size() + backlog_.size() + placements_.size();
   }
 
   /// The bidding worker side only touches the worker's own state and the
@@ -87,8 +105,19 @@ class BiddingScheduler final : public Scheduler {
     std::uint64_t duplicate_bids_ignored = 0;   ///< same worker bid twice (dup faults)
     std::uint64_t unassignable_jobs = 0;        ///< zero bids and no live worker
     std::uint64_t probes_sent = 0;              ///< bid solicitations (probe mode)
+    std::uint64_t placements = 0;               ///< direct placements (cached mode)
+    std::uint64_t cache_hits = 0;               ///< placements the worker accepted
+    std::uint64_t stale_declines = 0;           ///< placements declined -> fallback
+    std::uint64_t late_placement_acks = 0;      ///< acks for already-voided placements
+    /// Master-side control-plane messages (cached mode only): placements,
+    /// acks, load reports, fallback probes/bids/assignments. The
+    /// messages-per-job trace counter derives from it.
+    std::uint64_t control_messages = 0;
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// The master's load cache (cached fan-out only; empty otherwise).
+  [[nodiscard]] const LoadCache& load_cache() const noexcept { return cache_; }
 
   [[nodiscard]] const BiddingConfig& config() const noexcept { return config_; }
 
@@ -102,8 +131,50 @@ class BiddingScheduler final : public Scheduler {
     sim::EventId timeout{};
   };
 
+  /// A direct placement awaiting its accept/decline ack (cached mode).
+  struct Placement {
+    workflow::Job job;
+    cluster::WorkerIndex worker = cluster::kNoWorker;
+    std::uint32_t generation = 0;  ///< cache generation when placed
+  };
+
+  /// Placement-quality bookkeeping: the cached estimate a placement used,
+  /// compared against the actual completion time (cached mode).
+  struct PlacedEstimate {
+    double estimate_s = 0.0;
+    Tick placed_at = 0;
+  };
+
+  /// Opens a contest now, or queues the job behind the running one when
+  /// contests are serialized (the historical submit() body).
+  void contest_or_backlog(const workflow::Job& job);
+
   /// Master-side: open the contest for `job` (Listing 1, sendJob).
   void open_contest(const workflow::Job& job);
+
+  /// Cached mode: pick the best of k seeded-random cached candidates and
+  /// place the job directly (power-of-k-choices over cached cost
+  /// estimates, late binding).
+  void place_cached(const workflow::Job& job);
+
+  /// Cached mode: the master's cost estimate for running `job` on `w` —
+  /// the same formula the worker computes locally (Listing 2), evaluated
+  /// over the cached backlog, believed-resident resources and the worker's
+  /// nominal speeds (master-visible config, not probed state).
+  [[nodiscard]] double cached_cost_s(cluster::WorkerIndex w, const workflow::Job& job) const;
+
+  /// Worker-side: accept or decline a direct placement at worker `w`.
+  void worker_handle_placement(cluster::WorkerIndex w, const cluster::DirectPlacement& p);
+
+  /// Master-side: placement ack — refresh the cache, count a hit, or run
+  /// the one fallback re-contest on a decline.
+  void master_receive_placement_ack(const cluster::PlacementResponse& resp);
+
+  /// Master-side: asynchronous load refresh from a completion.
+  void master_receive_load_report(const cluster::LoadReport& report);
+
+  /// Emits the messages-per-job trace counter sample (traced cached runs).
+  void trace_msgs_per_job();
 
   /// Probe mode: publish the request to a seeded random k-subset of alive
   /// workers; returns how many were solicited.
@@ -132,8 +203,14 @@ class BiddingScheduler final : public Scheduler {
   msg::TopicId bid_topic_ = msg::kInvalidInterned;   ///< resolved at attach
   msg::MailboxId jobs_box_ = msg::kInvalidInterned;  ///< worker job queues
   msg::MailboxId bids_box_ = msg::kInvalidInterned;  ///< master bid intake
-  std::uint16_t trace_contest_ = 0;  ///< "contest": open -> award span
-  std::uint16_t trace_bid_ = 0;      ///< "bid": bid-received instant
+  msg::MailboxId placements_box_ = msg::kInvalidInterned;      ///< worker placements
+  msg::MailboxId placement_acks_box_ = msg::kInvalidInterned;  ///< master ack intake
+  msg::MailboxId load_reports_box_ = msg::kInvalidInterned;    ///< master load refreshes
+  std::uint16_t trace_contest_ = 0;       ///< "contest": open -> award span
+  std::uint16_t trace_bid_ = 0;           ///< "bid": bid-received instant
+  std::uint16_t trace_cache_hit_ = 0;     ///< "fanout.cache_hit" instants
+  std::uint16_t trace_stale_decline_ = 0; ///< "fanout.stale_decline" instants
+  std::uint16_t trace_msgs_per_job_ = 0;  ///< "fanout.msgs_per_job" counter
   bool trace_names_ready_ = false;
   std::unordered_map<std::uint64_t, Contest> contests_;
   std::deque<workflow::Job> backlog_;  ///< jobs awaiting their contest (serial mode)
@@ -141,11 +218,19 @@ class BiddingScheduler final : public Scheduler {
   std::uint64_t fallback_cursor_ = 0;
   Stats stats_;
 
-  /// Probe mode only (never constructed under `full`, so full-fanout runs
-  /// draw exactly the streams the historical implementation drew).
+  /// Probe and cached modes only (never constructed under `full`, so
+  /// full-fanout runs draw exactly the streams the historical
+  /// implementation drew). Cached mode uses it for fallback re-contests.
   std::optional<RandomStream> probe_rng_;
   std::vector<cluster::WorkerIndex> probe_scratch_;  ///< alive workers, reshuffled per contest
   std::vector<net::NodeId> probe_targets_;           ///< solicited nodes per contest
+
+  /// Cached mode only: the load cache, its dedicated candidate-sampling
+  /// substream ("fanout/cache"), and the placements awaiting an ack.
+  LoadCache cache_;
+  std::optional<RandomStream> cache_rng_;
+  std::unordered_map<workflow::JobId, Placement> placements_;
+  std::unordered_map<workflow::JobId, PlacedEstimate> placed_estimates_;
 
   /// Extension state: per-worker multiplicative bid correction (worker-side
   /// knowledge, indexed by WorkerIndex).

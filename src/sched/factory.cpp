@@ -115,8 +115,10 @@ BiddingConfig bidding_config(const ParsedSpec& spec) {
       config.learn_correction = parse_bool(spec, option);
     } else if (key == "alpha") {
       config.correction_alpha = parse_double(spec, option);
+    } else if (key == "slack") {
+      config.decline_slack_s = parse_double(spec, option);
     } else {
-      unknown_key(spec, key, "fanout, window, serialize, learn, alpha");
+      unknown_key(spec, key, "fanout, window, serialize, learn, alpha, slack");
     }
   }
   return config;
@@ -248,6 +250,11 @@ std::string check_scheduler_spec(const std::string& spec, std::size_t worker_cou
       const BiddingConfig config = bidding_config(parsed);
       if (config.fanout.probing() && config.fanout.probe_k > worker_count) {
         return "scheduler '" + spec + "': probe fan-out k=" +
+               std::to_string(config.fanout.probe_k) + " exceeds the fleet (" +
+               std::to_string(worker_count) + " workers)";
+      }
+      if (config.fanout.cached() && config.fanout.probe_k > worker_count) {
+        return "scheduler '" + spec + "': cached fan-out k=" +
                std::to_string(config.fanout.probe_k) + " exceeds the fleet (" +
                std::to_string(worker_count) + " workers)";
       }

@@ -4,31 +4,51 @@
 
 namespace dlaja::sched {
 
+namespace {
+
+constexpr const char* kValidModes = "'full', 'probe:K' or 'cached:K' (K >= 1)";
+
+std::uint32_t parse_k(const std::string& text, const std::string& count, const char* mode) {
+  std::size_t used = 0;
+  unsigned long k = 0;
+  try {
+    k = std::stoul(count, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used != count.size() || k == 0) {
+    throw std::invalid_argument("bad fan-out '" + text + "': " + mode +
+                                ":K needs K >= 1 (valid modes: " + kValidModes + ")");
+  }
+  return static_cast<std::uint32_t>(k);
+}
+
+}  // namespace
+
 FanoutPolicy FanoutPolicy::parse(const std::string& text) {
   FanoutPolicy policy;
   if (text == "full") return policy;
   if (text.rfind("probe:", 0) == 0) {
-    const std::string count = text.substr(6);
-    std::size_t used = 0;
-    unsigned long k = 0;
-    try {
-      k = std::stoul(count, &used);
-    } catch (const std::exception&) {
-      used = 0;
-    }
-    if (used != count.size() || k == 0) {
-      throw std::invalid_argument("bad fan-out '" + text + "': probe:K needs K >= 1");
-    }
     policy.mode = Mode::kProbe;
-    policy.probe_k = static_cast<std::uint32_t>(k);
+    policy.probe_k = parse_k(text, text.substr(6), "probe");
     return policy;
   }
-  throw std::invalid_argument("bad fan-out '" + text + "' (expected 'full' or 'probe:K')");
+  if (text.rfind("cached:", 0) == 0) {
+    policy.mode = Mode::kCached;
+    policy.probe_k = parse_k(text, text.substr(7), "cached");
+    return policy;
+  }
+  throw std::invalid_argument("bad fan-out '" + text +
+                              "' (valid modes: " + std::string(kValidModes) + ")");
 }
 
 std::string FanoutPolicy::describe() const {
-  if (mode == Mode::kFull) return "full";
-  return "probe:" + std::to_string(probe_k);
+  switch (mode) {
+    case Mode::kProbe: return "probe:" + std::to_string(probe_k);
+    case Mode::kCached: return "cached:" + std::to_string(probe_k);
+    case Mode::kFull: break;
+  }
+  return "full";
 }
 
 }  // namespace dlaja::sched

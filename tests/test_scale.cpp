@@ -9,14 +9,17 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
+#include "core/engine.hpp"
 #include "core/experiment.hpp"
 #include "msg/broker.hpp"
 #include "sched/bid_set.hpp"
 #include "sched/factory.hpp"
 #include "sched/fanout.hpp"
+#include "test_helpers.hpp"
 #include "util/json.hpp"
 
 namespace dlaja {
@@ -176,6 +179,118 @@ TEST(ScaleProbe, CoalescedDeliveriesPreserveOutcomes) {
   EXPECT_GT(coalesced[0].stat("msg.batches"), 0.0);
 }
 
+// --- cached:k -------------------------------------------------------------
+
+core::ExperimentSpec cached_cell(const std::string& scheduler) {
+  core::ExperimentSpec spec = probe_cell(scheduler);
+  return spec;
+}
+
+TEST(ScaleCached, SameSeedIsDeterministic) {
+  const auto first = core::run_experiment(cached_cell("bidding:fanout=cached:4"));
+  const auto second = core::run_experiment(cached_cell("bidding:fanout=cached:4"));
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].exec_time_s, second[i].exec_time_s);
+    EXPECT_EQ(first[i].data_load_mb, second[i].data_load_mb);
+    EXPECT_EQ(first[i].messages_delivered, second[i].messages_delivered);
+    EXPECT_EQ(first[i].stat("sim.events_fired"), second[i].stat("sim.events_fired"));
+  }
+}
+
+TEST(ScaleCached, CompletesAllJobsWithConstantMessagesPerJob) {
+  const auto reports = core::run_experiment(cached_cell("bidding:fanout=cached:4"));
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].jobs_completed, 60u);
+  // Direct placement happened for every job; hits + declines account for
+  // every placement (late binding always answers).
+  EXPECT_EQ(reports[0].stat("fanout.placements"), 60.0);
+  EXPECT_EQ(reports[0].stat("fanout.cache_hits") + reports[0].stat("fanout.stale_declines"),
+            60.0);
+  // O(1) messages per job: placement + ack + completion traffic, far below
+  // even the probed contest's 2k+1.
+  const auto probe = core::run_experiment(cached_cell("bidding:fanout=probe:4"));
+  EXPECT_LT(reports[0].messages_delivered, probe[0].messages_delivered);
+  const auto full = core::run_experiment(cached_cell("bidding"));
+  EXPECT_LT(reports[0].messages_delivered, full[0].messages_delivered / 4);
+}
+
+TEST(ScaleCached, AllStaleDeclinesFallBackAndStillComplete) {
+  // A negative slack makes every worker judge its placement stale: each job
+  // takes the decline -> one probe re-contest path, and the run must still
+  // finish every job.
+  const auto reports =
+      core::run_experiment(cached_cell("bidding:fanout=cached:3,slack=-1e9"));
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].jobs_completed, 60u);
+  EXPECT_EQ(reports[0].stat("fanout.stale_declines"), 60.0);
+  EXPECT_EQ(reports[0].stat("fanout.cache_hits"), 0.0);
+  // Each decline triggered exactly one fallback contest.
+  EXPECT_EQ(reports[0].stat("sched.contests"), 60.0);
+}
+
+TEST(ScaleCached, ConservesJobsWhenPlacedWorkersCrash) {
+  // Crash-heavy plan: placements land on workers that then die mid-flight
+  // (a dropped DirectPlacement, a crashed victim, a lost ack); the
+  // lease-based lifecycle must resolve every tracked attempt — no job may
+  // simply vanish because the cache pointed at a corpse.
+  core::EngineConfig config = testutil::noiseless(4242);
+  config.faults =
+      fault::FaultPlan::parse("crashes:p=0.5,window=60,down=20;drop:p=0.02;dup:p=0.01");
+  auto fleet = testutil::uniform_fleet(12);
+  core::Engine engine(fleet, sched::make_scheduler("bidding:fanout=cached:4"), config);
+  const auto report = engine.run(testutil::distinct_jobs(60, 200.0, 0.5));
+  EXPECT_EQ(report.jobs_lost, 0u);
+  EXPECT_GT(report.jobs_completed, 0u);
+  EXPECT_GT(report.stat("fault.crashes"), 0.0);
+  ASSERT_NE(engine.lifecycle(), nullptr);
+  EXPECT_EQ(engine.lifecycle()->unresolved(), 0u);
+  // Each tracked attempt resolved exactly one way.
+  const auto& ls = engine.lifecycle()->stats();
+  EXPECT_EQ(ls.tracked, ls.completed + ls.dead_letters + ls.retries);
+  EXPECT_EQ(ls.dead_letters, engine.lifecycle()->dead_letters().size());
+}
+
+struct CachedGolden {
+  double exec_time_s;
+  double data_load_mb;
+  std::uint64_t jobs_completed;
+  std::uint64_t messages_delivered;
+  double placements;
+  double events_fired;
+};
+
+void expect_cached_golden(std::size_t shards, const CachedGolden& golden) {
+  core::ExperimentSpec spec = cached_cell("bidding:fanout=cached:4");
+  spec.shards = shards;
+  const auto reports = core::run_experiment(spec);
+  ASSERT_EQ(reports.size(), 1u);
+  const metrics::RunReport& report = reports[0];
+  // Dump actuals in full precision so a deliberate re-golden can copy them
+  // from the failure log.
+  std::printf("cached_golden[%zu] = {%a, %a, %lluu, %lluu, %a, %a}\n", shards,
+              report.exec_time_s, report.data_load_mb,
+              static_cast<unsigned long long>(report.jobs_completed),
+              static_cast<unsigned long long>(report.messages_delivered),
+              report.stat("fanout.placements"), report.stat("sim.events_fired"));
+  EXPECT_EQ(report.exec_time_s, golden.exec_time_s);
+  EXPECT_EQ(report.data_load_mb, golden.data_load_mb);
+  EXPECT_EQ(report.jobs_completed, golden.jobs_completed);
+  EXPECT_EQ(report.messages_delivered, golden.messages_delivered);
+  EXPECT_EQ(report.stat("fanout.placements"), golden.placements);
+  EXPECT_EQ(report.stat("sim.events_fired"), golden.events_fired);
+}
+
+TEST(ScaleCachedGolden, SingleShardIsBitReproducible) {
+  expect_cached_golden(1, CachedGolden{0x1.39d2dfb506dd7p+7, 0x1.439ca103dc7d3p+14, 60u,
+                                       240u, 0x1.ep+5, 0x1.ep+8});
+}
+
+TEST(ScaleCachedGolden, FourShardsIsBitReproducible) {
+  expect_cached_golden(4, CachedGolden{0x1.3a9be78e1932dp+7, 0x1.439ca103dc7d3p+14, 60u,
+                                       240u, 0x1.ep+5, 0x1.ep+8});
+}
+
 // --- fan-out policy parsing ----------------------------------------------
 
 TEST(Fanout, ParseAndDescribeRoundTrip) {
@@ -184,8 +299,30 @@ TEST(Fanout, ParseAndDescribeRoundTrip) {
   EXPECT_TRUE(probe.probing());
   EXPECT_EQ(probe.probe_k, 7u);
   EXPECT_EQ(probe.describe(), "probe:7");
+  const sched::FanoutPolicy cached = sched::FanoutPolicy::parse("cached:5");
+  EXPECT_TRUE(cached.cached());
+  EXPECT_FALSE(cached.probing());
+  EXPECT_TRUE(cached.contest_probes());
+  EXPECT_EQ(cached.probe_k, 5u);
+  EXPECT_EQ(cached.describe(), "cached:5");
+  EXPECT_FALSE(sched::FanoutPolicy::parse("full").contest_probes());
   EXPECT_THROW((void)sched::FanoutPolicy::parse("probe:0"), std::invalid_argument);
+  EXPECT_THROW((void)sched::FanoutPolicy::parse("cached:0"), std::invalid_argument);
   EXPECT_THROW((void)sched::FanoutPolicy::parse("half"), std::invalid_argument);
+}
+
+TEST(Fanout, ErrorsListEveryValidMode) {
+  for (const char* bad : {"cached:0", "cached:abc", "probe:x", "banana"}) {
+    try {
+      (void)sched::FanoutPolicy::parse(bad);
+      FAIL() << "expected std::invalid_argument for '" << bad << "'";
+    } catch (const std::invalid_argument& error) {
+      const std::string what = error.what();
+      EXPECT_NE(what.find("'full'"), std::string::npos) << bad;
+      EXPECT_NE(what.find("'probe:K'"), std::string::npos) << bad;
+      EXPECT_NE(what.find("'cached:K'"), std::string::npos) << bad;
+    }
+  }
 }
 
 // --- BidSet ---------------------------------------------------------------
@@ -444,10 +581,13 @@ TEST(Factory, UnknownKeysListTheValidOnes) {
   } catch (const std::invalid_argument& error) {
     const std::string what = error.what();
     EXPECT_NE(what.find("unknown key 'widnow'"), std::string::npos);
-    EXPECT_NE(what.find("fanout, window, serialize, learn, alpha"), std::string::npos);
+    EXPECT_NE(what.find("fanout, window, serialize, learn, alpha, slack"), std::string::npos);
   }
   EXPECT_THROW((void)sched::make_scheduler("matchmaking:x=1"), std::invalid_argument);
   EXPECT_THROW((void)sched::make_scheduler("bidding:fanout=probe:0"), std::invalid_argument);
+  EXPECT_THROW((void)sched::make_scheduler("bidding:fanout=cached:0"), std::invalid_argument);
+  EXPECT_THROW((void)sched::make_scheduler("bidding:fanout=cached:abc"), std::invalid_argument);
+  EXPECT_THROW((void)sched::make_scheduler("bidding:slack=fast"), std::invalid_argument);
   EXPECT_THROW((void)sched::make_scheduler("bidding:window"), std::invalid_argument);
   EXPECT_THROW((void)sched::make_scheduler("nonesuch"), std::invalid_argument);
 }
@@ -457,6 +597,17 @@ TEST(Factory, CheckSchedulerSpecReportsWithoutThrowing) {
   EXPECT_NE(sched::check_scheduler_spec("bidding:fanout=probe:400", 50), "");
   EXPECT_NE(sched::check_scheduler_spec("bidding:bogus=1", 5), "");
   EXPECT_NE(sched::check_scheduler_spec("nonesuch", 5), "");
+  EXPECT_EQ(sched::check_scheduler_spec("bidding:fanout=cached:4", 50), "");
+  EXPECT_EQ(sched::check_scheduler_spec("bidding:fanout=cached:50", 50), "");
+  const std::string too_big = sched::check_scheduler_spec("bidding:fanout=cached:51", 50);
+  EXPECT_NE(too_big.find("cached fan-out k=51"), std::string::npos);
+  EXPECT_NE(too_big.find("exceeds the fleet"), std::string::npos);
+  // Malformed cached specs report the full mode list without throwing.
+  const std::string bad_k = sched::check_scheduler_spec("bidding:fanout=cached:0", 50);
+  EXPECT_NE(bad_k.find("'full'"), std::string::npos);
+  EXPECT_NE(bad_k.find("'probe:K'"), std::string::npos);
+  EXPECT_NE(bad_k.find("'cached:K'"), std::string::npos);
+  EXPECT_NE(sched::check_scheduler_spec("bidding:fanout=cached:abc", 50), "");
 }
 
 }  // namespace
