@@ -7,6 +7,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "core/engine.hpp"
 #include "msg/broker.hpp"
@@ -216,6 +217,31 @@ void BM_FullSimulation(benchmark::State& state) {
   state.SetLabel(bidding ? "bidding/120jobs" : "baseline/120jobs");
 }
 BENCHMARK(BM_FullSimulation)->Arg(1)->Arg(0);
+
+void BM_EngineTelemetry(benchmark::State& state) {
+  // The same bidding cell as BM_FullSimulation, with telemetry off (arg 0)
+  // or sampling every `arg` simulated seconds — the sweep bounds the cost
+  // of the gauge-sampling slice points plus the watchdog checks, at the
+  // default cadence (kTelemetryDefaultIntervalS = 30s, budgeted at <= 3%
+  // overhead on this cell) and under a 30x-denser stress cadence (1s).
+  const auto cadence_s = static_cast<double>(state.range(0));
+  const auto workload = workload::generate_workload(
+      workload::make_workload_spec(workload::JobConfig::k80Large), SeedSequencer(42));
+  for (auto _ : state) {
+    core::EngineConfig config;
+    config.seed = 42;
+    if (cadence_s > 0) config.telemetry.interval = ticks_from_seconds(cadence_s);
+    core::Engine engine(cluster::make_fleet(cluster::FleetPreset::kFastSlow),
+                        sched::make_scheduler("bidding"), config);
+    const auto report = engine.run(workload.jobs);
+    benchmark::DoNotOptimize(report.exec_time_s);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(workload.jobs.size()));
+  state.SetLabel(cadence_s > 0 ? "telemetry@" + std::to_string(state.range(0)) + "s"
+                               : "telemetry-off");
+}
+BENCHMARK(BM_EngineTelemetry)->Arg(0)->Arg(30)->Arg(1);
 
 }  // namespace
 

@@ -22,9 +22,14 @@ fi
 RAW="$(mktemp)"
 trap 'rm -f "${RAW}"' EXIT
 
+# Random interleaving shuffles repetition blocks across benchmarks, so a
+# noisy window on a virtualised host degrades every arm evenly instead of
+# whichever one it happened to land on — the overhead *ratios* (tracing,
+# telemetry) are meaningless without it.
 "${BENCH_BIN}" \
-  --benchmark_filter='BM_Event|BM_ActionCapture' \
+  --benchmark_filter='BM_Event|BM_ActionCapture|BM_EngineTelemetry' \
   --benchmark_repetitions="${REPS}" \
+  --benchmark_enable_random_interleaving=true \
   --benchmark_format=json >"${RAW}"
 
 python3 - "${RAW}" "${OUT}" <<'PY'
@@ -35,6 +40,18 @@ import sys
 raw_path, out_path = sys.argv[1], sys.argv[2]
 with open(raw_path) as f:
     raw = json.load(f)
+
+# The checked-in output may carry a hand-measured pre-rewrite baseline
+# ("seed_benchmarks", its "note", and the back-to-back "speedup_vs_seed"
+# ratios). Those are historical provenance — preserve them verbatim;
+# recomputing the ratios against a run from another day would compare
+# across machine-load conditions.
+previous = {}
+try:
+    with open(out_path) as f:
+        previous = json.load(f)
+except (OSError, ValueError):
+    pass
 
 samples = {}
 for b in raw.get("benchmarks", []):
@@ -63,6 +80,7 @@ report = {
     "repetitions": None,
     "benchmarks": {},
     "tracing": None,
+    "telemetry": None,
 }
 for name, rows in samples.items():
     ns = [r["per_event_ns"] for r in rows]
@@ -89,6 +107,29 @@ if untraced and traced and untraced["per_event_ns_best"]:
         / untraced["per_event_ns_best"],
     }
 
+# The BM_EngineTelemetry trio measures in-run gauge sampling end to end on a
+# whole simulation: /0 = telemetry off (the default), /30 = the default 30s
+# cadence with the watchdog on (budgeted at <= 3% overhead on this cell),
+# /1 = a 30x-denser 1s stress cadence. Off must be a no-op (the run loop is
+# byte-identical).
+tel_off = report["benchmarks"].get("BM_EngineTelemetry/0")
+tel_default = report["benchmarks"].get("BM_EngineTelemetry/30")
+tel_stress = report["benchmarks"].get("BM_EngineTelemetry/1")
+if tel_off and tel_default and tel_stress and tel_off["per_event_ns_best"]:
+    report["telemetry"] = {
+        "disabled_per_job_ns_best": tel_off["per_event_ns_best"],
+        "default_30s_per_job_ns_best": tel_default["per_event_ns_best"],
+        "default_30s_over_disabled": tel_default["per_event_ns_best"]
+        / tel_off["per_event_ns_best"],
+        "stress_1s_per_job_ns_best": tel_stress["per_event_ns_best"],
+        "stress_1s_over_disabled": tel_stress["per_event_ns_best"]
+        / tel_off["per_event_ns_best"],
+    }
+
+for key in ("note", "seed_benchmarks", "speedup_vs_seed"):
+    if previous.get(key) is not None:
+        report[key] = previous[key]
+
 with open(out_path, "w") as f:
     json.dump(report, f, indent=2, sort_keys=True)
     f.write("\n")
@@ -108,6 +149,13 @@ if report["tracing"]:
         f"tracing overhead: {t['disabled_per_event_ns_best']:.1f} -> "
         f"{t['enabled_per_event_ns_best']:.1f} ns/ev "
         f"({t['enabled_over_disabled']:.2f}x when recording)"
+    )
+if report["telemetry"]:
+    t = report["telemetry"]
+    print(
+        f"telemetry overhead: {t['disabled_per_job_ns_best']:.1f} ns/job off, "
+        f"{t['default_30s_over_disabled']:.3f}x at the default 30s cadence, "
+        f"{t['stress_1s_over_disabled']:.2f}x at the 1s stress cadence"
     )
 PY
 

@@ -21,12 +21,14 @@ done
 # because the lifecycle slab-parks retries and cancels in-flight lease
 # events, another lifetime-heavy path. test_scale covers the broker's
 # subscriber slab and in-flight message slab (generation-tagged slots,
-# handler re-entry, coalesced batches). The asan preset bundles
-# address+undefined; the ubsan preset runs undefined alone (no shadow
-# memory), which changes layout enough to surface different misuses.
+# handler re-entry, coalesced batches). test_telemetry rides along because
+# samplers hold raw pointers into the probe registry and the watchdog path
+# dumps mid-run state. The asan preset bundles address+undefined; the ubsan
+# preset runs undefined alone (no shadow memory), which changes layout
+# enough to surface different misuses.
 SAN_TESTS=(test_simulator test_sim_alloc test_stress
            test_flow test_flow_properties test_flow_alloc test_obs test_fault
-           test_scale test_shard)
+           test_scale test_shard test_telemetry)
 export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
 export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
 for PRESET in asan ubsan; do
@@ -42,8 +44,9 @@ done
 # that can vouch for the window-barrier protocol (shard sims run in parallel,
 # cross-shard traffic parks in per-shard outboxes drained at barriers).
 # test_thread_pool exercises the pool itself, test_shard the full engine,
-# test_scale the fan-out policies (the cached goldens run under --shards 4).
-TSAN_TESTS=(test_thread_pool test_shard test_scale)
+# test_scale the fan-out policies (the cached goldens run under --shards 4),
+# test_telemetry the per-shard samplers confirmed at window barriers.
+TSAN_TESTS=(test_thread_pool test_shard test_scale test_telemetry)
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 echo "==== sanitizer pass (tsan)"
 cmake --preset tsan

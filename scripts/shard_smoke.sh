@@ -29,7 +29,8 @@ fi
 
 for shards in 1 2 4; do
   "${RUN}" --scenario "${SCENARIO}" --shards "${shards}" \
-    --csv "${TMP}/s${shards}.csv" >/dev/null
+    --csv "${TMP}/s${shards}.csv" \
+    --telemetry-interval 5 --telemetry-csv "${TMP}/t${shards}.csv" >/dev/null
 done
 
 compare() {
@@ -67,6 +68,18 @@ for shards in 2 4; do
     echo "shard smoke: ${shards}-shard run matches 1-shard"
   else
     echo "shard smoke: ${shards}-shard run DIVERGES from 1-shard" >&2
+    exit 1
+  fi
+done
+
+# Telemetry series sampled on the same flat runs must also be shard-count
+# independent: identical tick grid and per-worker series, cross-shard sums
+# within the same 1e-9 relative tolerance (fp summation order differs).
+for shards in 2 4; do
+  if compare "${TMP}/t1.csv" "${TMP}/t${shards}.csv"; then
+    echo "shard smoke: ${shards}-shard telemetry series match 1-shard"
+  else
+    echo "shard smoke: ${shards}-shard telemetry series DIVERGE from 1-shard" >&2
     exit 1
   fi
 done

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <unordered_set>
 
 #include "obs/trace.hpp"
 #include "util/log.hpp"
@@ -66,21 +65,39 @@ double WorkerNode::backlog_cost_s() const {
   double total = 0.0;
   // Simulate the FIFO queue in order, tracking which resources will have
   // become local by the time each queued job runs: the first queued job
-  // for an absent resource pays the transfer; later ones do not.
-  std::unordered_set<storage::ResourceId> assumed_local;
+  // for an absent resource pays the transfer; later ones do not. The
+  // assumed-local set is a reused scratch vector with linear membership
+  // scans: these sets hold a handful of distinct resources, and this query
+  // sits on both the bidding hot path and the telemetry gauges, where a
+  // hash set rebuilt on every call dominated the cost.
+  std::vector<storage::ResourceId>& assumed_local = backlog_scratch_;
+  assumed_local.clear();
+  const auto assumed = [&assumed_local](storage::ResourceId r) {
+    return std::find(assumed_local.begin(), assumed_local.end(), r) != assumed_local.end();
+  };
   for (const auto& slot : slots_) {
     if (slot == nullptr) continue;
     const Tick remaining = slot->est_finish - sim_.now();
     if (remaining > 0) total += seconds_from_ticks(remaining);
-    if (slot->job.needs_resource()) assumed_local.insert(slot->job.resource);
-  }
-  for (const workflow::Job& job : queue_) {
-    if (job.needs_resource() && !cache_.contains(job.resource) &&
-        assumed_local.find(job.resource) == assumed_local.end()) {
-      total += job.resource_size_mb / std::max(net_est_.estimate(), 1e-9);
+    if (slot->job.needs_resource() && !assumed(slot->job.resource)) {
+      assumed_local.push_back(slot->job.resource);
     }
-    if (job.needs_resource()) assumed_local.insert(job.resource);
-    total += estimate_processing_s(job);
+  }
+  // Speeds are frozen for the duration of the walk (estimators only move on
+  // completions), so hoisting them out of the loop is value-identical to
+  // calling estimate_transfer_s / estimate_processing_s per job.
+  const double net_speed = std::max(net_est_.estimate(), 1e-9);
+  const double rw_speed = std::max(rw_est_.estimate(), 1e-9);
+  for (const QueuedCost& job : queue_costs_) {
+    if (job.resource != 0) {
+      if (!assumed(job.resource)) {
+        if (!cache_.contains(job.resource)) {
+          total += job.resource_size_mb / net_speed;
+        }
+        assumed_local.push_back(job.resource);
+      }
+    }
+    total += job.process_mb / rw_speed + seconds_from_ticks(job.fixed_cost);
   }
   return total;
 }
@@ -107,6 +124,8 @@ void WorkerNode::enqueue(const workflow::Job& job) {
     return;
   }
   queue_.push_back(job);
+  queue_costs_.push_back(
+      QueuedCost{job.resource, job.resource_size_mb, job.process_mb, job.fixed_cost});
   if (job.needs_resource()) ++pending_resources_[job.resource];
   fill_slots();
 }
@@ -141,6 +160,7 @@ std::vector<workflow::Job> WorkerNode::set_failed(bool failed) {
     // legacy paths ignore the return value and keep the paper's semantics.
     for (workflow::Job& job : queue_) lost.push_back(std::move(job));
     queue_.clear();
+    queue_costs_.clear();
     pending_resources_.clear();
   }
   return lost;
@@ -162,6 +182,7 @@ void WorkerNode::fill_slots() {
     if (slots_[index] != nullptr) continue;
     workflow::Job job = queue_.front();
     queue_.pop_front();
+    queue_costs_.pop_front();
 
     auto slot = std::make_unique<ExecSlot>();
     slot->job = std::move(job);

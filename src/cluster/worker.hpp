@@ -114,6 +114,9 @@ class WorkerNode {
   [[nodiscard]] bool has_job(workflow::JobId id) const noexcept;
 
   [[nodiscard]] bool failed() const noexcept { return failed_; }
+  /// Current tick of the simulator this worker runs on. Telemetry keys its
+  /// per-sample backlog memo on this.
+  [[nodiscard]] Tick now() const noexcept { return sim_.now(); }
   [[nodiscard]] bool busy() const noexcept { return busy_slots() > 0; }
   [[nodiscard]] bool idle() const noexcept { return !busy() && queue_.empty(); }
   /// Occupied execution slots (0..config().slots).
@@ -169,12 +172,26 @@ class WorkerNode {
   RandomStream bid_rng_;   ///< bid-delay / straggle draws
 
   std::deque<workflow::Job> queue_;
+  /// The four Job fields backlog_cost_s reads, mirrored densely and kept in
+  /// lockstep with queue_: the estimate walks ~32 bytes per queued job
+  /// instead of dragging each Job's correlation-key string through the
+  /// cache (the walk sits on the bidding and telemetry hot paths).
+  struct QueuedCost {
+    storage::ResourceId resource = 0;
+    MegaBytes resource_size_mb = 0.0;
+    MegaBytes process_mb = 0.0;
+    Tick fixed_cost = 0;
+  };
+  std::deque<QueuedCost> queue_costs_;
   /// Execution lanes; null = free. Size == config().slots.
   std::vector<std::unique_ptr<ExecSlot>> slots_;
   /// Resources of unfinished (in-flight + queued) jobs, with multiplicity.
   std::unordered_map<storage::ResourceId, std::uint32_t> pending_resources_;
   net::FlowNetwork* flows_ = nullptr;
   bool failed_ = false;
+  /// Reused assumed-local scratch for backlog_cost_s (avoids a heap
+  /// allocation per estimate on the bidding / telemetry hot paths).
+  mutable std::vector<storage::ResourceId> backlog_scratch_;
 
   /// Interns the worker's span names on first traced use.
   void ensure_trace_names();

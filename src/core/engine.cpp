@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <any>
+#include <iostream>
 #include <limits>
 #include <stdexcept>
 #include <string>
@@ -213,7 +214,19 @@ Engine::Engine(const std::vector<cluster::WorkerConfig>& fleet,
     };
   }
   ctx.fault_aware = faults_on || config_.lifecycle.enabled;
+  if (telemetry_on()) {
+    ctx.probes = &probes_;
+    if (sharded()) {
+      // Telemetry shard tags: sampler index in the engine's simulator array
+      // (0 = control shard, worker shard s = s + 1).
+      ctx.worker_shards.reserve(workers_.size());
+      for (const std::uint32_t shard : worker_shard_) {
+        ctx.worker_shards.push_back(shard + 1);
+      }
+    }
+  }
   scheduler_->attach(ctx);
+  if (telemetry_on()) register_probes();
 
   if (sharded()) {
     // Conservative lookahead: any cross-shard message spends at least the
@@ -434,6 +447,218 @@ void Engine::apply_timed_fault(const TimedFault& fault) {
   }
 }
 
+namespace {
+
+/// Per-worker backlog series are emitted only for small fleets; larger
+/// fleets keep the cluster-wide aggregates so a 10k-worker run does not
+/// carry 10k telemetry columns.
+constexpr std::size_t kPerWorkerSeriesMax = 16;
+
+}  // namespace
+
+void Engine::register_probes() {
+  // Shard tags follow the sampler layout: 0 = the control shard (master,
+  // scheduler, lifecycle, broker bookkeeping), worker shard s tags as s + 1.
+  // Single-shard runs put everything on 0. Every callback is a pure read.
+  probes_.add_gauge("master.pending_jobs", 0, [this] {
+    return static_cast<double>(scheduler_->pending_jobs());
+  });
+  probes_.add_gauge("master.live_jobs", 0,
+                    [this] { return static_cast<double>(live_jobs_.size()); });
+  probes_.add_gauge("master.completed_jobs", 0,
+                    [this] { return static_cast<double>(completed_); });
+
+  const bool per_worker = workers_.size() <= kPerWorkerSeriesMax;
+  backlog_memos_.assign(workers_.size(), BacklogMemo{});
+  // Fleet aggregates: one gauge per (series, shard) walks its shard's worker
+  // group, so registration cost and the per-sample call count stay O(shards)
+  // instead of O(workers). Summation runs in ascending worker order within a
+  // group — the same order per-worker gauges would have summed in — and
+  // per-shard partial sums merge into one cluster-wide series.
+  worker_groups_.assign(sharded() ? shards_.size() : 1, {});
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    worker_groups_[sharded() ? worker_shard_[i] : 0].push_back(i);
+  }
+  for (std::size_t g = 0; g < worker_groups_.size(); ++g) {
+    const std::uint32_t shard = sharded() ? static_cast<std::uint32_t>(g) + 1 : 0u;
+    const std::vector<std::size_t>* group = &worker_groups_[g];
+    // The backlog estimate is the one non-trivial gauge (it replays the FIFO
+    // queue), and each worker's value can feed two series at the same tick —
+    // memoize it per sampled tick so each sample walks each queue once.
+    probes_.add_gauge("worker.backlog_s", shard, [this, group] {
+      double total = 0.0;
+      for (const std::size_t i : *group) {
+        cluster::WorkerNode* node = workers_[i].get();
+        BacklogMemo& memo = backlog_memos_[i];
+        const Tick now = node->now();
+        if (memo.at != now) memo = {now, node->backlog_cost_s()};
+        total += memo.value;
+      }
+      return total;
+    });
+    probes_.add_gauge("worker.queued", shard, [this, group] {
+      double total = 0.0;
+      for (const std::size_t i : *group) {
+        total += static_cast<double>(workers_[i]->queue_length());
+      }
+      return total;
+    });
+    probes_.add_gauge("worker.busy", shard, [this, group] {
+      double total = 0.0;
+      for (const std::size_t i : *group) {
+        total += static_cast<double>(workers_[i]->busy_slots());
+      }
+      return total;
+    });
+  }
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    cluster::WorkerNode* node = workers_[i].get();
+    const std::uint32_t shard = sharded() ? worker_shard_[i] + 1 : 0u;
+    if (per_worker) {
+      // Two raw pointers keep the closure inside std::function's inline
+      // buffer; the memo shares the walk with the aggregate series above.
+      BacklogMemo* memo = &backlog_memos_[i];
+      probes_.add_gauge("worker." + std::to_string(i) + ".backlog_s", shard,
+                        [node, memo] {
+                          const Tick now = node->now();
+                          if (memo->at != now) *memo = {now, node->backlog_cost_s()};
+                          return memo->value;
+                        });
+    }
+    if (node->cache().config().policy != storage::EvictionPolicy::kUnbounded) {
+      probes_.add_invariant("cache.capacity", shard, [node, i]() -> std::string {
+        const double used = node->cache().used_mb();
+        const double cap = node->cache().config().capacity_mb;
+        if (used <= cap + 1e-9) return {};
+        return "worker " + std::to_string(i) + " cache holds " + std::to_string(used) +
+               " MB > capacity " + std::to_string(cap) + " MB";
+      });
+    }
+  }
+
+  // In-flight broker messages: each broker shard counts its own delivery
+  // slab plus the cross-shard parcels it parked at the source, so every
+  // logical message is counted exactly once and the per-shard contributions
+  // sum to the cluster-wide in-flight count.
+  const std::size_t broker_shards = sharded() ? shards_.size() + 1 : 1;
+  for (std::size_t s = 0; s < broker_shards; ++s) {
+    probes_.add_gauge("broker.in_flight", static_cast<std::uint32_t>(s), [this, s] {
+      return static_cast<double>(broker_->in_flight_on(s));
+    });
+  }
+
+  if (config_.shared_bandwidth) {
+    auto add_flow_gauges = [this](net::FlowNetwork* flows, std::uint32_t shard) {
+      probes_.add_gauge("flow.active", shard,
+                        [flows] { return static_cast<double>(flows->active_flows()); });
+      probes_.add_gauge("flow.allocated_mbps", shard,
+                        [flows] { return flows->allocated_mbps(); });
+    };
+    if (sharded()) {
+      for (std::size_t s = 0; s < shards_.size(); ++s) {
+        add_flow_gauges(shards_[s]->flows.get(), static_cast<std::uint32_t>(s + 1));
+      }
+    } else {
+      add_flow_gauges(flow_network_.get(), 0);
+    }
+  }
+
+  if (lifecycle_) {
+    probes_.add_gauge("lifecycle.outstanding_leases", 0, [this] {
+      return static_cast<double>(lifecycle_->outstanding_leases());
+    });
+  }
+
+  // Job conservation: every submission is completed, intentionally voided by
+  // the lifecycle, reassigned after a crash, or still live. All mutations of
+  // these counters happen atomically within control-shard handlers, so the
+  // identity holds at every tick, not just at quiescence.
+  probes_.add_invariant("jobs.conservation", 0, [this]() -> std::string {
+    const std::uint64_t voided = lifecycle_ ? lifecycle_->stats().attempts_voided : 0;
+    const std::uint64_t accounted = completed_ + voided + reassigned_ + live_jobs_.size();
+    if (submitted_ == accounted) return {};
+    return "submitted=" + std::to_string(submitted_) +
+           " != completed=" + std::to_string(completed_) +
+           " + voided=" + std::to_string(voided) +
+           " + reassigned=" + std::to_string(reassigned_) +
+           " + live=" + std::to_string(live_jobs_.size());
+  });
+
+  // Broker conservation: every copy put in flight was delivered, dropped,
+  // missed a retired subscription, or is still parked. Needs every shard's
+  // counters at once, so sharded runs check it engine-side at the window
+  // barriers (run_windows) instead of as a sampled invariant.
+  if (!sharded()) {
+    probes_.add_invariant("broker.conservation", 0, [this]() -> std::string {
+      const msg::BrokerStats& stats = broker_->stats();
+      const std::uint64_t in_flight = broker_->in_flight_total();
+      if (stats.enqueued == stats.delivered + stats.dropped + stats.missed + in_flight) {
+        return {};
+      }
+      return "enqueued=" + std::to_string(stats.enqueued) +
+             " != delivered=" + std::to_string(stats.delivered) +
+             " + dropped=" + std::to_string(stats.dropped) +
+             " + missed=" + std::to_string(stats.missed) +
+             " + in_flight=" + std::to_string(in_flight);
+    });
+  }
+}
+
+void Engine::check_watchdog() {
+  if (!config_.telemetry.watchdog) return;
+  for (obs::TelemetrySampler& sampler : samplers_) {
+    if (!sampler.violation()) continue;
+    const obs::InvariantViolation& v = *sampler.violation();
+    std::cerr << "telemetry watchdog: invariant '" << v.probe << "' violated at t="
+              << seconds_from_ticks(v.tick) << "s: " << v.message << "\n";
+    sampler.dump_tail(std::cerr);
+    throw std::runtime_error("telemetry watchdog: invariant '" + v.probe +
+                             "' violated at tick " + std::to_string(v.tick) + ": " +
+                             v.message);
+  }
+}
+
+void Engine::run_sampled() {
+  // Slices sim_.run(horizon) at the sampling grid. Simulator::run advances
+  // the clock to its target even when no event fires there, so the slicing
+  // preserves the exact event order and count — bit-identical to the
+  // unsliced run. A grid tick is sampled iff a further event (<= horizon)
+  // remains, which yields exactly the canonical tick set of telemetry.hpp.
+  obs::TelemetrySampler& sampler = samplers_.front();
+  const Tick horizon = config_.horizon;
+  Tick next_sample = config_.telemetry.interval;
+  while (next_sample <= horizon) {
+    const Tick next_event = sim_.next_event_at();
+    if (next_event == kNeverTick || next_event > horizon) break;
+    sim_.run(next_sample);
+    sampler.sample_confirmed(next_sample);  // single-shard ticks are canonical
+    check_watchdog();
+    next_sample += config_.telemetry.interval;
+  }
+  sim_.run(horizon);
+}
+
+void Engine::finish_telemetry() {
+  const Tick interval = config_.telemetry.interval;
+  // Canonical end of the series: ceil_grid of the last run progress, capped
+  // at floor_grid(horizon). Barrier-applied timed faults count as progress —
+  // the single-shard engine executes faults as ordinary events, so its
+  // last_fired_at() covers them already.
+  Tick last = sim_.last_fired_at();
+  for (const auto& shard : shards_) last = std::max(last, shard->sim.last_fired_at());
+  last = std::max(last, last_timed_fault_);
+  Tick target = (last + interval - 1) / interval * interval;
+  if (config_.horizon != kNeverTick) {
+    target = std::min(target, config_.horizon / interval * interval);
+  }
+  for (obs::TelemetrySampler& sampler : samplers_) sampler.finalize(target);
+  check_watchdog();  // finalize may have sampled fresh (quiescent) ticks
+  std::vector<const obs::TelemetrySampler*> sources;
+  sources.reserve(samplers_.size());
+  for (const obs::TelemetrySampler& sampler : samplers_) sources.push_back(&sampler);
+  telemetry_ = obs::merge_samplers(sources);
+}
+
 void Engine::run_windows() {
   // Stable: simultaneous faults apply in schedule order (injector parity).
   std::stable_sort(fault_timeline_.begin(), fault_timeline_.end(),
@@ -466,6 +691,31 @@ void Engine::run_windows() {
     const Tick next = std::min(next_event, fault_at);
     if (next == kNeverTick || next > horizon) break;
 
+    if (!samplers_.empty()) {
+      // The run continues past `next`, so every pending sample — all taken
+      // at ticks <= the previous window end < next — precedes further
+      // progress and is canonical: commit it into retention, then fail fast
+      // on any violation a window recorded.
+      for (obs::TelemetrySampler& sampler : samplers_) sampler.confirm_through(next);
+      check_watchdog();
+      if (config_.telemetry.watchdog) {
+        // Cross-shard broker conservation needs every shard's counters at
+        // once, so it runs here — no shard thread active — instead of as a
+        // sampled per-shard invariant.
+        const msg::BrokerStats& stats = broker_->stats();
+        const std::uint64_t in_flight = broker_->in_flight_total();
+        if (stats.enqueued != stats.delivered + stats.dropped + stats.missed + in_flight) {
+          throw std::runtime_error(
+              "telemetry watchdog: invariant 'broker.conservation' violated at tick " +
+              std::to_string(next) + ": enqueued=" + std::to_string(stats.enqueued) +
+              " != delivered=" + std::to_string(stats.delivered) +
+              " + dropped=" + std::to_string(stats.dropped) +
+              " + missed=" + std::to_string(stats.missed) +
+              " + in_flight=" + std::to_string(in_flight));
+        }
+      }
+    }
+
     // Window end: anything the earliest event can cause on another shard
     // lands at >= next_event + lookahead, so every shard may safely run
     // through next_event + lookahead - 1. Faults clamp the window — they
@@ -476,19 +726,35 @@ void Engine::run_windows() {
     }
     end = std::min(end, fault_at);
 
+    // One shard's slice of the window, sliced at the telemetry grid: run to
+    // each due tick, read that shard's gauges exactly there, continue.
+    // Telemetry off => samplers_ is empty and this is just sims[i]->run(end).
+    // Samples stay pending until the next barrier confirms them (a window
+    // can overrun the run's final event by the lookahead; see telemetry.hpp).
+    auto run_shard = [this, &sims, end](std::size_t i) {
+      if (!samplers_.empty()) {
+        obs::TelemetrySampler& sampler = samplers_[i];
+        for (Tick due = sampler.next_due(); due <= end; due = sampler.next_due()) {
+          sims[i]->run(due);
+          sampler.sample(due);
+        }
+      }
+      sims[i]->run(end);
+    };
+
     // Waking the pool costs more than an empty run: windows where at most
     // one simulator has events due (sparse phases, drain tails) run inline.
     std::size_t busy = 0;
     for (sim::Simulator* sim : sims) busy += sim->next_event_at() <= end ? 1u : 0u;
     if (busy <= 1) {
-      for (sim::Simulator* sim : sims) sim->run(end);
+      for (std::size_t i = 0; i < sims.size(); ++i) run_shard(i);
     } else {
-      pool.parallel_for(sims.size(),
-                        [&sims, end](std::size_t i) { sims[i]->run(end); });
+      pool.parallel_for(sims.size(), run_shard);
     }
 
     while (next_fault < fault_timeline_.size() && fault_timeline_[next_fault].at <= end) {
       apply_timed_fault(fault_timeline_[next_fault]);
+      last_timed_fault_ = std::max(last_timed_fault_, fault_timeline_[next_fault].at);
       ++next_fault;
     }
   }
@@ -518,8 +784,21 @@ metrics::RunReport Engine::run(std::span<const workflow::Job> jobs) {
     sim_.schedule_at(arrivals_[i].created_at, arrive);
   }
 
+  // Bind the telemetry samplers last: tests may have registered extra
+  // probes through probes() between construction and run().
+  if (telemetry_on()) {
+    samplers_.resize(sharded() ? shards_.size() + 1 : 1);
+    for (std::size_t s = 0; s < samplers_.size(); ++s) {
+      samplers_[s].bind(probes_, static_cast<std::uint32_t>(s), config_.telemetry);
+    }
+  }
+
   if (!sharded()) {
-    sim_.run(config_.horizon);
+    if (telemetry_on()) {
+      run_sampled();
+    } else {
+      sim_.run(config_.horizon);
+    }
   } else {
     // Traced sharded runs: give each shard its own trace buffer (appending
     // to the master tracer from shard threads would race), merged into one
@@ -543,6 +822,8 @@ metrics::RunReport Engine::run(std::span<const workflow::Job> jobs) {
       for (auto& shard : shards_) shard->sim.set_tracer(nullptr);
     }
   }
+
+  if (telemetry_on()) finish_telemetry();
 
   // Attempts the master never acked split into intentionally voided ones
   // (the lifecycle already retried or dead-lettered them) and genuinely

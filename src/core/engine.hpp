@@ -21,6 +21,7 @@
 #include "msg/broker.hpp"
 #include "net/flow.hpp"
 #include "net/network.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/simulator.hpp"
@@ -81,6 +82,14 @@ struct EngineConfig {
   /// Safety horizon: the run aborts (with whatever completed) after this
   /// much simulated time. Generous default: one simulated week.
   Tick horizon = ticks_from_seconds(7.0 * 24.0 * 3600.0);
+
+  /// In-run telemetry (gauge sampling + invariant watchdog). interval == 0
+  /// (the default) disables the subsystem completely: no probes, no sampler,
+  /// the historical run loop, bit-identical output. With a nonzero interval
+  /// the engine samples read-only gauges at that simulated-tick cadence —
+  /// still bit-identical to the same run with telemetry off, because
+  /// sampling fires no events and draws no RNG.
+  obs::TelemetryConfig telemetry;
 
   /// Sharded execution: partition the fleet across this many worker shards,
   /// each with its own event queue, flow network and metrics buffers, run on
@@ -155,6 +164,16 @@ class Engine {
   /// Conservative window lookahead in ticks (0 in single-shard runs).
   [[nodiscard]] Tick lookahead() const noexcept { return lookahead_; }
 
+  /// Telemetry probe registry. Tests may register extra gauges/invariants
+  /// between construction and run(); empty when telemetry is off.
+  [[nodiscard]] obs::ProbeRegistry& probes() noexcept { return probes_; }
+
+  /// Merged telemetry series, populated by run() when telemetry is on
+  /// (nullopt otherwise, and before run()).
+  [[nodiscard]] const std::optional<obs::TelemetryTable>& telemetry() const noexcept {
+    return telemetry_;
+  }
+
  private:
   /// One worker shard: its own event queue, metrics buffers, flow network
   /// and (traced runs) trace buffer. Workers w with w % N == shard index
@@ -201,6 +220,25 @@ class Engine {
   /// Interns the engine's span names on first traced use.
   void ensure_trace_names();
 
+  [[nodiscard]] bool telemetry_on() const noexcept { return config_.telemetry.interval > 0; }
+
+  /// Registers the engine-owned gauges and invariants (called after the
+  /// scheduler attached, so scheduler probes come first in no particular
+  /// order — series are sorted by name at merge time anyway).
+  void register_probes();
+
+  /// Throws std::runtime_error for the first watchdog violation across the
+  /// samplers, after dumping the offending sampler's series tail to stderr.
+  void check_watchdog();
+
+  /// Single-shard run loop with telemetry: slices sim_.run(horizon) at the
+  /// sampling grid. Produces exactly the canonical tick set.
+  void run_sampled();
+
+  /// Finalizes every sampler to the canonical end tick and merges them into
+  /// telemetry_.
+  void finish_telemetry();
+
   EngineConfig config_;
   SeedSequencer seeds_;
   sim::Simulator sim_;
@@ -234,7 +272,29 @@ class Engine {
   std::vector<std::uint32_t> worker_shard_;  ///< WorkerIndex -> shards_ index
   Tick lookahead_ = 0;
   std::vector<TimedFault> fault_timeline_;  ///< sorted by run_windows()
+  /// Latest barrier-applied fault tick: counts as run progress for the
+  /// telemetry end-of-series computation (single-shard runs execute faults
+  /// as ordinary events, so last_fired_at() already covers them there).
+  Tick last_timed_fault_ = 0;
   msg::MailboxId completions_box_ = 0;
+  /// Telemetry state; all empty when config_.telemetry.interval == 0.
+  /// samplers_[0] covers the control shard, samplers_[s + 1] worker shard s
+  /// (single-shard runs have just samplers_[0]).
+  obs::ProbeRegistry probes_;
+  std::vector<obs::TelemetrySampler> samplers_;
+  std::optional<obs::TelemetryTable> telemetry_;
+  /// Per-worker backlog memo shared by the aggregate and per-worker backlog
+  /// gauges: one FIFO-queue replay per worker per sampled tick (sampler-local
+  /// state the simulation never observes; see register_probes). Sized to the
+  /// fleet before any gauge captures a slot, never resized after.
+  struct BacklogMemo {
+    Tick at = kNeverTick;
+    double value = 0.0;
+  };
+  std::vector<BacklogMemo> backlog_memos_;
+  /// Worker indices grouped by telemetry shard tag; the fleet-aggregate
+  /// gauges each walk one group (stable storage the closures point into).
+  std::vector<std::vector<std::size_t>> worker_groups_;
   bool ran_ = false;
   std::uint16_t trace_job_ = 0;      ///< "job": arrival -> completion span
   std::uint16_t trace_crash_ = 0;    ///< "crash" instants (fault component)

@@ -57,6 +57,11 @@ std::vector<metrics::RunReport> run_experiment(const ExperimentSpec& spec) {
     engine_config.lifecycle = spec.lifecycle;
     engine_config.coalesce_deliveries = spec.coalesce_deliveries;
     engine_config.shards = spec.shards;
+    if (spec.telemetry_interval_s > 0.0) {
+      engine_config.telemetry.interval = ticks_from_seconds(spec.telemetry_interval_s);
+      engine_config.telemetry.capacity = spec.telemetry_capacity;
+      engine_config.telemetry.watchdog = spec.telemetry_watchdog;
+    }
 
     std::vector<cluster::WorkerConfig> fleet = build_fleet(spec);
     if (spec.flat_control_plane) {

@@ -25,6 +25,13 @@
 
 namespace dlaja::core {
 
+/// Default telemetry sampling cadence (simulated seconds) used when a run
+/// opts into telemetry without naming an interval. 30 s keeps the measured
+/// overhead on the kernel bench cell under 3% (BENCH_kernel.json,
+/// "telemetry" section) while a multi-hour streaming run still retains
+/// hundreds of samples within the default ring capacity.
+inline constexpr double kTelemetryDefaultIntervalS = 30.0;
+
 /// One structured problem found by ExperimentSpec::validate().
 struct ValidationIssue {
   std::string field;    ///< spec field at fault ("worker_count", "scheduler", ...)
@@ -83,6 +90,16 @@ struct ExperimentSpec {
   /// sharding-capable scheduler and shards <= workers; validate() enforces
   /// both up front.
   std::size_t shards = 1;
+
+  /// In-run telemetry (scenario key "telemetry"): gauge-sampling cadence in
+  /// seconds (0 = off), retained samples per series, and whether the online
+  /// invariant watchdog fails the run on a violation. Sampling is read-only
+  /// and RNG-free, so reports are unchanged by turning it on. Requesting
+  /// telemetry without naming a cadence (an empty "telemetry" object, or
+  /// --telemetry-csv alone) samples at kTelemetryDefaultIntervalS.
+  double telemetry_interval_s = 0.0;
+  std::size_t telemetry_capacity = 4096;
+  bool telemetry_watchdog = true;
 
   /// Zeroes all latency jitter (fleet links and the master link). Combined
   /// with noise "none" the run depends on no per-message random draw, so 1-,

@@ -118,6 +118,16 @@ class JobLifecycle {
 
   [[nodiscard]] const LifecycleConfig& config() const noexcept { return config_; }
 
+  /// Attempts currently holding an armed lease (assigned, not yet terminal).
+  /// O(tracked attempts); intended for telemetry gauges, not hot paths.
+  [[nodiscard]] std::size_t outstanding_leases() const noexcept {
+    std::size_t count = 0;
+    for (const auto& [id, entry] : entries_) {
+      if (entry.lease_armed) ++count;
+    }
+    return count;
+  }
+
   /// Sharded runs: an expired lease must not probe the worker immediately —
   /// worker_holds() reads worker state another shard may be mutating.
   /// With barrier probes on, expiries queue up and the engine flushes them

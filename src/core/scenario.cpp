@@ -14,7 +14,7 @@ namespace {
 constexpr const char* kValidKeys =
     "name, scheduler, workload, jobs, fleet, workers, iterations, carry_cache, "
     "seed, noise, estimation, faults, lifecycle, coalesce_deliveries, shards, "
-    "flat_control_plane";
+    "flat_control_plane, telemetry";
 
 [[noreturn]] void key_error(const std::string& key, const std::string& what) {
   throw std::invalid_argument("scenario: key '" + key + "' " + what);
@@ -64,6 +64,27 @@ LifecycleConfig parse_lifecycle(const json::Value& value) {
   return lifecycle;
 }
 
+/// Parses the nested "telemetry" object into the spec's flat fields.
+void parse_telemetry(const json::Value& value, ExperimentSpec& spec) {
+  if (!value.is_object()) key_error("telemetry", "wants an object");
+  // The key's presence opts in: an empty object (or one that only tweaks
+  // capacity / watchdog) samples at the default cadence. An explicit
+  // interval_s overrides it, and interval_s: 0 turns telemetry back off.
+  spec.telemetry_interval_s = kTelemetryDefaultIntervalS;
+  for (const auto& [key, member] : value.as_object()) {
+    if (key == "interval_s") {
+      spec.telemetry_interval_s = need_number(member, "telemetry.interval_s");
+    } else if (key == "capacity") {
+      spec.telemetry_capacity = static_cast<std::size_t>(need_count(member, "telemetry.capacity"));
+    } else if (key == "watchdog") {
+      spec.telemetry_watchdog = need_bool(member, "telemetry.watchdog");
+    } else {
+      throw std::invalid_argument("scenario: unknown telemetry key '" + key +
+                                  "' (valid: interval_s, capacity, watchdog)");
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<ValidationIssue> ExperimentSpec::validate() const {
@@ -101,6 +122,12 @@ std::vector<ValidationIssue> ExperimentSpec::validate() const {
     issues.push_back({"lifecycle",
                       "max_attempts is 0 under a fault plan: every faulted job would "
                       "dead-letter immediately"});
+  }
+  if (telemetry_interval_s < 0.0) {
+    issues.push_back({"telemetry", "interval_s must be >= 0 (0 disables telemetry)"});
+  }
+  if (telemetry_interval_s > 0.0 && telemetry_capacity < 2) {
+    issues.push_back({"telemetry", "capacity must be >= 2 (ring retention needs room)"});
   }
   if (shards == 0) {
     issues.push_back({"shards", "need at least one shard"});
@@ -162,6 +189,8 @@ ExperimentSpec ExperimentSpec::from_json(const json::Value& doc) {
       spec.shards = static_cast<std::size_t>(need_count(value, key));
     } else if (key == "flat_control_plane") {
       spec.flat_control_plane = need_bool(value, key);
+    } else if (key == "telemetry") {
+      parse_telemetry(value, spec);
     } else {
       throw std::invalid_argument("scenario: unknown key '" + key + "' (valid: " +
                                   std::string(kValidKeys) + ")");
@@ -225,6 +254,16 @@ json::Value ExperimentSpec::to_json() const {
   if (coalesce_deliveries) obj["coalesce_deliveries"] = true;
   if (shards != 1) obj["shards"] = static_cast<std::uint64_t>(shards);
   if (flat_control_plane) obj["flat_control_plane"] = true;
+  if (telemetry_interval_s > 0.0) {
+    json::Object tel;
+    tel["interval_s"] = telemetry_interval_s;
+    const ExperimentSpec defaults;
+    if (telemetry_capacity != defaults.telemetry_capacity) {
+      tel["capacity"] = static_cast<std::uint64_t>(telemetry_capacity);
+    }
+    if (!telemetry_watchdog) tel["watchdog"] = false;
+    obj["telemetry"] = json::Value{std::move(tel)};
+  }
   return json::Value{std::move(obj)};
 }
 

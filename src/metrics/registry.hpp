@@ -45,7 +45,8 @@ class Histogram {
 
   /// Approximate percentile (p in [0,100]): the geometric midpoint of the
   /// bucket holding the target rank, clamped to the observed [min, max].
-  /// Relative bucket error is below 1/kSubBuckets (12.5%).
+  /// Relative bucket error is below 1/kSubBuckets (12.5%). An empty
+  /// histogram reports 0.0 for every p (mirrors min()/max()/mean()).
   [[nodiscard]] double percentile(double p) const noexcept;
 
   /// Folds `other` into this histogram: bucket-wise addition of counts plus

@@ -167,6 +167,24 @@ bool Broker::outboxes_empty() const noexcept {
   return true;
 }
 
+std::size_t Broker::in_flight_on(std::size_t shard) const noexcept {
+  const ShardState& st = shards_[shard];
+  std::size_t count = st.inflight.size() - st.inflight_free.size();
+  if (!outboxes_.empty()) {
+    const std::size_t n = shards_.size();
+    for (std::size_t dst = 0; dst < n; ++dst) {
+      count += outboxes_[shard * n + dst].size();
+    }
+  }
+  return count;
+}
+
+std::size_t Broker::in_flight_total() const noexcept {
+  std::size_t count = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) count += in_flight_on(s);
+  return count;
+}
+
 const BrokerStats& Broker::stats() const noexcept {
   if (shards_.size() == 1) return shards_.front().stats;
   agg_stats_ = BrokerStats{};

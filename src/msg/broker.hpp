@@ -251,6 +251,19 @@ class Broker {
   /// over all shards, refreshed on each call (main thread, barriers only).
   [[nodiscard]] const BrokerStats& stats() const noexcept;
 
+  /// Messages currently in flight that shard `shard` accounts for: occupied
+  /// slots in its delivery slab plus parcels parked in its cross-shard
+  /// outbox rows (sent but not yet drained to the destination shard). Safe
+  /// from the shard's own thread mid-window — both structures are written
+  /// only by that shard between barriers — so the telemetry gauge reads it
+  /// live; summed over all shards (barriers / single-shard) it completes the
+  /// mid-run conservation identity
+  ///   enqueued == delivered + dropped + missed + in_flight.
+  [[nodiscard]] std::size_t in_flight_on(std::size_t shard) const noexcept;
+
+  /// Sum of in_flight_on over all shards. Main thread at barriers only.
+  [[nodiscard]] std::size_t in_flight_total() const noexcept;
+
  private:
   /// One subscriber slot in a topic's slab. `gen` bumps on unsubscribe so
   /// in-flight deliveries that captured {slot, gen} resolve to "gone".

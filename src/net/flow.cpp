@@ -289,4 +289,16 @@ MegaBytes FlowNetwork::remaining_mb(FlowId id) const {
   return std::max(0.0, f.remaining_mb - nodes_[f.node].rate * elapsed_s);
 }
 
+MbPerSec FlowNetwork::allocated_mbps() const noexcept {
+  // Rates are uniform within a node, so the per-node contribution is
+  // rate * count. Iterating active_nodes_ keeps this O(active nodes); its
+  // swap-removal order is deterministic per run, so the float sum is too.
+  double total = 0.0;
+  for (const NodeId node : active_nodes_) {
+    const NodeState& st = nodes_[node];
+    total += st.rate * static_cast<double>(st.count);
+  }
+  return total;
+}
+
 }  // namespace dlaja::net

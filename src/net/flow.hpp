@@ -86,6 +86,11 @@ class FlowNetwork {
   [[nodiscard]] std::size_t active_flows() const noexcept { return total_flows_; }
   [[nodiscard]] MbPerSec origin_capacity() const noexcept { return origin_capacity_; }
 
+  /// Aggregate bandwidth currently allocated across all active flows
+  /// (MB/s), as of the last rate computation. Read-only — telemetry gauges
+  /// sample it between events without perturbing the lazy rate machinery.
+  [[nodiscard]] MbPerSec allocated_mbps() const noexcept;
+
  private:
   static constexpr std::uint32_t kNil = UINT32_MAX;
 

@@ -35,6 +35,13 @@ void BaselineScheduler::attach_extra() {
       [this](const msg::Message& message) {
         master_handle_response(message.payload.as<OfferResponse>());
       });
+
+  if (ctx_.probes != nullptr) {
+    // Offers the master sent and has not heard back about (control shard).
+    ctx_.probes->add_gauge("sched.offers_in_flight", 0, [this] {
+      return static_cast<double>(in_flight_.size());
+    });
+  }
 }
 
 void BaselineScheduler::ensure_trace_names() {

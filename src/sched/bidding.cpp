@@ -105,6 +105,31 @@ void BiddingScheduler::attach(const SchedulerContext& ctx) {
           master_receive_load_report(message.payload.as<LoadReport>());
         });
   }
+
+  if (ctx_.probes != nullptr) {
+    // Master-side contest pressure (control shard).
+    ctx_.probes->add_gauge("sched.contests_open", 0, [this] {
+      return static_cast<double>(contests_.size());
+    });
+    if (config_.fanout.cached()) {
+      // Believed-vs-actual backlog error of the load cache, as a signed sum:
+      // the control shard contributes +sum(cached backlog) and each worker's
+      // own shard contributes -its actual backlog, so the merged series is
+      // (believed - actual) seconds without any cross-shard read.
+      ctx_.probes->add_gauge("cache.load_error_s", 0, [this] {
+        double believed = 0.0;
+        for (std::size_t w = 0; w < cache_.size(); ++w) {
+          believed += cache_.backlog_s(static_cast<WorkerIndex>(w));
+        }
+        return believed;
+      });
+      for (WorkerIndex w = 0; w < ctx_.worker_count(); ++w) {
+        cluster::WorkerNode* worker = ctx_.workers[w];
+        ctx_.probes->add_gauge("cache.load_error_s", ctx_.worker_shard(w),
+                               [worker] { return -worker->backlog_cost_s(); });
+      }
+    }
+  }
 }
 
 void BiddingScheduler::ensure_trace_names() {

@@ -16,6 +16,7 @@
 #include "metrics/collector.hpp"
 #include "msg/broker.hpp"
 #include "net/network.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 #include "workflow/workflow.hpp"
@@ -53,6 +54,22 @@ struct SchedulerContext {
   /// True when fault injection is active: schedulers may arm watchdogs /
   /// timeouts that would otherwise perturb fault-free determinism.
   bool fault_aware = false;
+
+  /// Telemetry probe registry (null when telemetry is off). Schedulers
+  /// register read-only gauges/invariants in attach(); gauges tagged with a
+  /// worker's shard (see worker_shard()) are sampled on that shard's thread
+  /// and must read only that worker's state.
+  obs::ProbeRegistry* probes = nullptr;
+
+  /// Probe shard tag per worker: the index of the worker's simulator in the
+  /// engine's shard array (0 = the master/control shard). Empty in
+  /// single-shard runs — everything lives on shard 0 then.
+  std::vector<std::uint32_t> worker_shards;
+
+  /// The telemetry shard tag gauges over worker `w`'s state must use.
+  [[nodiscard]] std::uint32_t worker_shard(cluster::WorkerIndex w) const {
+    return worker_shards.empty() ? 0u : worker_shards[w];
+  }
 
   /// Sharded runs: per-worker event queue and metrics sink. Worker-side
   /// handlers (which run on the worker's shard thread) must schedule and

@@ -20,6 +20,13 @@ void SparkLikeScheduler::attach(const SchedulerContext& ctx) {
           worker->enqueue(message.payload.as<JobAssignment>().job);
         });
   }
+
+  if (ctx_.probes != nullptr) {
+    // Tasks of the current wave still running (control shard).
+    ctx_.probes->add_gauge("sched.wave_outstanding", 0, [this] {
+      return static_cast<double>(outstanding_);
+    });
+  }
 }
 
 WorkerIndex SparkLikeScheduler::place(const workflow::Job& job) {

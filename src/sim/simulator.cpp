@@ -98,6 +98,7 @@ void Simulator::fire_root() {
   const std::uint32_t slot = heap_[kRoot].slot;
   assert(heap_[kRoot].at >= now_);
   now_ = heap_[kRoot].at;
+  last_fired_ = now_;
   ++fired_;
   if (DLAJA_TRACE_ACTIVE(tracer_)) [[unlikely]] {
     // A zero-duration span per dispatch (callbacks are instantaneous in

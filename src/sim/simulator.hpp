@@ -121,6 +121,12 @@ class Simulator {
   /// Total events fired since construction.
   [[nodiscard]] std::uint64_t fired() const noexcept { return fired_; }
 
+  /// Timestamp of the most recently fired event (0 if none fired yet).
+  /// Unlike now(), this never advances past the last event: run(until)
+  /// moves now() to `until` even when nothing fires there. The telemetry
+  /// layer uses it to place the canonical end of a run's sampling grid.
+  [[nodiscard]] Tick last_fired_at() const noexcept { return last_fired_; }
+
   /// Total schedule_at/schedule_after calls since construction.
   [[nodiscard]] std::uint64_t scheduled() const noexcept { return scheduled_; }
 
@@ -184,6 +190,7 @@ class Simulator {
   void fire_root();
 
   Tick now_ = 0;
+  Tick last_fired_ = 0;
   bool stopped_ = false;
   std::uint32_t next_seq_ = 1;
   std::uint32_t free_head_ = kFreeEnd;

@@ -126,6 +126,18 @@ TEST(Timeline, ConcurrencySeries) {
   EXPECT_EQ(series[6].busy_workers, 0u);  // t=30: done
 }
 
+TEST(Timeline, ConcurrencySeriesDegenerateInputs) {
+  // step == 0 must not divide-by-zero or loop forever, and a zero horizon
+  // has no sampling points; both produce an empty series, and the CSV
+  // export of that series is just the header.
+  const auto collector = make_collector();
+  EXPECT_TRUE(concurrency_series(collector, 2, 30, 0).empty());
+  EXPECT_TRUE(concurrency_series(collector, 2, 0, 5).empty());
+  std::ostringstream out;
+  write_concurrency_csv(out, concurrency_series(collector, 2, 0, 0));
+  EXPECT_EQ(out.str(), "time_s,busy_workers\n");
+}
+
 TEST(Timeline, ConcurrencyCsvExport) {
   const auto collector = make_collector();
   std::ostringstream out;

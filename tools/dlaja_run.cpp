@@ -12,6 +12,7 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 
 #include "core/experiment.hpp"
 #include "metrics/timeline.hpp"
@@ -53,6 +54,14 @@ int main(int argc, char** argv) {
   args.add_option("shards", "",
                   "worker shards for the parallel kernel (1 = classic single-threaded "
                   "kernel); also overrides a scenario's 'shards' field");
+  args.add_option("telemetry-interval", "",
+                  "sample in-run telemetry gauges every this many simulated seconds "
+                  "(0 = off); also overrides a scenario's 'telemetry' interval");
+  args.add_option("telemetry-csv", "",
+                  "write the detail run's telemetry series to this file (implies "
+                  "telemetry at the default 30s cadence if no interval is given)");
+  args.add_option("telemetry-json", "",
+                  "write the detail run's telemetry series as JSON to this file");
   args.add_flag("no-carry", "do not carry caches across iterations");
   args.add_flag("flat-latency",
                 "zero all latency jitter (with --noise none, reports become "
@@ -113,10 +122,18 @@ int main(int argc, char** argv) {
     }
   }
 
-  // --shards / --flat-latency apply on top of either source, so one scenario
-  // file can be diffed across shard counts (the CI shard-smoke job does).
+  // --shards / --flat-latency / --telemetry-interval apply on top of either
+  // source, so one scenario file can be diffed across shard counts or probed
+  // with telemetry (the CI shard-smoke and telemetry-smoke jobs do).
   if (args.given("shards")) spec.shards = static_cast<std::size_t>(args.get_int("shards"));
   if (args.given("flat-latency")) spec.flat_control_plane = true;
+  if (args.given("telemetry-interval")) {
+    spec.telemetry_interval_s = args.get_double("telemetry-interval");
+  } else if (spec.telemetry_interval_s == 0.0 &&
+             (args.given("telemetry-csv") || args.given("telemetry-json"))) {
+    // Asking for a telemetry export opts in; sample at the default cadence.
+    spec.telemetry_interval_s = core::kTelemetryDefaultIntervalS;
+  }
 
   const auto issues = spec.validate();
   if (!issues.empty()) {
@@ -128,7 +145,15 @@ int main(int argc, char** argv) {
   }
   if (!spec.faults.empty()) std::cout << "fault plan: " << spec.faults.describe() << "\n";
 
-  const auto reports = core::run_experiment(spec);
+  std::vector<metrics::RunReport> reports;
+  try {
+    reports = core::run_experiment(spec);
+  } catch (const std::runtime_error& error) {
+    // The telemetry watchdog aborts the run by throwing; the series tail has
+    // already been dumped to stderr by the engine.
+    std::cerr << error.what() << "\n";
+    return 2;
+  }
 
   const bool with_faults = !spec.faults.empty();
   TextTable table(spec.scheduler + " on " + spec.workload_name() + " / " + spec.fleet_name());
@@ -184,7 +209,11 @@ int main(int argc, char** argv) {
   const std::string timeline_path = args.get("timeline");
   const std::string trace_path = args.get("trace");
   const std::string trace_csv_path = args.get("trace-csv");
-  if (!timeline_path.empty() || !trace_path.empty() || !trace_csv_path.empty()) {
+  const std::string telemetry_csv_path = args.get("telemetry-csv");
+  const std::string telemetry_json_path = args.get("telemetry-json");
+  const bool want_telemetry = spec.telemetry_interval_s > 0.0;
+  if (!timeline_path.empty() || !trace_path.empty() || !trace_csv_path.empty() ||
+      want_telemetry) {
     // Re-run one iteration standalone to extract per-run detail (the
     // experiment loop only keeps aggregate reports).
     core::EngineConfig config;
@@ -196,6 +225,11 @@ int main(int argc, char** argv) {
     config.lifecycle = spec.lifecycle;
     config.coalesce_deliveries = spec.coalesce_deliveries;
     config.shards = spec.shards;
+    if (want_telemetry) {
+      config.telemetry.interval = ticks_from_seconds(spec.telemetry_interval_s);
+      config.telemetry.capacity = spec.telemetry_capacity;
+      config.telemetry.watchdog = spec.telemetry_watchdog;
+    }
     const workload::WorkloadSpec wspec =
         spec.custom_workload ? *spec.custom_workload : workload::make_workload_spec(spec.job_config);
     const auto workload = workload::generate_workload(wspec, SeedSequencer(spec.seed));
@@ -211,7 +245,12 @@ int main(int argc, char** argv) {
       tracer.set_enabled(true);
       engine.simulator().set_tracer(&tracer);
     }
-    (void)engine.run(workload.jobs);
+    try {
+      (void)engine.run(workload.jobs);
+    } catch (const std::runtime_error& error) {
+      std::cerr << error.what() << "\n";
+      return 2;
+    }
 
     if (!timeline_path.empty()) {
       std::ofstream out(timeline_path);
@@ -242,6 +281,32 @@ int main(int argc, char** argv) {
       }
       obs::write_trace_csv(out, tracer);
       std::cout << tracer.events().size() << " trace events -> " << trace_csv_path << "\n";
+    }
+    if (want_telemetry && engine.telemetry()) {
+      const obs::TelemetryTable& series = *engine.telemetry();
+      // The watchdog throws out of engine.run() on a violation, so reaching
+      // this line means every sampled invariant held.
+      std::cout << "telemetry: " << series.names.size() << " series x " << series.ticks.size()
+                << " samples, watchdog " << (config.telemetry.watchdog ? "clean" : "off")
+                << "\n";
+      if (!telemetry_csv_path.empty()) {
+        std::ofstream out(telemetry_csv_path);
+        if (!out) {
+          std::cerr << "cannot open " << telemetry_csv_path << "\n";
+          return 1;
+        }
+        obs::write_telemetry_csv(out, series);
+        std::cout << "telemetry series -> " << telemetry_csv_path << "\n";
+      }
+      if (!telemetry_json_path.empty()) {
+        std::ofstream out(telemetry_json_path);
+        if (!out) {
+          std::cerr << "cannot open " << telemetry_json_path << "\n";
+          return 1;
+        }
+        obs::write_telemetry_json(out, series);
+        std::cout << "telemetry series -> " << telemetry_json_path << "\n";
+      }
     }
   }
   return 0;

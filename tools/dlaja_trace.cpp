@@ -7,10 +7,16 @@
 //   dlaja_trace profile run.trace.json
 //   dlaja_trace synth-swf --jobs 500 --out log.swf
 //   dlaja_trace convert-swf log.swf --out trace.csv --time-scale 0.1
+//   dlaja_trace timeseries run.telemetry.csv
 
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <map>
+#include <sstream>
 
 #include "core/engine.hpp"
 #include "obs/export.hpp"
@@ -124,6 +130,146 @@ int cmd_replay(const ArgParser& args, const std::string& path) {
   return 0;
 }
 
+/// MSER-style warmup truncation: the steady-state window [d, n) is the one
+/// minimizing the standard error of its mean, var(x[d..n)) / (n - d), over
+/// truncation points d in [0, n/2]. Returns the chosen d (0 = no warmup).
+std::size_t steady_state_start(const std::vector<double>& x) {
+  const std::size_t n = x.size();
+  if (n < 4) return 0;
+  // Suffix sums make every candidate O(1).
+  std::vector<double> sum(n + 1, 0.0), sumsq(n + 1, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    sum[i] = sum[i + 1] + x[i];
+    sumsq[i] = sumsq[i + 1] + x[i] * x[i];
+  }
+  std::size_t best = 0;
+  double best_stat = std::numeric_limits<double>::infinity();
+  for (std::size_t d = 0; d <= n / 2; ++d) {
+    const double m = static_cast<double>(n - d);
+    const double mean = sum[d] / m;
+    const double var = std::max(0.0, sumsq[d] / m - mean * mean);
+    const double stat = var / m;
+    if (stat < best_stat) {
+      best_stat = stat;
+      best = d;
+    }
+  }
+  return best;
+}
+
+/// Renders a series as a fixed-width sparkline (U+2581..U+2588), averaging
+/// samples into `width` buckets and scaling to the series' own min..max.
+std::string sparkline(const std::vector<double>& x, std::size_t width) {
+  static const char* kBlocks[8] = {"▁", "▂", "▃", "▄",
+                                   "▅", "▆", "▇", "█"};
+  if (x.empty()) return "";
+  const auto [lo_it, hi_it] = std::minmax_element(x.begin(), x.end());
+  const double lo = *lo_it, hi = *hi_it;
+  const std::size_t buckets = std::min(width, x.size());
+  std::string out;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const std::size_t begin = b * x.size() / buckets;
+    const std::size_t end = std::max(begin + 1, (b + 1) * x.size() / buckets);
+    double acc = 0.0;
+    for (std::size_t i = begin; i < end; ++i) acc += x[i];
+    const double v = acc / static_cast<double>(end - begin);
+    // A flat series renders mid-height rather than dividing by a zero span.
+    const double unit = hi > lo ? (v - lo) / (hi - lo) : 0.5;
+    const int level = std::clamp(static_cast<int>(unit * 8.0), 0, 7);
+    out += kBlocks[level];
+  }
+  return out;
+}
+
+std::string fmt_value(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+int cmd_timeseries(const ArgParser& args, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return 1;
+  }
+  const auto split = [](const std::string& line) {
+    std::vector<std::string> fields;
+    std::stringstream ss(line);
+    std::string field;
+    while (std::getline(ss, field, ',')) fields.push_back(field);
+    return fields;
+  };
+  std::string line;
+  if (!std::getline(in, line)) {
+    std::cerr << path << ": empty file\n";
+    return 1;
+  }
+  const std::vector<std::string> header = split(line);
+  if (header.size() < 2 || header[0] != "tick" || header[1] != "time_s") {
+    std::cerr << path << ": not a telemetry CSV (expected header tick,time_s,<series...>)\n";
+    return 1;
+  }
+  const std::size_t series_count = header.size() - 2;
+  std::vector<double> times;
+  std::vector<std::vector<double>> series(series_count);
+  std::size_t row_index = 1;
+  while (std::getline(in, line)) {
+    ++row_index;
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = split(line);
+    if (fields.size() != header.size()) {
+      std::cerr << path << ":" << row_index << ": expected " << header.size()
+                << " fields, got " << fields.size() << "\n";
+      return 1;
+    }
+    times.push_back(std::stod(fields[1]));
+    for (std::size_t s = 0; s < series_count; ++s) {
+      series[s].push_back(std::stod(fields[s + 2]));
+    }
+  }
+  if (times.empty()) {
+    std::cerr << path << ": no samples\n";
+    return 1;
+  }
+  std::cout << series_count << " series x " << times.size() << " samples, "
+            << fmt_value(times.front()) << "s .. " << fmt_value(times.back()) << "s\n";
+
+  TextTable table("timeseries: " + path);
+  table.set_header({"series", "min", "max", "mean", "stddev", "warmup (s)", "steady mean"});
+  for (std::size_t s = 0; s < series_count; ++s) {
+    const std::vector<double>& x = series[s];
+    const auto [lo, hi] = std::minmax_element(x.begin(), x.end());
+    double acc = 0.0, accsq = 0.0;
+    for (const double v : x) {
+      acc += v;
+      accsq += v * v;
+    }
+    const double n = static_cast<double>(x.size());
+    const double mean = acc / n;
+    const double stddev = std::sqrt(std::max(0.0, accsq / n - mean * mean));
+    const std::size_t warm = steady_state_start(x);
+    double steady_acc = 0.0;
+    for (std::size_t i = warm; i < x.size(); ++i) steady_acc += x[i];
+    const double steady_mean = steady_acc / static_cast<double>(x.size() - warm);
+    table.add_row({header[s + 2], fmt_value(*lo), fmt_value(*hi), fmt_value(mean),
+                   fmt_value(stddev), warm > 0 ? fmt_value(times[warm]) : "0",
+                   fmt_value(steady_mean)});
+  }
+  table.print(std::cout);
+
+  const auto width = static_cast<std::size_t>(args.get_int("width"));
+  std::size_t label_width = 0;
+  for (std::size_t s = 0; s < series_count; ++s) {
+    label_width = std::max(label_width, header[s + 2].size());
+  }
+  for (std::size_t s = 0; s < series_count; ++s) {
+    std::cout << header[s + 2] << std::string(label_width - header[s + 2].size(), ' ')
+              << "  " << sparkline(series[s], width) << "\n";
+  }
+  return 0;
+}
+
 int cmd_profile(const ArgParser& args, const std::string& path) {
   const auto top = static_cast<std::size_t>(args.get_int("top"));
   obs::Tracer tracer;
@@ -162,8 +308,9 @@ int cmd_profile(const ArgParser& args, const std::string& path) {
 
 int main(int argc, char** argv) {
   ArgParser args("dlaja_trace", "generate, inspect, convert, replay and profile traces");
-  args.add_positional("command", "generate | info | replay | profile | synth-swf | convert-swf");
-  args.add_positional("file", "input file (info/replay/profile/convert-swf)",
+  args.add_positional("command",
+                      "generate | info | replay | profile | timeseries | synth-swf | convert-swf");
+  args.add_positional("file", "input file (info/replay/profile/timeseries/convert-swf)",
                       /*required=*/false);
   args.add_option("workload", "80%_large", "job config for generate");
   args.add_option("jobs", "120", "job count for generate/synth-swf (cap for convert-swf)");
@@ -176,6 +323,7 @@ int main(int argc, char** argv) {
   args.add_option("executables", "15", "distinct applications for synth-swf");
   args.add_option("time-scale", "1.0", "arrival-timeline scale for convert-swf");
   args.add_option("top", "10", "rows in the profile's top-spans table");
+  args.add_option("width", "60", "sparkline width (buckets) for timeseries");
   args.add_option("log-level", "warn", "log verbosity: trace|debug|info|warn|error|off");
   if (!args.parse(argc, argv)) return 1;
   set_log_level(parse_log_level(args.get("log-level")));
@@ -185,7 +333,7 @@ int main(int argc, char** argv) {
     if (command == "generate") return cmd_generate(args);
     if (command == "synth-swf") return cmd_synth_swf(args);
     if (command == "info" || command == "replay" || command == "profile" ||
-        command == "convert-swf") {
+        command == "timeseries" || command == "convert-swf") {
       if (args.positionals().size() < 2) {
         std::cerr << command << " needs an input file\n";
         return 1;
@@ -193,6 +341,7 @@ int main(int argc, char** argv) {
       const std::string& file = args.positionals()[1];
       if (command == "info") return cmd_info(file);
       if (command == "profile") return cmd_profile(args, file);
+      if (command == "timeseries") return cmd_timeseries(args, file);
       if (command == "convert-swf") return cmd_convert_swf(args, file);
       return cmd_replay(args, file);
     }
