@@ -34,10 +34,15 @@ export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
 for PRESET in asan ubsan; do
   echo "==== sanitizer pass ($PRESET)"
   cmake --preset "$PRESET"
-  cmake --build --preset "$PRESET" --target "${SAN_TESTS[@]}"
+  cmake --build --preset "$PRESET" --target "${SAN_TESTS[@]}" dlaja_fuzz
   for t in "${SAN_TESTS[@]}"; do
     "build-$PRESET/tests/$t"
   done
+  # A short fuzz sweep under the sanitizer: random scenarios reach engine
+  # paths (fault x shard x open-arrival combinations) no fixed test pins.
+  # Repro files from a failure land inside the build tree, not examples/.
+  "build-$PRESET/tools/dlaja_fuzz" --seed 20240808 --count 10 \
+    --out-dir "build-$PRESET"
 done
 
 # The sharded kernel runs shards on real threads; TSan is the only sanitizer

@@ -414,6 +414,12 @@ void Engine::master_handle_completion(const CompletionReport& report,
                                       const workflow::Job& job) {
   ++completed_;
   if (lifecycle_) lifecycle_->completed(job.id);
+  if (streaming_) {
+    const metrics::JobRecord* record = metrics_.find_job(job.id);
+    const Tick arrived =
+        record != nullptr && record->arrived != kNeverTick ? record->arrived : job.created_at;
+    sojourn_hist_->record(seconds_from_ticks(sim_.now() - arrived));
+  }
   if (DLAJA_TRACE_ACTIVE(sim_.tracer())) {
     ensure_trace_names();
     const metrics::JobRecord& record = metrics_.job(job.id);
@@ -422,6 +428,11 @@ void Engine::master_handle_completion(const CompletionReport& report,
                         sim_.now(), job.id);
   }
   scheduler_->on_completion(report);
+  // Streaming, single-shard: fold the finished record into the collector's
+  // retired aggregates so memory stays O(live jobs). Sharded runs keep the
+  // records — each worker shard's collector holds half of every record
+  // until the end-of-run absorb, so retiring here would corrupt the merge.
+  if (streaming_ && !sharded()) metrics_.retire_job(job.id);
 
   if (!workflow_ || job.task >= workflow_->task_count()) return;
   const workflow::TaskSpec& spec = workflow_->task(job.task);
@@ -760,7 +771,7 @@ void Engine::run_windows() {
   }
 }
 
-metrics::RunReport Engine::run(std::span<const workflow::Job> jobs) {
+void Engine::begin_run() {
   if (ran_) throw std::logic_error("Engine::run: already ran");
   ran_ = true;
 
@@ -773,6 +784,10 @@ metrics::RunReport Engine::run(std::span<const workflow::Job> jobs) {
   for (std::size_t i = 0; i < workers_.size(); ++i) {
     scheduler_->on_worker_idle(static_cast<WorkerIndex>(i));
   }
+}
+
+metrics::RunReport Engine::run(std::span<const workflow::Job> jobs) {
+  begin_run();
 
   // Stream the workload in at its arrival times. Jobs are staged in
   // arrivals_ and each event captures just {this, index}: a Job is far too
@@ -784,6 +799,52 @@ metrics::RunReport Engine::run(std::span<const workflow::Job> jobs) {
     sim_.schedule_at(arrivals_[i].created_at, arrive);
   }
 
+  return finish_run();
+}
+
+metrics::RunReport Engine::run_stream(JobSource source) {
+  begin_run();
+  streaming_ = true;
+  stream_source_ = std::move(source);
+  if (!stream_source_) throw std::invalid_argument("Engine::run_stream: null source");
+  sojourn_hist_ = &metrics_.registry().histogram("job.sojourn_s");
+
+  if (telemetry_on()) {
+    // Steady-state gauges (registered before the samplers bind in
+    // finish_run). Percentiles read the cumulative log-linear histogram —
+    // a pure read, so telemetry stays RNG-free and event-free.
+    probes_.add_gauge("job.sojourn_p50_s", 0,
+                      [this] { return sojourn_hist_->percentile(50.0); });
+    probes_.add_gauge("job.sojourn_p99_s", 0,
+                      [this] { return sojourn_hist_->percentile(99.0); });
+    probes_.add_gauge("job.sojourn_p999_s", 0,
+                      [this] { return sojourn_hist_->percentile(99.9); });
+    probes_.add_gauge("master.throughput_jps", 0, [this] {
+      const double elapsed = seconds_from_ticks(sim_.now());
+      return elapsed > 0.0 ? static_cast<double>(completed_) / elapsed : 0.0;
+    });
+  }
+
+  schedule_next_arrival();
+  return finish_run();
+}
+
+void Engine::schedule_next_arrival() {
+  std::optional<workflow::Job> next = stream_source_();
+  if (!next.has_value()) return;
+  staged_arrival_ = std::move(*next);
+  // Move the job out before staging the successor: the recursive call
+  // overwrites staged_arrival_.
+  auto arrive = [this] {
+    workflow::Job job = std::move(staged_arrival_);
+    schedule_next_arrival();
+    submit_job(std::move(job));
+  };
+  static_assert(sim::InlineAction::fits_inline<decltype(arrive)>());
+  sim_.schedule_at(std::max(staged_arrival_.created_at, sim_.now()), arrive);
+}
+
+metrics::RunReport Engine::finish_run() {
   // Bind the telemetry samplers last: tests may have registered extra
   // probes through probes() between construction and run().
   if (telemetry_on()) {

@@ -4,6 +4,7 @@
 // paper's 7-instance deployment (5 workers + master + messaging) in one
 // deterministic object. One Engine executes exactly one run.
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -136,6 +137,20 @@ class Engine {
   /// run report. `jobs` arrive at their `created_at` times. Callable once.
   metrics::RunReport run(std::span<const workflow::Job> jobs);
 
+  /// Lazy job producer for open-arrival runs: returns the next job (with
+  /// `created_at` non-decreasing) or nullopt when the stream ends.
+  using JobSource = std::function<std::optional<workflow::Job>()>;
+
+  /// Streaming counterpart of run(): pulls jobs from `source` one at a
+  /// time — only a single staged arrival is ever held, so a run can push
+  /// millions of arrivals without materializing the trace. Records
+  /// per-completion sojourn times into the "job.sojourn_s" histogram and
+  /// (single-shard runs) retires completed job records as it goes, keeping
+  /// memory O(live jobs). With telemetry on it adds job.sojourn_p50/p99/
+  /// p999_s and master.throughput_jps gauges for steady-state analysis.
+  /// Callable once; mutually exclusive with run().
+  metrics::RunReport run_stream(JobSource source);
+
   // --- accessors (tests, benches) ---------------------------------------
   [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
   [[nodiscard]] msg::Broker& broker() noexcept { return *broker_; }
@@ -235,6 +250,20 @@ class Engine {
   /// sampling grid. Produces exactly the canonical tick set.
   void run_sampled();
 
+  /// Shared run() / run_stream() prologue: the once-only guard, speed
+  /// probing and the initial idle notifications.
+  void begin_run();
+
+  /// Shared epilogue: binds samplers, executes the run loop (single-shard
+  /// or windowed), finalizes telemetry and derives the report.
+  metrics::RunReport finish_run();
+
+  /// Streaming arrivals: pulls one job from stream_source_, stages it in
+  /// staged_arrival_ and schedules its submission (the event captures only
+  /// {this}); each arrival event stages its successor, so exactly one
+  /// future arrival is pending at any time.
+  void schedule_next_arrival();
+
   /// Finalizes every sampler to the canonical end tick and merges them into
   /// telemetry_.
   void finish_telemetry();
@@ -257,6 +286,13 @@ class Engine {
   /// {this, index} — inside the simulator's inline action budget — instead
   /// of a full Job copy.
   std::vector<workflow::Job> arrivals_;
+  /// Open-arrival state (run_stream only). staged_arrival_ holds the one
+  /// job whose arrival event is pending; sojourn_hist_ points at the
+  /// registry's "job.sojourn_s" histogram for per-completion recording.
+  JobSource stream_source_;
+  workflow::Job staged_arrival_;
+  metrics::Histogram* sojourn_hist_ = nullptr;
+  bool streaming_ = false;
   RandomStream expansion_rng_;
   workflow::JobId next_job_id_ = 1;
   std::uint64_t submitted_ = 0;

@@ -8,6 +8,7 @@
 namespace dlaja::core {
 
 std::string ExperimentSpec::workload_name() const {
+  if (open_arrivals) return "open:" + workload::open_process_name(open_arrivals->process);
   return custom_workload ? custom_workload->name : workload::job_config_name(job_config);
 }
 
@@ -40,8 +41,12 @@ std::vector<metrics::RunReport> run_experiment(const ExperimentSpec& spec) {
   const workload::WorkloadSpec wspec =
       spec.custom_workload ? *spec.custom_workload : workload::make_workload_spec(spec.job_config);
   const SeedSequencer workload_seeds(spec.seed);
-  const workload::GeneratedWorkload workload =
-      workload::generate_workload(wspec, workload_seeds);
+  // Open-arrival cells never materialize a trace; each iteration streams a
+  // fresh (identical — same substreams) arrival sequence into the engine.
+  workload::GeneratedWorkload workload;
+  if (!spec.open_arrivals) {
+    workload = workload::generate_workload(wspec, workload_seeds);
+  }
 
   std::vector<metrics::RunReport> reports;
   reports.reserve(static_cast<std::size_t>(spec.iterations));
@@ -77,10 +82,17 @@ std::vector<metrics::RunReport> run_experiment(const ExperimentSpec& spec) {
     }
 
     const auto wall_start = std::chrono::steady_clock::now();
-    metrics::RunReport report = engine.run(workload.jobs);
+    metrics::RunReport report;
+    if (spec.open_arrivals) {
+      workload::OpenArrivalStream stream(wspec, *spec.open_arrivals, workload_seeds);
+      report = engine.run_stream([&stream] { return stream.next(); });
+      report.workload = stream.name();
+    } else {
+      report = engine.run(workload.jobs);
+      report.workload = workload.name;
+    }
     report.wall_time_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
-    report.workload = workload.name;
     report.worker_config = spec.fleet_name();
     report.iteration = iteration;
     reports.push_back(std::move(report));

@@ -21,6 +21,7 @@
 #include "metrics/report.hpp"
 #include "sched/factory.hpp"
 #include "util/json.hpp"
+#include "workload/arrivals.hpp"
 #include "workload/generator.hpp"
 
 namespace dlaja::core {
@@ -56,6 +57,13 @@ struct ExperimentSpec {
   /// Workload: one of the §6.3.1 presets, or a fully custom spec.
   workload::JobConfig job_config = workload::JobConfig::kAllDiffEqual;
   std::optional<workload::WorkloadSpec> custom_workload;
+
+  /// Open-arrival mode (scenario key "arrivals"): when set, each iteration
+  /// streams jobs lazily from this arrival process via Engine::run_stream
+  /// instead of replaying the closed batch — the workload's job count is
+  /// ignored, its size-class weights/ranges/fixed cost still shape the job
+  /// bodies. See workload/arrivals.hpp.
+  std::optional<workload::OpenArrivalSpec> open_arrivals;
 
   /// Worker fleet: preset + count, or a fully custom fleet.
   cluster::FleetPreset fleet = cluster::FleetPreset::kAllEqual;

@@ -2,6 +2,7 @@
 // scenario file is one experiment cell; the CLI's --scenario flag and the
 // examples under examples/scenarios/ use exactly this format.
 
+#include <cmath>
 #include <optional>
 #include <stdexcept>
 
@@ -14,7 +15,7 @@ namespace {
 constexpr const char* kValidKeys =
     "name, scheduler, workload, jobs, fleet, workers, iterations, carry_cache, "
     "seed, noise, estimation, faults, lifecycle, coalesce_deliveries, shards, "
-    "flat_control_plane, telemetry";
+    "flat_control_plane, telemetry, arrivals";
 
 [[noreturn]] void key_error(const std::string& key, const std::string& what) {
   throw std::invalid_argument("scenario: key '" + key + "' " + what);
@@ -85,6 +86,76 @@ void parse_telemetry(const json::Value& value, ExperimentSpec& spec) {
   }
 }
 
+/// Parses the nested "arrivals" object (open-arrival mode).
+workload::OpenArrivalSpec parse_arrivals(const json::Value& value) {
+  if (!value.is_object()) key_error("arrivals", "wants an object");
+  workload::OpenArrivalSpec arrivals;
+  for (const auto& [key, member] : value.as_object()) {
+    if (key == "process") {
+      arrivals.process = workload::open_process_from_name(need_string(member, "arrivals.process"));
+    } else if (key == "rate_per_s") {
+      arrivals.rate_per_s = need_number(member, "arrivals.rate_per_s");
+    } else if (key == "duration_s") {
+      arrivals.duration_s = need_number(member, "arrivals.duration_s");
+    } else if (key == "max_jobs") {
+      arrivals.max_jobs = need_count(member, "arrivals.max_jobs");
+    } else if (key == "diurnal_amplitude") {
+      arrivals.diurnal_amplitude = need_number(member, "arrivals.diurnal_amplitude");
+    } else if (key == "diurnal_period_s") {
+      arrivals.diurnal_period_s = need_number(member, "arrivals.diurnal_period_s");
+    } else if (key == "burst_multiplier") {
+      arrivals.burst_multiplier = need_number(member, "arrivals.burst_multiplier");
+    } else if (key == "burst_dwell_s") {
+      arrivals.burst_dwell_s = need_number(member, "arrivals.burst_dwell_s");
+    } else if (key == "calm_dwell_s") {
+      arrivals.calm_dwell_s = need_number(member, "arrivals.calm_dwell_s");
+    } else if (key == "repo_pool") {
+      arrivals.repo_pool = static_cast<std::size_t>(need_count(member, "arrivals.repo_pool"));
+    } else if (key == "popularity_skew") {
+      arrivals.popularity_skew = need_number(member, "arrivals.popularity_skew");
+    } else {
+      throw std::invalid_argument(
+          "scenario: unknown arrivals key '" + key +
+          "' (valid: process, rate_per_s, duration_s, max_jobs, diurnal_amplitude, "
+          "diurnal_period_s, burst_multiplier, burst_dwell_s, calm_dwell_s, repo_pool, "
+          "popularity_skew)");
+    }
+  }
+  return arrivals;
+}
+
+/// Structured checks mirroring OpenArrivalStream's constructor guards.
+void validate_arrivals(const workload::OpenArrivalSpec& arrivals,
+                       std::vector<ValidationIssue>& issues) {
+  auto positive_finite = [](double x) { return x > 0.0 && std::isfinite(x); };
+  if (!positive_finite(arrivals.rate_per_s)) {
+    issues.push_back({"arrivals", "rate_per_s must be positive and finite"});
+  }
+  if (!positive_finite(arrivals.duration_s)) {
+    issues.push_back({"arrivals", "duration_s must be positive and finite"});
+  }
+  if (!(arrivals.diurnal_amplitude >= 0.0) || arrivals.diurnal_amplitude >= 1.0) {
+    issues.push_back({"arrivals", "diurnal_amplitude must be in [0, 1)"});
+  }
+  if (arrivals.diurnal_amplitude > 0.0 && !positive_finite(arrivals.diurnal_period_s)) {
+    issues.push_back({"arrivals", "diurnal_period_s must be positive when modulation is on"});
+  }
+  if (arrivals.process == workload::OpenArrivalSpec::Process::kMmpp) {
+    if (!positive_finite(arrivals.burst_multiplier)) {
+      issues.push_back({"arrivals", "burst_multiplier must be positive and finite"});
+    }
+    if (!positive_finite(arrivals.burst_dwell_s) || !positive_finite(arrivals.calm_dwell_s)) {
+      issues.push_back({"arrivals", "MMPP dwell times must be positive and finite"});
+    }
+  }
+  if (arrivals.repo_pool == 0) {
+    issues.push_back({"arrivals", "repo_pool must be >= 1"});
+  }
+  if (!positive_finite(arrivals.popularity_skew)) {
+    issues.push_back({"arrivals", "popularity_skew must be positive and finite"});
+  }
+}
+
 }  // namespace
 
 std::vector<ValidationIssue> ExperimentSpec::validate() const {
@@ -97,9 +168,43 @@ std::vector<ValidationIssue> ExperimentSpec::validate() const {
     issues.push_back(
         {"iterations", "need at least one iteration, got " + std::to_string(iterations)});
   }
-  const std::size_t jobs =
-      custom_workload ? custom_workload->job_count : workload::make_workload_spec(job_config).job_count;
-  if (jobs == 0) issues.push_back({"jobs", "the workload has zero jobs"});
+  const workload::WorkloadSpec wspec =
+      custom_workload ? *custom_workload : workload::make_workload_spec(job_config);
+  // Open-arrival cells ignore the job count (the stream is bounded by
+  // duration/max_jobs instead), but still draw job bodies from the weights.
+  if (wspec.job_count == 0 && !open_arrivals) {
+    issues.push_back({"jobs", "the workload has zero jobs"});
+  }
+  // RandomStream::weighted_index requires non-negative weights with a
+  // positive sum; reject violations here instead of hitting its
+  // precondition (UB) at generation time. NaN fails both comparisons.
+  {
+    const double weights[3] = {wspec.weight_small, wspec.weight_medium, wspec.weight_large};
+    const char* names[3] = {"weight_small", "weight_medium", "weight_large"};
+    double weight_sum = 0.0;
+    bool weights_usable = true;
+    for (std::size_t i = 0; i < 3; ++i) {
+      if (!(weights[i] >= 0.0)) {
+        issues.push_back({"workload", std::string(names[i]) +
+                                          " must be non-negative (size-class weights feed "
+                                          "weighted sampling)"});
+        weights_usable = false;
+      }
+      weight_sum += weights[i];
+    }
+    if (weights_usable && !(weight_sum > 0.0)) {
+      issues.push_back({"workload",
+                        "size-class weights sum to zero: at least one of weight_small/"
+                        "weight_medium/weight_large must be positive"});
+    }
+  }
+  if (wspec.arrival == workload::WorkloadSpec::ArrivalProcess::kBursty &&
+      wspec.burst_size == 0) {
+    issues.push_back({"workload",
+                      "burst_size must be >= 1 for the bursty arrival process (0 would "
+                      "silently degenerate to per-job bursts)"});
+  }
+  if (open_arrivals) validate_arrivals(*open_arrivals, issues);
   if (!make_scheduler) {
     std::string error = sched::check_scheduler_spec(scheduler, fleet_size);
     if (!error.empty()) issues.push_back({"scheduler", std::move(error)});
@@ -191,6 +296,8 @@ ExperimentSpec ExperimentSpec::from_json(const json::Value& doc) {
       spec.flat_control_plane = need_bool(value, key);
     } else if (key == "telemetry") {
       parse_telemetry(value, spec);
+    } else if (key == "arrivals") {
+      spec.open_arrivals = parse_arrivals(value);
     } else {
       throw std::invalid_argument("scenario: unknown key '" + key + "' (valid: " +
                                   std::string(kValidKeys) + ")");
@@ -263,6 +370,31 @@ json::Value ExperimentSpec::to_json() const {
     }
     if (!telemetry_watchdog) tel["watchdog"] = false;
     obj["telemetry"] = json::Value{std::move(tel)};
+  }
+  if (open_arrivals) {
+    const workload::OpenArrivalSpec& a = *open_arrivals;
+    const workload::OpenArrivalSpec defaults;
+    json::Object arr;
+    arr["process"] = workload::open_process_name(a.process);
+    arr["rate_per_s"] = a.rate_per_s;
+    arr["duration_s"] = a.duration_s;
+    if (a.max_jobs != defaults.max_jobs) arr["max_jobs"] = a.max_jobs;
+    if (a.diurnal_amplitude != defaults.diurnal_amplitude) {
+      arr["diurnal_amplitude"] = a.diurnal_amplitude;
+      arr["diurnal_period_s"] = a.diurnal_period_s;
+    }
+    if (a.process == workload::OpenArrivalSpec::Process::kMmpp) {
+      arr["burst_multiplier"] = a.burst_multiplier;
+      arr["burst_dwell_s"] = a.burst_dwell_s;
+      arr["calm_dwell_s"] = a.calm_dwell_s;
+    }
+    if (a.repo_pool != defaults.repo_pool) {
+      arr["repo_pool"] = static_cast<std::uint64_t>(a.repo_pool);
+    }
+    if (a.popularity_skew != defaults.popularity_skew) {
+      arr["popularity_skew"] = a.popularity_skew;
+    }
+    obj["arrivals"] = json::Value{std::move(arr)};
   }
   return json::Value{std::move(obj)};
 }

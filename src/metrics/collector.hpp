@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "metrics/registry.hpp"
+#include "util/stats.hpp"
 #include "util/units.hpp"
 #include "workflow/workflow.hpp"
 
@@ -51,6 +52,23 @@ struct WorkerRecord {
   std::uint64_t offers_declined = 0;
 };
 
+/// Aggregates of job records folded away by retire_job() during streaming
+/// (open-arrival) runs, so memory stays O(live jobs) no matter how many
+/// arrivals flow through. Classification mirrors make_report()'s per-job
+/// loop exactly; the turnaround histogram stands in for the exact
+/// percentiles the closed path computes from the full sample.
+struct RetiredJobStats {
+  std::uint64_t count = 0;          ///< retired (completed) jobs
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_hits = 0;
+  MegaBytes downloaded_mb = 0.0;
+  Tick last_finished = 0;
+  RunningStats turnaround_s;
+  RunningStats alloc_latency_s;
+  RunningStats queue_wait_s;
+  Histogram turnaround_hist;
+};
+
 /// Mutable metrics sink for one run. Components write via the accessors;
 /// the final RunReport is derived by make_report().
 class MetricsCollector {
@@ -82,10 +100,19 @@ class MetricsCollector {
   /// no ambiguous collisions. Worker tables must have equal sizes.
   void absorb(const MetricsCollector& other);
 
-  /// All job records in arrival order.
+  /// Folds a *completed* job's record into the retired aggregates and
+  /// drops it, keeping streaming-run memory O(live jobs). No-op for
+  /// unknown or incomplete jobs. Only safe when no other collector still
+  /// holds half of the record (i.e. single-shard runs).
+  void retire_job(workflow::JobId id);
+
+  [[nodiscard]] const RetiredJobStats& retired() const noexcept { return retired_; }
+
+  /// All *live* (non-retired) job records in arrival order.
   [[nodiscard]] std::vector<const JobRecord*> jobs_in_arrival_order() const;
 
-  [[nodiscard]] std::size_t job_count() const noexcept { return order_.size(); }
+  /// Jobs ever recorded, retired ones included.
+  [[nodiscard]] std::size_t job_count() const noexcept { return retired_.count + jobs_.size(); }
 
   // --- Derived aggregates (paper metrics) ------------------------------
 
@@ -106,6 +133,7 @@ class MetricsCollector {
   std::vector<workflow::JobId> order_;  // first-touch order == arrival order
   std::vector<WorkerRecord> workers_;
   Registry registry_;
+  RetiredJobStats retired_;
 };
 
 }  // namespace dlaja::metrics

@@ -1,0 +1,153 @@
+#include "workload/arrivals.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace dlaja::workload {
+
+namespace {
+
+/// Instantaneous diurnal factor in [1-A, 1+A].
+double diurnal_factor(const OpenArrivalSpec& spec, double t_s) noexcept {
+  if (spec.diurnal_amplitude <= 0.0) return 1.0;
+  return 1.0 + spec.diurnal_amplitude *
+                   std::sin(2.0 * std::numbers::pi * t_s / spec.diurnal_period_s);
+}
+
+void check_spec_or_throw(const WorkloadSpec& body, const OpenArrivalSpec& spec) {
+  const double weights[3] = {body.weight_small, body.weight_medium, body.weight_large};
+  double sum = 0.0;
+  for (const double w : weights) {
+    if (!(w >= 0.0)) throw std::invalid_argument("open arrivals: negative size-class weight");
+    sum += w;
+  }
+  if (!(sum > 0.0)) throw std::invalid_argument("open arrivals: size-class weights sum to zero");
+  if (!(spec.rate_per_s > 0.0) || !std::isfinite(spec.rate_per_s)) {
+    throw std::invalid_argument("open arrivals: rate_per_s must be positive and finite");
+  }
+  if (!(spec.duration_s > 0.0) || !std::isfinite(spec.duration_s)) {
+    throw std::invalid_argument("open arrivals: duration_s must be positive and finite");
+  }
+  if (spec.diurnal_amplitude < 0.0 || spec.diurnal_amplitude >= 1.0) {
+    throw std::invalid_argument("open arrivals: diurnal_amplitude must be in [0, 1)");
+  }
+  if (spec.diurnal_amplitude > 0.0 && !(spec.diurnal_period_s > 0.0)) {
+    throw std::invalid_argument("open arrivals: diurnal_period_s must be positive");
+  }
+  if (spec.process == OpenArrivalSpec::Process::kMmpp) {
+    if (!(spec.burst_multiplier > 0.0) || !std::isfinite(spec.burst_multiplier)) {
+      throw std::invalid_argument("open arrivals: burst_multiplier must be positive and finite");
+    }
+    if (!(spec.burst_dwell_s > 0.0) || !(spec.calm_dwell_s > 0.0)) {
+      throw std::invalid_argument("open arrivals: MMPP dwell times must be positive");
+    }
+  }
+  if (spec.repo_pool == 0) throw std::invalid_argument("open arrivals: repo_pool must be >= 1");
+  if (!(spec.popularity_skew > 0.0)) {
+    throw std::invalid_argument("open arrivals: popularity_skew must be positive");
+  }
+}
+
+}  // namespace
+
+std::string open_process_name(OpenArrivalSpec::Process process) {
+  switch (process) {
+    case OpenArrivalSpec::Process::kPoisson: return "poisson";
+    case OpenArrivalSpec::Process::kMmpp: return "mmpp";
+  }
+  return "?";
+}
+
+OpenArrivalSpec::Process open_process_from_name(const std::string& name) {
+  if (name == "poisson") return OpenArrivalSpec::Process::kPoisson;
+  if (name == "mmpp") return OpenArrivalSpec::Process::kMmpp;
+  throw std::invalid_argument("unknown arrival process: " + name +
+                              " (expected poisson or mmpp)");
+}
+
+OpenArrivalStream::OpenArrivalStream(const WorkloadSpec& body, const OpenArrivalSpec& spec,
+                                     const SeedSequencer& seeds, workflow::TaskId task)
+    : body_(body),
+      spec_(spec),
+      task_(task),
+      name_("open:" + open_process_name(spec.process)),
+      catalog_(body.ranges),
+      arrival_rng_(seeds.stream("open/arrivals/" + name_)),
+      body_rng_(seeds.stream("open/body/" + name_)) {
+  check_spec_or_throw(body_, spec_);
+
+  // The pool is drawn once, in index order, so arrival count never changes
+  // which repositories exist — only how often each is requested.
+  const double weights[3] = {body_.weight_small, body_.weight_medium, body_.weight_large};
+  pool_.reserve(spec_.repo_pool);
+  for (std::size_t i = 0; i < spec_.repo_pool; ++i) {
+    const auto cls = static_cast<SizeClass>(body_rng_.weighted_index(weights, 3));
+    pool_.push_back(catalog_.add_random(cls, body_rng_));
+  }
+
+  if (spec_.process == OpenArrivalSpec::Process::kMmpp) {
+    state_until_s_ = arrival_rng_.exponential(spec_.calm_dwell_s);
+  }
+}
+
+bool OpenArrivalStream::advance() {
+  // Lewis-Shedler thinning against the current state's peak rate. Inside
+  // one MMPP dwell the rate only varies diurnally, so the peak is exact and
+  // the exponential's memorylessness lets us restart the draw at each state
+  // boundary without bias.
+  const bool mmpp = spec_.process == OpenArrivalSpec::Process::kMmpp;
+  while (true) {
+    const double mult = (mmpp && burst_) ? spec_.burst_multiplier : 1.0;
+    const double peak = spec_.rate_per_s * mult * (1.0 + spec_.diurnal_amplitude);
+    const double candidate = now_s_ + arrival_rng_.exponential(1.0 / peak);
+    if (mmpp && candidate >= state_until_s_) {
+      now_s_ = state_until_s_;
+      burst_ = !burst_;
+      const double dwell = burst_ ? spec_.burst_dwell_s : spec_.calm_dwell_s;
+      state_until_s_ += arrival_rng_.exponential(dwell);
+      if (now_s_ > spec_.duration_s) return false;
+      continue;
+    }
+    now_s_ = candidate;
+    if (now_s_ > spec_.duration_s) return false;
+    if (spec_.diurnal_amplitude > 0.0) {
+      const double accept = diurnal_factor(spec_, now_s_) / (1.0 + spec_.diurnal_amplitude);
+      if (!arrival_rng_.bernoulli(accept)) continue;
+    }
+    return true;
+  }
+}
+
+std::optional<workflow::Job> OpenArrivalStream::next() {
+  if (done_) return std::nullopt;
+  if (spec_.max_jobs != 0 && emitted_ >= spec_.max_jobs) {
+    done_ = true;
+    return std::nullopt;
+  }
+  if (!advance()) {
+    done_ = true;
+    return std::nullopt;
+  }
+
+  workflow::Job job;
+  job.id = static_cast<workflow::JobId>(++emitted_);
+  job.task = task_;
+
+  // Popularity skew: u^skew concentrates mass near index 0, giving the
+  // Zipf-ish reuse structure locality scheduling exploits.
+  const double u = body_rng_.uniform();
+  const auto index = std::min(pool_.size() - 1,
+                              static_cast<std::size_t>(std::pow(u, spec_.popularity_skew) *
+                                                       static_cast<double>(pool_.size())));
+  job.resource = pool_[index];
+  job.resource_size_mb = catalog_.size_of(job.resource);
+  job.process_mb = job.resource_size_mb;  // scanning the clone reads it all
+  job.fixed_cost = body_.fixed_cost;
+  job.created_at = ticks_from_seconds(now_s_);
+  job.key = name_ + "#" + std::to_string(job.id);
+  return job;
+}
+
+}  // namespace dlaja::workload

@@ -1,0 +1,131 @@
+#pragma once
+// Open arrival processes: unbounded job streams for saturation runs.
+//
+// Every experiment so far replays a closed batch of jobs materialized up
+// front. An OpenArrivalStream instead *generates* jobs lazily, one at a
+// time, from a stationary-rate description — so a run can be pushed to
+// millions of arrivals and measured in steady state (sustained jobs/s,
+// queue-length distributions, sojourn-time percentiles) without ever
+// holding the trace in memory.
+//
+// Two processes are supported:
+//
+//   * Poisson — exponential inter-arrivals at `rate_per_s`;
+//   * MMPP — a 2-state Markov-modulated Poisson process: a calm state at
+//     the base rate and a burst state at `burst_multiplier` x the base
+//     rate, with exponentially distributed dwell times in each state (the
+//     classic model for bursty data-center submission streams).
+//
+// Either process can additionally carry *diurnal* rate modulation: the
+// instantaneous rate is scaled by (1 + A sin(2*pi*t / period)), which
+// approximates the day/night swing of production clusters. Sampling uses
+// Lewis-Shedler thinning against the state's peak rate, so the sequence is
+// an exact draw from the non-homogeneous process and — like everything
+// else in the simulator — a pure function of the seeds.
+//
+// Job bodies reuse the WorkloadSpec size-class machinery: a bounded pool of
+// `repo_pool` repositories is drawn once from the size-class weights, and
+// each arriving job picks a pool entry with a Zipf-ish popularity skew
+// (u^skew, low indices dominate) — the reuse structure locality scheduling
+// exploits, in O(repo_pool) memory regardless of how many jobs arrive.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "workflow/workflow.hpp"
+#include "workload/catalog.hpp"
+#include "workload/generator.hpp"
+
+namespace dlaja::workload {
+
+/// Declarative description of an open arrival process (scenario key
+/// "arrivals"). Validated by ExperimentSpec::validate().
+struct OpenArrivalSpec {
+  enum class Process {
+    kPoisson,  ///< exponential inter-arrivals at rate_per_s
+    kMmpp,     ///< 2-state Markov-modulated Poisson (calm/burst)
+  };
+  Process process = Process::kPoisson;
+
+  /// Base arrival rate (jobs per simulated second) of the calm state.
+  double rate_per_s = 5.0;
+
+  /// Arrivals stop after this much simulated time (the run then drains).
+  double duration_s = 3600.0;
+
+  /// Optional hard cap on emitted jobs (0 = bounded by duration only).
+  std::uint64_t max_jobs = 0;
+
+  /// Diurnal modulation: instantaneous rate x (1 + A sin(2 pi t / P)).
+  /// A = 0 (default) disables it; A must stay in [0, 1).
+  double diurnal_amplitude = 0.0;
+  double diurnal_period_s = 86400.0;
+
+  /// MMPP only: burst-state rate multiplier and the mean dwell times of
+  /// the two states (dwells are exponential).
+  double burst_multiplier = 4.0;
+  double burst_dwell_s = 60.0;
+  double calm_dwell_s = 600.0;
+
+  /// Distinct repositories in the pool jobs draw from (O(1) memory per
+  /// arrival regardless of the job count).
+  std::size_t repo_pool = 256;
+
+  /// Popularity skew exponent: pool index = floor(pool * u^skew). 1 =
+  /// uniform popularity; larger values concentrate reuse on few repos.
+  double popularity_skew = 2.0;
+
+  bool operator==(const OpenArrivalSpec&) const = default;
+};
+
+/// "poisson" / "mmpp".
+[[nodiscard]] std::string open_process_name(OpenArrivalSpec::Process process);
+
+/// Parses a process name; throws std::invalid_argument on unknown names.
+[[nodiscard]] OpenArrivalSpec::Process open_process_from_name(const std::string& name);
+
+/// A lazy, deterministic job stream. next() returns jobs in arrival order
+/// (created_at non-decreasing) until the duration or max_jobs bound is hit,
+/// then nullopt forever. The stream holds O(repo_pool) state — no trace is
+/// ever materialized. Substreams: "open/arrivals/<name>" for the arrival
+/// process, "open/body/<name>" for pool construction and job bodies.
+class OpenArrivalStream {
+ public:
+  /// `body` supplies the size-class weights, ranges and fixed cost; its
+  /// arrival fields are ignored. Throws std::invalid_argument on weight
+  /// vectors that violate weighted_index's precondition or an out-of-range
+  /// OpenArrivalSpec (validate() reports the same problems structurally).
+  OpenArrivalStream(const WorkloadSpec& body, const OpenArrivalSpec& spec,
+                    const SeedSequencer& seeds, workflow::TaskId task = 0);
+
+  /// The next arriving job, or nullopt once the stream is exhausted.
+  [[nodiscard]] std::optional<workflow::Job> next();
+
+  [[nodiscard]] const RepositoryCatalog& catalog() const noexcept { return catalog_; }
+  [[nodiscard]] std::uint64_t emitted() const noexcept { return emitted_; }
+  /// "open:poisson" / "open:mmpp" — used as the workload name in reports.
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  /// Advances now_s_ to the next accepted arrival; false when exhausted.
+  [[nodiscard]] bool advance();
+
+  WorkloadSpec body_;
+  OpenArrivalSpec spec_;
+  workflow::TaskId task_;
+  std::string name_;
+  RepositoryCatalog catalog_;
+  std::vector<storage::ResourceId> pool_;
+  RandomStream arrival_rng_;
+  RandomStream body_rng_;
+  double now_s_ = 0.0;
+  bool burst_ = false;          ///< MMPP state (calm/burst)
+  double state_until_s_ = 0.0;  ///< MMPP: end of the current dwell
+  std::uint64_t emitted_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace dlaja::workload

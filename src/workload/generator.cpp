@@ -84,6 +84,10 @@ MegaBytes GeneratedWorkload::naive_mb() const {
 GeneratedWorkload generate_workload(const WorkloadSpec& spec, const SeedSequencer& seeds,
                                     workflow::TaskId task) {
   if (spec.job_count == 0) throw std::invalid_argument("generate_workload: zero jobs");
+  if (spec.arrival == WorkloadSpec::ArrivalProcess::kBursty && spec.burst_size == 0) {
+    throw std::invalid_argument(
+        "generate_workload: burst_size must be >= 1 for bursty arrivals");
+  }
   GeneratedWorkload result;
   result.name = spec.name;
   result.catalog = RepositoryCatalog(spec.ranges);
@@ -127,8 +131,9 @@ GeneratedWorkload generate_workload(const WorkloadSpec& spec, const SeedSequence
         break;
       case WorkloadSpec::ArrivalProcess::kBursty:
         // Jobs inside a burst share an instant; bursts are spaced so the
-        // long-run rate matches arrival_mean_s per job.
-        if (i % std::max<std::size_t>(1, spec.burst_size) == 0) {
+        // long-run rate matches arrival_mean_s per job. burst_size >= 1 is
+        // enforced above (and by ExperimentSpec::validate()).
+        if (i % spec.burst_size == 0) {
           arrival += ticks_from_seconds(arrival_rng.exponential(
               spec.arrival_mean_s * static_cast<double>(spec.burst_size)));
         }

@@ -9,26 +9,24 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/log.hpp"
 #include "util/rng.hpp"
 
 namespace dlaja::workload {
 
 namespace {
 
-[[nodiscard]] double field_to_double(const std::string& token, std::size_t line_no) {
-  double value = 0.0;
+[[nodiscard]] bool field_to_double(const std::string& token, double& value) {
   const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
-  if (ec != std::errc{} || ptr != token.data() + token.size()) {
-    throw std::runtime_error("swf: non-numeric field '" + token + "' on line " +
-                             std::to_string(line_no));
-  }
-  return value;
+  return ec == std::errc{} && ptr == token.data() + token.size();
 }
 
 }  // namespace
 
-std::vector<SwfJob> parse_swf(std::istream& in) {
+std::vector<SwfJob> parse_swf(std::istream& in, const SwfParseOptions& options,
+                              SwfParseStats* stats) {
   std::vector<SwfJob> records;
+  SwfParseStats local;
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
@@ -36,11 +34,37 @@ std::vector<SwfJob> parse_swf(std::istream& in) {
     // Header/comment lines and blanks.
     const auto first = line.find_first_not_of(" \t\r");
     if (first == std::string::npos || line[first] == ';') continue;
+    ++local.data_lines;
 
     std::istringstream fields(line);
     std::vector<double> values;
     std::string token;
-    while (fields >> token) values.push_back(field_to_double(token, line_no));
+    bool malformed = false;
+    while (fields >> token) {
+      double value = 0.0;
+      if (!field_to_double(token, value)) {
+        if (options.strict) {
+          throw std::runtime_error("swf: non-numeric field '" + token + "' on line " +
+                                   std::to_string(line_no));
+        }
+        malformed = true;
+        break;
+      }
+      values.push_back(value);
+    }
+    if (malformed) {
+      // Recoverable: drop the line, remember it happened, warn exactly once
+      // per call — a million-line archive with scattered corruption should
+      // not flood the log (or abort the load, as it used to).
+      ++local.malformed_lines;
+      if (local.first_bad_line == 0) {
+        local.first_bad_line = line_no;
+        DLAJA_LOG(kWarn, "swf") << "skipping malformed line " << line_no << " ('" << token
+                                << "' is not numeric); further bad lines are counted "
+                                   "silently";
+      }
+      continue;
+    }
     if (values.empty()) continue;
 
     // SWF defines 18 fields; tolerate truncated logs.
@@ -58,7 +82,9 @@ std::vector<SwfJob> parse_swf(std::istream& in) {
     job.user_id = static_cast<std::int64_t>(get(11));
     job.executable = static_cast<std::int64_t>(get(13));
     records.push_back(job);
+    ++local.records;
   }
+  if (stats != nullptr) *stats = local;
   return records;
 }
 

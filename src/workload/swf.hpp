@@ -62,9 +62,31 @@ struct SwfOptions {
   Tick fixed_cost = ticks_from_millis(100.0);
 };
 
+/// Parse behaviour knobs.
+struct SwfParseOptions {
+  /// Lenient (default): a line with a non-numeric field is skipped and
+  /// counted — real archive logs carry the odd corrupted record, and one
+  /// bad line should not abort a million-job load. Strict: throw
+  /// std::runtime_error on the first malformed field (the historical
+  /// behaviour), for callers that treat any corruption as fatal.
+  bool strict = false;
+};
+
+/// What parse_swf saw (lenient-mode accounting).
+struct SwfParseStats {
+  std::size_t data_lines = 0;       ///< non-comment, non-blank lines seen
+  std::size_t records = 0;          ///< lines parsed into records
+  std::size_t malformed_lines = 0;  ///< lines skipped over a bad field
+  std::size_t first_bad_line = 0;   ///< line number of the first skip (0 = none)
+};
+
 /// Parses SWF text into records. Tolerates short lines (missing trailing
-/// fields become -1); throws std::runtime_error on non-numeric fields.
-[[nodiscard]] std::vector<SwfJob> parse_swf(std::istream& in);
+/// fields become -1). Malformed fields: skipped + counted in `stats` with
+/// a single warning log per call (lenient, default), or a thrown
+/// std::runtime_error naming line and token (options.strict).
+[[nodiscard]] std::vector<SwfJob> parse_swf(std::istream& in,
+                                            const SwfParseOptions& options = {},
+                                            SwfParseStats* stats = nullptr);
 
 /// Converts records into a runnable workload per the mapping above.
 /// Jobs are emitted in submit order with ids 1..N.

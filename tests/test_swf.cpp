@@ -46,9 +46,58 @@ TEST(Swf, ToleratesShortLinesRejectsGarbage) {
     EXPECT_EQ(records[0].executable, -1);
   }
   {
+    // Strict mode keeps the historical abort-on-garbage contract.
     std::istringstream in("1 0 -1 abc\n");
-    EXPECT_THROW(parse_swf(in), std::runtime_error);
+    SwfParseOptions strict;
+    strict.strict = true;
+    EXPECT_THROW(parse_swf(in, strict), std::runtime_error);
   }
+}
+
+TEST(Swf, CorruptedLineIsSkippedAndCounted) {
+  // One corrupted record in the middle of an otherwise clean archive must
+  // not abort the load: the line is dropped, counted, and every healthy
+  // record survives.
+  std::istringstream in(
+      "; header\n"
+      "1 0  -1 100 1 -1 1048576 1 150 -1 1 10 1 7 1 1 -1 -1\n"
+      "2 30 -1 2#X 1 -1 -1      1 300 -1 1 11 1 7 1 1 -1 -1\n"  // corrupted run time
+      "3 60 -1 50  1 -1 524288  1 80  -1 1 12 1 9 1 1 -1 -1\n");
+  SwfParseStats stats;
+  const auto records = parse_swf(in, {}, &stats);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].job_number, 1);
+  EXPECT_EQ(records[1].job_number, 3);
+  EXPECT_EQ(stats.data_lines, 3u);
+  EXPECT_EQ(stats.records, 2u);
+  EXPECT_EQ(stats.malformed_lines, 1u);
+  EXPECT_EQ(stats.first_bad_line, 3u);  // 1-based, counting the comment line
+}
+
+TEST(Swf, StrictModeNamesLineAndToken) {
+  std::istringstream in(
+      "1 0 -1 100 1 -1 -1 1 150 -1 1 10 1 7 1 1 -1 -1\n"
+      "2 30 -1 oops 1 -1 -1 1 300 -1 1 11 1 7 1 1 -1 -1\n");
+  SwfParseOptions strict;
+  strict.strict = true;
+  try {
+    (void)parse_swf(in, strict);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("oops"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+  }
+}
+
+TEST(Swf, CleanParseReportsZeroMalformed) {
+  std::istringstream in(kSample);
+  SwfParseStats stats;
+  const auto records = parse_swf(in, {}, &stats);
+  EXPECT_EQ(records.size(), 5u);
+  EXPECT_EQ(stats.malformed_lines, 0u);
+  EXPECT_EQ(stats.first_bad_line, 0u);
+  EXPECT_EQ(stats.records, stats.data_lines);
 }
 
 TEST(Swf, ConversionMapsFieldsPerContract) {

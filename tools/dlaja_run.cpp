@@ -178,6 +178,24 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
 
+  if (spec.open_arrivals) {
+    // Open-arrival runs are about steady state, not batch makespan: report
+    // sustained throughput and the sojourn distribution the streaming
+    // engine folded into the registry (percentiles via the log-linear
+    // histogram; p99/p999 live in the telemetry series / --telemetry-csv).
+    for (const auto& r : reports) {
+      const double jps = r.exec_time_s > 0.0
+                             ? static_cast<double>(r.jobs_completed) / r.exec_time_s
+                             : 0.0;
+      std::cout << "steady state (iter " << r.iteration << "): " << fmt_fixed(jps, 1)
+                << " jobs/s sustained, sojourn mean=" << fmt_fixed(r.stat("job.sojourn_s.mean"), 3)
+                << "s p50=" << fmt_fixed(r.stat("job.sojourn_s.p50"), 3)
+                << "s p95=" << fmt_fixed(r.stat("job.sojourn_s.p95"), 3)
+                << "s max=" << fmt_fixed(r.stat("job.sojourn_s.max"), 3) << "s over "
+                << static_cast<std::uint64_t>(r.stat("job.sojourn_s.count")) << " jobs\n";
+    }
+  }
+
   if (with_faults) {
     // Job conservation across all iterations: every submission is a root or
     // a retry, and every attempt ends acked, voided-then-retried, or
@@ -232,7 +250,10 @@ int main(int argc, char** argv) {
     }
     const workload::WorkloadSpec wspec =
         spec.custom_workload ? *spec.custom_workload : workload::make_workload_spec(spec.job_config);
-    const auto workload = workload::generate_workload(wspec, SeedSequencer(spec.seed));
+    workload::GeneratedWorkload workload;
+    if (!spec.open_arrivals) {
+      workload = workload::generate_workload(wspec, SeedSequencer(spec.seed));
+    }
     std::vector<cluster::WorkerConfig> fleet = cluster::make_fleet(spec.fleet, spec.worker_count);
     if (spec.flat_control_plane) {
       for (cluster::WorkerConfig& cfg : fleet) cfg.latency_jitter_ms = 0.0;
@@ -246,7 +267,13 @@ int main(int argc, char** argv) {
       engine.simulator().set_tracer(&tracer);
     }
     try {
-      (void)engine.run(workload.jobs);
+      if (spec.open_arrivals) {
+        const SeedSequencer workload_seeds(spec.seed);
+        workload::OpenArrivalStream stream(wspec, *spec.open_arrivals, workload_seeds);
+        (void)engine.run_stream([&stream] { return stream.next(); });
+      } else {
+        (void)engine.run(workload.jobs);
+      }
     } catch (const std::runtime_error& error) {
       std::cerr << error.what() << "\n";
       return 2;
@@ -289,6 +316,22 @@ int main(int argc, char** argv) {
       std::cout << "telemetry: " << series.names.size() << " series x " << series.ticks.size()
                 << " samples, watchdog " << (config.telemetry.watchdog ? "clean" : "off")
                 << "\n";
+      if (spec.open_arrivals && !series.empty()) {
+        // Final sampled values of the streaming gauges: the steady-state
+        // sojourn tail and sustained throughput at the end of the horizon.
+        const auto last_of = [&](const std::string& name) {
+          for (std::size_t s = 0; s < series.names.size(); ++s) {
+            if (series.names[s] == name && !series.values[s].empty()) {
+              return series.values[s].back();
+            }
+          }
+          return 0.0;
+        };
+        std::cout << "steady state @ end: " << fmt_fixed(last_of("master.throughput_jps"), 1)
+                  << " jobs/s, sojourn p50=" << fmt_fixed(last_of("job.sojourn_p50_s"), 3)
+                  << "s p99=" << fmt_fixed(last_of("job.sojourn_p99_s"), 3)
+                  << "s p999=" << fmt_fixed(last_of("job.sojourn_p999_s"), 3) << "s\n";
+      }
       if (!telemetry_csv_path.empty()) {
         std::ofstream out(telemetry_csv_path);
         if (!out) {
