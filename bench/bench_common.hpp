@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "sched/factory.hpp"
 #include "metrics/report.hpp"
 #include "util/table.hpp"
 

@@ -23,12 +23,16 @@ done
 # subscriber slab and in-flight message slab (generation-tagged slots,
 # handler re-entry, coalesced batches). test_telemetry rides along because
 # samplers hold raw pointers into the probe registry and the watchdog path
-# dumps mid-run state. The asan preset bundles address+undefined; the ubsan
-# preset runs undefined alone (no shadow memory), which changes layout
-# enough to surface different misuses.
+# dumps mid-run state. test_federation and test_sched_spec ride along
+# because the federated wrapper hands each instance a masked view of the
+# shared fleet (raw WorkerNode pointers nulled outside the partition) and
+# re-routes in-flight jobs across instances on crash/adoption — pointer
+# lifetime paths only the sanitizers can vouch for. The asan preset bundles
+# address+undefined; the ubsan preset runs undefined alone (no shadow
+# memory), which changes layout enough to surface different misuses.
 SAN_TESTS=(test_simulator test_sim_alloc test_stress
            test_flow test_flow_properties test_flow_alloc test_obs test_fault
-           test_scale test_shard test_telemetry)
+           test_scale test_shard test_telemetry test_sched_spec test_federation)
 export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
 export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
 for PRESET in asan ubsan; do
@@ -51,7 +55,9 @@ done
 # test_thread_pool exercises the pool itself, test_shard the full engine,
 # test_scale the fan-out policies (the cached goldens run under --shards 4),
 # test_telemetry the per-shard samplers confirmed at window barriers.
-TSAN_TESTS=(test_thread_pool test_shard test_scale test_telemetry)
+# test_federation rides along for its 4-shard federated golden: N scheduler
+# instances sharing one broker while shard sims run on real threads.
+TSAN_TESTS=(test_thread_pool test_shard test_scale test_telemetry test_federation)
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 echo "==== sanitizer pass (tsan)"
 cmake --preset tsan

@@ -89,6 +89,25 @@ struct LoadReport {
   double backlog_s = 0.0;
 };
 
+/// Federation router -> scheduler instance: a job handed to partition
+/// `hops == 0 ? home : spill target` of a federated control plane. `hops`
+/// counts cross-partition forwards; at most one spill per job keeps the
+/// protocol loop-free.
+struct RouteJob {
+  workflow::Job job;
+  std::uint32_t hops = 0;
+};
+
+/// Scheduler instance -> all instances (topic "fed/digests"): periodic
+/// eventually-consistent load advertisement. `load` is queued+running jobs
+/// per live worker of `partition`; `at_tick` stamps when it was measured so
+/// receivers can enforce the staleness bound.
+struct LoadDigest {
+  std::uint32_t partition = 0;
+  double load = 0.0;
+  std::int64_t at_tick = 0;
+};
+
 /// Worker -> master: job finished (Listing 2, consumeJob tail).
 struct CompletionReport {
   workflow::JobId job_id = 0;
@@ -107,7 +126,10 @@ struct NoWorkNotice {};
 
 namespace topics {
 inline constexpr const char* kBidRequests = "bids/requests";
-}
+/// All federated scheduler instances subscribe: LoadDigest broadcasts.
+/// Deliberately unscoped — the digest bus is the one shared channel.
+inline constexpr const char* kFedDigests = "fed/digests";
+}  // namespace topics
 namespace mailboxes {
 inline constexpr const char* kBids = "bids";
 inline constexpr const char* kJobs = "jobs";
@@ -118,6 +140,7 @@ inline constexpr const char* kWorkRequests = "work-requests";
 inline constexpr const char* kPlacements = "placements";          ///< worker: DirectPlacement
 inline constexpr const char* kPlacementAcks = "placement-acks";   ///< master: PlacementResponse
 inline constexpr const char* kLoadReports = "load-reports";       ///< master: LoadReport
+inline constexpr const char* kFedJobs = "fed/jobs";               ///< sched instance: RouteJob
 }  // namespace mailboxes
 
 }  // namespace dlaja::cluster

@@ -164,6 +164,22 @@ Engine::Engine(const std::vector<cluster::WorkerConfig>& fleet,
         config_.faults.degradations, config_.faults.messages, seeds_, std::move(hooks));
     injector_->arm();
   }
+  if (faults_on && !sharded()) {
+    // Scheduler-instance crashes are pure scheduler callbacks (no worker or
+    // network state), so plain simulator events suffice here.
+    for (const fault::SchedCrashEvent& crash : config_.faults.sched_crashes) {
+      const std::uint32_t instance = crash.instance;
+      sim_.schedule_at(crash.at, [this, instance] {
+        ++sched_crashes_;
+        scheduler_->on_scheduler_crash(instance);
+      });
+      if (crash.down_for > 0) {
+        sim_.schedule_at(crash.at + crash.down_for, [this, instance] {
+          scheduler_->on_scheduler_recovered(instance);
+        });
+      }
+    }
+  }
   if (faults_on && sharded()) {
     // Sharded runs apply crash/recover/degrade at window barriers instead of
     // via injector events: the hooks mutate worker and network state that a
@@ -175,6 +191,16 @@ Engine::Engine(const std::vector<cluster::WorkerConfig>& fleet,
       if (crash.down_for > 0) {
         fault_timeline_.push_back(
             TimedFault{crash.at + crash.down_for, TimedFault::Kind::kRecover, w});
+      }
+    }
+    for (const fault::SchedCrashEvent& crash : config_.faults.sched_crashes) {
+      // Scheduler callbacks run on the control shard; at barriers no shard
+      // is running, so the same barrier path as worker faults is safe.
+      fault_timeline_.push_back(
+          TimedFault{crash.at, TimedFault::Kind::kSchedCrash, crash.instance});
+      if (crash.down_for > 0) {
+        fault_timeline_.push_back(TimedFault{crash.at + crash.down_for,
+                                             TimedFault::Kind::kSchedRecover, crash.instance});
       }
     }
     for (const fault::DegradeWindow& window : config_.faults.degradations) {
@@ -454,6 +480,13 @@ void Engine::apply_timed_fault(const TimedFault& fault) {
     case TimedFault::Kind::kRecover: apply_recover(fault.worker); break;
     case TimedFault::Kind::kDegrade:
       network_->set_degradation(worker_nodes_[fault.worker], fault.factor);
+      break;
+    case TimedFault::Kind::kSchedCrash:
+      ++sched_crashes_;
+      scheduler_->on_scheduler_crash(fault.worker);
+      break;
+    case TimedFault::Kind::kSchedRecover:
+      scheduler_->on_scheduler_recovered(fault.worker);
       break;
   }
 }
@@ -934,6 +967,11 @@ metrics::RunReport Engine::finish_run() {
     registry.counter("fault.msg_dropped").add(static_cast<double>(broker_stats.fault_dropped));
     registry.counter("fault.msg_duplicated")
         .add(static_cast<double>(broker_stats.fault_duplicated));
+    // Gated on the plan having sched_crash clauses so pre-federation fault
+    // CSVs keep their exact column set.
+    if (!config_.faults.sched_crashes.empty()) {
+      registry.counter("fault.sched_crashes").add(static_cast<double>(sched_crashes_));
+    }
   }
   if (lifecycle_) {
     const JobLifecycle::Stats& ls = lifecycle_->stats();

@@ -170,6 +170,7 @@ class Engine {
   }
   [[nodiscard]] std::uint64_t worker_crashes() const noexcept { return crashes_; }
   [[nodiscard]] std::uint64_t worker_recoveries() const noexcept { return recoveries_; }
+  [[nodiscard]] std::uint64_t scheduler_crashes() const noexcept { return sched_crashes_; }
   /// Null when the lifecycle is disabled (fault-free runs).
   [[nodiscard]] const JobLifecycle* lifecycle() const noexcept { return lifecycle_.get(); }
   /// Number of worker shards (1 = single-threaded kernel).
@@ -206,10 +207,10 @@ class Engine {
   /// sharded runs (the injector's event-driven path would mutate worker
   /// state mid-window).
   struct TimedFault {
-    enum class Kind : std::uint8_t { kCrash, kRecover, kDegrade };
+    enum class Kind : std::uint8_t { kCrash, kRecover, kDegrade, kSchedCrash, kSchedRecover };
     Tick at = 0;
     Kind kind = Kind::kCrash;
-    cluster::WorkerIndex worker = 0;
+    cluster::WorkerIndex worker = 0;  ///< scheduler instance for kSched* kinds
     double factor = 1.0;  ///< degrade multiplier (1.0 restores)
   };
 
@@ -300,6 +301,7 @@ class Engine {
   std::uint64_t reassigned_ = 0;
   std::uint64_t crashes_ = 0;
   std::uint64_t recoveries_ = 0;
+  std::uint64_t sched_crashes_ = 0;
   /// Both null in fault-free runs: nothing is constructed, armed or drawn.
   std::unique_ptr<JobLifecycle> lifecycle_;
   std::unique_ptr<fault::FaultInjector> injector_;

@@ -20,7 +20,7 @@ namespace {
 
 [[nodiscard]] std::unique_ptr<sched::Scheduler> build_scheduler(const ExperimentSpec& spec) {
   if (spec.make_scheduler) return spec.make_scheduler();
-  return sched::make_scheduler(spec.scheduler, spec.seed);
+  return spec.scheduler.build(spec.seed);
 }
 
 [[nodiscard]] std::vector<cluster::WorkerConfig> build_fleet(const ExperimentSpec& spec) {

@@ -19,7 +19,7 @@
 #include "cluster/config.hpp"
 #include "core/engine.hpp"
 #include "metrics/report.hpp"
-#include "sched/factory.hpp"
+#include "sched/spec.hpp"
 #include "util/json.hpp"
 #include "workload/arrivals.hpp"
 #include "workload/generator.hpp"
@@ -43,10 +43,12 @@ struct ExperimentSpec {
   /// Optional scenario name (reports/logs; "" = anonymous).
   std::string name;
 
-  /// Scheduler config string for the factory ("bidding",
-  /// "bidding:fanout=probe:4", "baseline:declines=2", ...). Ignored when
-  /// `make_scheduler` is set.
-  std::string scheduler = "bidding";
+  /// The scheduler, as one structured spec (sched/spec.hpp). Config strings
+  /// still assign directly ("bidding:fanout=probe:4" — implicit parse
+  /// sugar); scenarios may use the string or the object JSON form; the
+  /// federated control plane configures through `scheduler.federation`.
+  /// Ignored when `make_scheduler` is set.
+  sched::SchedulerSpec scheduler = {};
 
   /// Deprecated escape hatch: a custom scheduler constructor. Prefer
   /// config-string specs (they validate, serialize to scenarios, and name

@@ -206,14 +206,31 @@ std::vector<ValidationIssue> ExperimentSpec::validate() const {
   }
   if (open_arrivals) validate_arrivals(*open_arrivals, issues);
   if (!make_scheduler) {
-    std::string error = sched::check_scheduler_spec(scheduler, fleet_size);
-    if (!error.empty()) issues.push_back({"scheduler", std::move(error)});
+    for (sched::SpecIssue& issue : scheduler.validate(fleet_size)) {
+      issues.push_back({std::move(issue.field), std::move(issue.message)});
+    }
   }
   for (const fault::CrashEvent& crash : faults.crashes) {
     if (crash.worker >= fleet_size) {
       issues.push_back({"faults", "crash clause names worker " + std::to_string(crash.worker) +
                                       " but the fleet has " + std::to_string(fleet_size) +
                                       " workers"});
+    }
+  }
+  if (!faults.sched_crashes.empty() && !make_scheduler &&
+      !scheduler.federation.active()) {
+    issues.push_back({"faults",
+                      "sched_crash clause requires a federated scheduler "
+                      "(fed.partitions > 1)"});
+  }
+  for (const fault::SchedCrashEvent& crash : faults.sched_crashes) {
+    if (!make_scheduler && scheduler.federation.active() &&
+        crash.instance >= scheduler.federation.partitions) {
+      issues.push_back({"faults", "sched_crash clause names instance " +
+                                      std::to_string(crash.instance) +
+                                      " but the federation has " +
+                                      std::to_string(scheduler.federation.partitions) +
+                                      " partitions"});
     }
   }
   for (const fault::DegradeWindow& window : faults.degradations) {
@@ -240,9 +257,8 @@ std::vector<ValidationIssue> ExperimentSpec::validate() const {
     issues.push_back({"shards", "more shards (" + std::to_string(shards) +
                                     ") than workers (" + std::to_string(fleet_size) + ")"});
   }
-  if (shards > 1 && !make_scheduler &&
-      sched::check_scheduler_spec(scheduler, fleet_size).empty()) {
-    const std::unique_ptr<sched::Scheduler> probe = sched::make_scheduler(scheduler, seed);
+  if (shards > 1 && !make_scheduler && scheduler.validate(fleet_size).empty()) {
+    const std::unique_ptr<sched::Scheduler> probe = scheduler.build(seed);
     if (!probe->supports_sharding()) {
       issues.push_back({"shards", "scheduler '" + probe->name() +
                                       "' does not support sharded execution"});
@@ -259,7 +275,9 @@ ExperimentSpec ExperimentSpec::from_json(const json::Value& doc) {
     if (key == "name") {
       spec.name = need_string(value, key);
     } else if (key == "scheduler") {
-      spec.scheduler = need_string(value, key);
+      // Accepts both the legacy config string ("bidding:fanout=probe:4")
+      // and the structured object form {type, fanout, ..., federation}.
+      spec.scheduler = sched::SchedulerSpec::from_json(value);
     } else if (key == "workload") {
       spec.job_config = workload::job_config_from_name(need_string(value, key));
     } else if (key == "jobs") {
@@ -333,7 +351,7 @@ json::Value ExperimentSpec::to_json() const {
 
   json::Object obj;
   if (!name.empty()) obj["name"] = name;
-  obj["scheduler"] = scheduler;
+  obj["scheduler"] = scheduler.to_json();
   obj["workload"] = workload::job_config_name(job_config);
   obj["jobs"] = jobs;
   obj["fleet"] = cluster::fleet_preset_name(fleet);

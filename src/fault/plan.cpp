@@ -93,6 +93,12 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
                                     "': negative window/down");
       }
       plan.random_crashes.push_back(random);
+    } else if (kind == "sched_crash") {
+      SchedCrashEvent crash;
+      crash.instance = static_cast<std::uint32_t>(need_double(kv, "s", clause));
+      crash.at = ticks_from_seconds(need_double(kv, "at", clause));
+      crash.down_for = ticks_from_seconds(opt_double(kv, "down", 0.0, clause));
+      plan.sched_crashes.push_back(crash);
     } else if (kind == "degrade") {
       DegradeWindow window;
       window.worker = static_cast<std::uint32_t>(need_double(kv, "w", clause));
@@ -111,7 +117,7 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
     } else {
       throw std::invalid_argument(
           "bad fault clause '" + clause +
-          "' (crash:|crashes:|degrade:|drop:|dup: — see --faults help)");
+          "' (crash:|crashes:|sched_crash:|degrade:|drop:|dup: — see --faults help)");
     }
   }
   return plan;
@@ -133,6 +139,12 @@ std::string FaultPlan::spec() const {
     std::string c = "crashes:p=" + fmt_shortest(random.per_worker_p) +
                     ",window=" + fmt_shortest(random.window_s);
     if (random.mean_down_s > 0.0) c += ",down=" + fmt_shortest(random.mean_down_s);
+    clause(c);
+  }
+  for (const SchedCrashEvent& crash : sched_crashes) {
+    std::string c = "sched_crash:s=" + std::to_string(crash.instance) +
+                    ",at=" + fmt_shortest(seconds_from_ticks(crash.at));
+    if (crash.down_for > 0) c += ",down=" + fmt_shortest(seconds_from_ticks(crash.down_for));
     clause(c);
   }
   for (const DegradeWindow& window : degradations) {
@@ -158,6 +170,11 @@ std::string FaultPlan::describe() const {
     out << sep << "random crashes p=" << random.per_worker_p << " in " << random.window_s
         << "s";
     if (random.mean_down_s > 0.0) out << " (mean downtime " << random.mean_down_s << "s)";
+    sep = ", ";
+  }
+  if (!sched_crashes.empty()) {
+    out << sep << sched_crashes.size() << " scheduler crash"
+        << (sched_crashes.size() == 1 ? "" : "es");
     sep = ", ";
   }
   if (!degradations.empty()) {

@@ -23,6 +23,13 @@
 //   drop:p=0.01                  each broker delivery is lost with prob. p
 //   dup:p=0.005                  each broker delivery is duplicated with
 //                                probability p
+//   sched_crash:s=1,at=20,down=40
+//                                federated scheduler instance 1 crashes at
+//                                t=20s and recovers after 40s (omit down
+//                                for a permanent crash). Requires a
+//                                federated scheduler (fed.partitions > 1);
+//                                its partition is adopted by the configured
+//                                successor after the adoption grace.
 
 #include <cstdint>
 #include <string>
@@ -36,6 +43,13 @@ namespace dlaja::fault {
 /// One concrete crash (and optional recovery) of one worker.
 struct CrashEvent {
   std::uint32_t worker = 0;
+  Tick at = 0;
+  Tick down_for = 0;  ///< 0 = never recovers
+};
+
+/// One crash (and optional recovery) of one federated scheduler instance.
+struct SchedCrashEvent {
+  std::uint32_t instance = 0;
   Tick at = 0;
   Tick down_for = 0;  ///< 0 = never recovers
 };
@@ -65,12 +79,13 @@ struct RandomCrashes {
 struct FaultPlan {
   std::vector<CrashEvent> crashes;
   std::vector<RandomCrashes> random_crashes;
+  std::vector<SchedCrashEvent> sched_crashes;
   std::vector<DegradeWindow> degradations;
   MessageFaults messages;
 
   [[nodiscard]] bool empty() const noexcept {
-    return crashes.empty() && random_crashes.empty() && degradations.empty() &&
-           !messages.any();
+    return crashes.empty() && random_crashes.empty() && sched_crashes.empty() &&
+           degradations.empty() && !messages.any();
   }
 
   /// Parses the spec grammar above. Throws std::invalid_argument on errors.

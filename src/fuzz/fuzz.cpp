@@ -205,7 +205,7 @@ core::ExperimentSpec random_spec(std::uint64_t seed, std::uint64_t index) {
 
   // Shards: the bidding family (without learned correction) is the only
   // sharding-capable scheduler; validate() would reject anything else.
-  const bool bidding_family = spec.scheduler.rfind("bidding", 0) == 0;
+  const bool bidding_family = spec.scheduler.type() == "bidding";
   if (equivalence_cell || (bidding_family && rng.bernoulli(0.4))) {
     const auto max_shards = static_cast<std::int64_t>(std::min<std::size_t>(4, spec.worker_count));
     spec.shards = static_cast<std::size_t>(rng.uniform_int(2, std::max<std::int64_t>(2, max_shards)));
@@ -258,8 +258,34 @@ core::ExperimentSpec random_spec(std::uint64_t seed, std::uint64_t index) {
 
     // Fault plans only on the schedulers whose fault handling the suite
     // pins (bidding/baseline/spark-like conserve jobs under the lifecycle).
-    const bool fault_capable =
-        bidding_family || spec.scheduler.rfind("baseline", 0) == 0 || spec.scheduler == "spark-like";
+    const bool fault_capable = bidding_family || spec.scheduler.type() == "baseline" ||
+                               spec.scheduler.type() == "spark-like";
+
+    // Federated cells: wrap the drawn policy in 1-4 partitions, sometimes
+    // with spill enabled, so partition routing, digests, and the
+    // partitions=1 identity (checked below in check_spec) all get fuzzed.
+    if (spec.worker_count >= 2 && rng.bernoulli(0.3)) {
+      sched::FederationSpec fed;
+      // Every partition keeps >= 2 workers so the drawn probe/cached
+      // fan-outs (k <= 2) always fit the smallest partition.
+      const auto max_parts = static_cast<std::int64_t>(
+          std::max<std::size_t>(1, std::min<std::size_t>(4, spec.worker_count / 2)));
+      fed.partitions = static_cast<std::uint32_t>(rng.uniform_int(1, max_parts));
+      fed.digest_interval_s = static_cast<double>(rng.uniform_int(1, 5));
+      if (fed.partitions > 1) {
+        if (rng.bernoulli(0.5)) fed.spill_threshold = rng.uniform(1.0, 3.0);
+        if (rng.bernoulli(0.3)) {
+          fed.successor = static_cast<std::int32_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(fed.partitions) - 1));
+        }
+      }
+      spec.scheduler.federation = fed;
+      // Federation composes with shards only when every inner policy
+      // shards; keep the fuzz surface orthogonal and drop shards here.
+      spec.shards = 1;
+    }
+    const sched::FederationSpec& fed = spec.scheduler.federation;
+
     if (fault_capable && rng.bernoulli(0.35)) {
       std::string plan =
           "crash:w=" + std::to_string(rng.uniform_int(0, static_cast<std::int64_t>(spec.worker_count) - 1)) +
@@ -276,6 +302,14 @@ core::ExperimentSpec random_spec(std::uint64_t seed, std::uint64_t index) {
           case 2: plan += ";drop:p=0.01"; break;
           default: plan += ";dup:p=0.01"; break;
         }
+      }
+      // Scheduler crashes only exist under federation; draw one against a
+      // random instance so adoption + conservation get fuzzed together.
+      if (fed.active() && rng.bernoulli(0.5)) {
+        plan += ";sched_crash:s=" +
+                std::to_string(rng.uniform_int(0, static_cast<std::int64_t>(fed.partitions) - 1)) +
+                ",at=" + std::to_string(rng.uniform_int(2, 10)) +
+                ",down=" + std::to_string(rng.uniform_int(10, 30));
       }
       spec.faults = fault::FaultPlan::parse(plan);
     }
@@ -354,6 +388,27 @@ std::optional<Violation> check_spec(const core::ExperimentSpec& spec,
     }
   }
 
+  // Federation identity: partitions=1 must be bit-identical to the same
+  // spec with no federation configured at all — the guarantee that keeps
+  // every pre-federation golden valid (build() constructs the plain policy
+  // in both cases; this pins that nothing else diverges either).
+  if (spec.scheduler.federation.partitions == 1 &&
+      !(spec.scheduler.federation == sched::FederationSpec{})) {
+    core::ExperimentSpec alt = armed;
+    alt.scheduler.federation = {};
+    std::vector<metrics::RunReport> plain;
+    if (auto violation = run_probed(alt, plain)) {
+      violation->invariant = "federation-identity";
+      violation->detail = "federation-free twin threw: " + violation->detail;
+      return violation;
+    }
+    if (fingerprint(reports) != fingerprint(plain)) {
+      return Violation{"federation-identity",
+                       "partitions=1 and a federation-free spec produced different "
+                       "report fingerprints"};
+    }
+  }
+
   // Shard equivalence: for in-contract specs, shard-count-independent
   // report cells must match exactly between shards=1 and shards=N.
   if (options.shard_equivalence && shard_equivalence_eligible(spec)) {
@@ -406,6 +461,21 @@ std::optional<core::ExperimentSpec> t_drop_random_crashes(const core::Experiment
   if (s.faults.random_crashes.empty()) return std::nullopt;
   core::ExperimentSpec c = s;
   c.faults.random_crashes.clear();
+  return c;
+}
+
+std::optional<core::ExperimentSpec> t_drop_sched_crashes(const core::ExperimentSpec& s) {
+  if (s.faults.sched_crashes.empty()) return std::nullopt;
+  core::ExperimentSpec c = s;
+  c.faults.sched_crashes.clear();
+  return c;
+}
+
+std::optional<core::ExperimentSpec> t_no_federation(const core::ExperimentSpec& s) {
+  if (s.scheduler.federation == sched::FederationSpec{}) return std::nullopt;
+  core::ExperimentSpec c = s;
+  c.scheduler.federation = {};
+  c.faults.sched_crashes.clear();  // sched_crash clauses need federation
   return c;
 }
 
@@ -512,9 +582,10 @@ std::optional<core::ExperimentSpec> t_shrink_pool(const core::ExperimentSpec& s)
 
 constexpr Transform kTransforms[] = {
     t_one_iteration,    t_drop_random_crashes, t_drop_explicit_crashes, t_drop_degradations,
-    t_drop_message_faults, t_halve_jobs,       t_halve_workers,         t_one_shard,
-    t_no_noise,         t_halve_duration,      t_halve_rate,            t_plain_poisson,
-    t_shrink_pool,      t_no_carry,            t_decrement_jobs,        t_decrement_workers,
+    t_drop_message_faults, t_drop_sched_crashes, t_no_federation,       t_halve_jobs,
+    t_halve_workers,    t_one_shard,           t_no_noise,              t_halve_duration,
+    t_halve_rate,       t_plain_poisson,       t_shrink_pool,           t_no_carry,
+    t_decrement_jobs,   t_decrement_workers,
 };
 
 }  // namespace
@@ -564,7 +635,8 @@ namespace {
 
 [[nodiscard]] std::string one_line_summary(const core::ExperimentSpec& spec) {
   std::ostringstream out;
-  out << spec.scheduler << " x " << spec.workload_name() << " x " << spec.fleet_name() << ":"
+  out << spec.scheduler.to_config_string() << " x " << spec.workload_name() << " x "
+      << spec.fleet_name() << ":"
       << spec.worker_count;
   if (spec.shards > 1) out << " shards=" << spec.shards;
   if (!spec.faults.empty()) out << " faults[" << spec.faults.describe() << "]";

@@ -16,6 +16,7 @@ void BarScheduler::attach(const SchedulerContext& ctx) {
   est_free_at_.assign(ctx_.worker_count(), 0);
   for (WorkerIndex w = 0; w < ctx_.worker_count(); ++w) {
     cluster::WorkerNode* worker = ctx_.workers[w];
+    if (worker == nullptr) continue;  // outside this context's partition
     ctx_.broker->register_mailbox(
         ctx_.worker_nodes[w], cluster::mailboxes::kJobs,
         [worker](const msg::Message& message) {
@@ -73,8 +74,9 @@ void BarScheduler::process_batch() {
   // Working copy of loads; assignment[i] = worker for jobs[i].
   std::vector<double> load(n);
   for (WorkerIndex w = 0; w < n; ++w) {
-    load[w] = ctx_.workers[w]->failed() ? std::numeric_limits<double>::infinity()
-                                        : load_s(w);
+    load[w] = (ctx_.workers[w] == nullptr || ctx_.workers[w]->failed())
+                  ? std::numeric_limits<double>::infinity()
+                  : load_s(w);
   }
   std::vector<WorkerIndex> assignment(jobs.size(), cluster::kNoWorker);
   // The batch evolves the placement map as it assigns (a job's download
@@ -92,7 +94,7 @@ void BarScheduler::process_batch() {
     // Least-loaded holder first. A retry's excluded worker is a soft
     // preference: skipped here, used below only if nothing else is alive.
     for (WorkerIndex w = 0; w < n; ++w) {
-      if (ctx_.workers[w]->failed()) continue;
+      if (ctx_.workers[w] == nullptr || ctx_.workers[w]->failed()) continue;
       if (w == excluded) {
         excluded_alive = true;
         continue;
@@ -111,7 +113,7 @@ void BarScheduler::process_batch() {
       // No holder: globally least completion time (cost_s charges the
       // transfer for non-local placements).
       for (WorkerIndex w = 0; w < n; ++w) {
-        if (ctx_.workers[w]->failed() || w == excluded) continue;
+        if (ctx_.workers[w] == nullptr || ctx_.workers[w]->failed() || w == excluded) continue;
         const double finish = load[w] + cost_s(w, job);
         if (finish < best_finish) {
           best_finish = finish;
@@ -121,7 +123,14 @@ void BarScheduler::process_batch() {
     }
     if (best == cluster::kNoWorker && excluded_alive) best = excluded;
     if (best == cluster::kNoWorker && !ctx_.notify_unassignable) {
-      best = 0;  // all workers failed: legacy blind dispatch
+      // All workers failed: legacy blind dispatch (to the first worker this
+      // context can see).
+      for (WorkerIndex w = 0; w < n; ++w) {
+        if (ctx_.workers[w] != nullptr) {
+          best = w;
+          break;
+        }
+      }
     }
     if (best == cluster::kNoWorker) {
       // All workers dead and a lifecycle is attached: let it retry or
@@ -191,7 +200,7 @@ void BarScheduler::process_batch() {
   }
   // Refresh drain estimates from the final plan.
   for (WorkerIndex w = 0; w < n; ++w) {
-    if (!ctx_.workers[w]->failed()) {
+    if (ctx_.workers[w] != nullptr && !ctx_.workers[w]->failed()) {
       est_free_at_[w] = ctx_.sim->now() + ticks_from_seconds(load[w]);
     }
   }

@@ -18,6 +18,7 @@ void BaselineScheduler::attach_extra() {
 
   // Workers evaluate offers locally (this is where the "opinion" lives).
   for (WorkerIndex w = 0; w < ctx_.worker_count(); ++w) {
+    if (ctx_.workers[w] == nullptr) continue;  // outside this context's partition
     ctx_.broker->register_mailbox(
         ctx_.worker_nodes[w], cluster::mailboxes::kOffers,
         [this, w](const msg::Message& message) {
@@ -60,7 +61,7 @@ bool BaselineScheduler::has_capacity(WorkerIndex w) const {
 void BaselineScheduler::worker_request(WorkerIndex w) {
   if (request_pending_[w]) return;
   cluster::WorkerNode* worker = ctx_.workers[w];
-  if (worker->failed() || !has_capacity(w)) return;
+  if (worker == nullptr || worker->failed() || !has_capacity(w)) return;
   request_pending_[w] = true;
   const Tick heartbeat = ticks_from_millis(worker->config().heartbeat_ms);
   ctx_.sim->schedule_after(heartbeat, [this, w] {
@@ -131,7 +132,7 @@ void BaselineScheduler::watchdog_poke(WorkerIndex w) {
 void BaselineScheduler::worker_handle_offer(WorkerIndex w, const JobOffer& offer) {
   request_pending_[w] = false;
   cluster::WorkerNode* worker = ctx_.workers[w];
-  if (worker->failed()) return;  // the offer is lost with the worker
+  if (worker == nullptr || worker->failed()) return;  // the offer is lost with the worker
 
   auto& declined = declines_[w];
   const auto it = declined.find(offer.job.id);

@@ -43,7 +43,7 @@ void BiddingScheduler::attach(const SchedulerContext& ctx) {
 
   // Resolve the protocol's topic and mailbox names once: every publish/send
   // below goes through dense ids, never a string hash.
-  bid_topic_ = ctx_.broker->topic(cluster::topics::kBidRequests);
+  bid_topic_ = ctx_.broker->topic(ctx_.scoped(cluster::topics::kBidRequests));
   jobs_box_ = ctx_.broker->mailbox(cluster::mailboxes::kJobs);
   bids_box_ = ctx_.broker->mailbox(cluster::mailboxes::kBids);
 
@@ -51,6 +51,7 @@ void BiddingScheduler::attach(const SchedulerContext& ctx) {
   // job assignments.
   for (WorkerIndex w = 0; w < ctx_.worker_count(); ++w) {
     cluster::WorkerNode* worker = ctx_.workers[w];
+    if (worker == nullptr) continue;  // outside this context's partition
     ctx_.broker->subscribe(bid_topic_, ctx_.worker_nodes[w],
                            [this, w](const msg::Message& message) {
                              worker_handle_bid_request(w, message.payload.as<BidRequest>());
@@ -88,6 +89,7 @@ void BiddingScheduler::attach(const SchedulerContext& ctx) {
     placement_acks_box_ = ctx_.broker->mailbox(cluster::mailboxes::kPlacementAcks);
     load_reports_box_ = ctx_.broker->mailbox(cluster::mailboxes::kLoadReports);
     for (WorkerIndex w = 0; w < ctx_.worker_count(); ++w) {
+      if (ctx_.workers[w] == nullptr) continue;
       ctx_.broker->register_mailbox(
           ctx_.worker_nodes[w], cluster::mailboxes::kPlacements,
           [this, w](const msg::Message& message) {
@@ -125,6 +127,7 @@ void BiddingScheduler::attach(const SchedulerContext& ctx) {
       });
       for (WorkerIndex w = 0; w < ctx_.worker_count(); ++w) {
         cluster::WorkerNode* worker = ctx_.workers[w];
+        if (worker == nullptr) continue;
         ctx_.probes->add_gauge("cache.load_error_s", ctx_.worker_shard(w),
                                [worker] { return -worker->backlog_cost_s(); });
       }
@@ -188,7 +191,7 @@ void BiddingScheduler::place_cached(const workflow::Job& job) {
        probe_scratch_.size() < want && attempts < max_attempts; ++attempts) {
     const auto w = static_cast<WorkerIndex>(
         cache_rng_->uniform_int(0, static_cast<std::uint64_t>(fleet - 1)));
-    if (ctx_.workers[w]->failed()) continue;
+    if (ctx_.workers[w] == nullptr || ctx_.workers[w]->failed()) continue;
     if (std::find(probe_scratch_.begin(), probe_scratch_.end(), w) !=
         probe_scratch_.end()) {
       continue;
@@ -198,7 +201,7 @@ void BiddingScheduler::place_cached(const workflow::Job& job) {
   if (probe_scratch_.size() < want || fleet == 0) {
     probe_scratch_.clear();
     for (WorkerIndex w = 0; w < fleet; ++w) {
-      if (!ctx_.workers[w]->failed()) probe_scratch_.push_back(w);
+      if (ctx_.workers[w] != nullptr && !ctx_.workers[w]->failed()) probe_scratch_.push_back(w);
     }
     if (probe_scratch_.empty()) {
       // Nobody alive to place on — same terminal handling as a zero-live
@@ -275,7 +278,7 @@ void BiddingScheduler::place_cached(const workflow::Job& job) {
 
 void BiddingScheduler::worker_handle_placement(WorkerIndex w, const DirectPlacement& p) {
   cluster::WorkerNode* worker = ctx_.workers[w];
-  if (worker->failed()) return;
+  if (worker == nullptr || worker->failed()) return;
 
   // Late binding (Listing 2's estimate, judged locally): accept when the
   // actual backlog is no worse than the master's cached view plus slack;
@@ -360,7 +363,7 @@ void BiddingScheduler::master_receive_load_report(const LoadReport& report) {
   // A report can outrun the master's knowledge of a crash only briefly;
   // once the worker is known dead its slot waits for revive(). (failed()
   // flags flip at window barriers, so this master-side read is safe.)
-  if (ctx_.workers[report.worker]->failed()) return;
+  if (ctx_.workers[report.worker] == nullptr || ctx_.workers[report.worker]->failed()) return;
   cache_.refresh(report.worker, cache_.generation(report.worker), report.backlog_s);
 }
 
@@ -368,7 +371,7 @@ std::uint32_t BiddingScheduler::solicit_probes(std::uint64_t contest_id,
                                                const workflow::Job& job) {
   probe_scratch_.clear();
   for (WorkerIndex w = 0; w < ctx_.worker_count(); ++w) {
-    if (!ctx_.workers[w]->failed()) probe_scratch_.push_back(w);
+    if (ctx_.workers[w] != nullptr && !ctx_.workers[w]->failed()) probe_scratch_.push_back(w);
   }
   const auto k = static_cast<std::uint32_t>(
       std::min<std::size_t>(config_.fanout.probe_k, probe_scratch_.size()));
@@ -413,7 +416,7 @@ void BiddingScheduler::open_contest(const workflow::Job& job) {
 
 void BiddingScheduler::worker_handle_bid_request(WorkerIndex w, const BidRequest& request) {
   cluster::WorkerNode* worker = ctx_.workers[w];
-  if (worker->failed()) return;
+  if (worker == nullptr || worker->failed()) return;
 
   // Listing 2, sendBid: backlog + transfer estimate + processing estimate.
   double cost_s = worker->estimate_bid_s(request.job);
@@ -442,7 +445,7 @@ void BiddingScheduler::master_receive_bid(const BidSubmission& bid) {
   // Cached fan-out: every bid carries the worker's authoritative backlog —
   // refresh the cache even for late/duplicate bids, before any early-out.
   if (config_.fanout.cached() && bid.worker < cache_.size() &&
-      !ctx_.workers[bid.worker]->failed()) {
+      ctx_.workers[bid.worker] != nullptr && !ctx_.workers[bid.worker]->failed()) {
     ++stats_.control_messages;
     cache_.refresh(bid.worker, cache_.generation(bid.worker), bid.backlog_s);
   }
@@ -483,7 +486,7 @@ cluster::WorkerIndex BiddingScheduler::arbitrary_worker(WorkerIndex excluded) {
   WorkerIndex excluded_alive = cluster::kNoWorker;
   for (std::size_t probe = 0; probe < n; ++probe) {
     const auto w = static_cast<WorkerIndex>(fallback_cursor_++ % n);
-    if (ctx_.workers[w]->failed()) continue;
+    if (ctx_.workers[w] == nullptr || ctx_.workers[w]->failed()) continue;
     if (w == excluded) {
       excluded_alive = w;
       continue;

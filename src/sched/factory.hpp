@@ -2,6 +2,12 @@
 // Scheduler factory: construct any scheduler from a config string. Used by
 // benches, tools, and scenarios to sweep algorithms uniformly.
 //
+// These functions are thin wrappers over sched::SchedulerSpec (spec.hpp),
+// which is the structured form every configuration surface now flows
+// through; prefer the spec when you hold one (it validates once and never
+// re-parses). The config-string grammar below is unchanged and additionally
+// accepts "fed.*" keys for the federated control plane (see spec.hpp).
+//
 // Spec grammar: "name" or "name:key=val,key=val,...". Values may themselves
 // contain ':' (e.g. "bidding:fanout=probe:4"); keys are comma-separated.
 // Unknown names and unknown keys are errors that list the valid choices.

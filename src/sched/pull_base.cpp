@@ -16,6 +16,7 @@ void PullSchedulerBase::attach(const SchedulerContext& ctx) {
 
   for (WorkerIndex w = 0; w < ctx_.worker_count(); ++w) {
     cluster::WorkerNode* worker = ctx_.workers[w];
+    if (worker == nullptr) continue;  // outside this context's partition
     // Direct assignments land in the worker's FIFO queue.
     ctx_.broker->register_mailbox(
         ctx_.worker_nodes[w], cluster::mailboxes::kJobs,
@@ -66,7 +67,7 @@ void PullSchedulerBase::watchdog_fire() {
   if (!watchdog_needed()) return;  // self-disarm: no work could be stranded
   bool any_alive = false;
   for (WorkerIndex w = 0; w < ctx_.worker_count(); ++w) {
-    if (ctx_.workers[w]->failed()) continue;
+    if (ctx_.workers[w] == nullptr || ctx_.workers[w]->failed()) continue;
     any_alive = true;
     watchdog_poke(w);
   }
@@ -95,6 +96,7 @@ void PullSchedulerBase::on_worker_idle(WorkerIndex w) {
 
 void PullSchedulerBase::worker_request_work_later(WorkerIndex w) {
   cluster::WorkerNode* worker = ctx_.workers[w];
+  if (worker == nullptr) return;  // outside this context's partition
   const Tick heartbeat = ticks_from_millis(worker->config().heartbeat_ms);
   auto poll = [this, w] {
     cluster::WorkerNode* again = ctx_.workers[w];

@@ -55,6 +55,18 @@ struct SchedulerContext {
   /// timeouts that would otherwise perturb fault-free determinism.
   bool fault_aware = false;
 
+  /// Namespace prefix for broker *topics* ("" outside federation). Topics
+  /// are global — two scheduler instances interning the same topic name
+  /// would hear each other's broadcasts — so federated instances get a
+  /// per-instance prefix. Mailboxes are keyed by (node, name) and never
+  /// collide; they stay unscoped.
+  std::string scope;
+
+  /// A topic name qualified by this context's scope.
+  [[nodiscard]] std::string scoped(const std::string& topic) const {
+    return scope.empty() ? topic : scope + topic;
+  }
+
   /// Telemetry probe registry (null when telemetry is off). Schedulers
   /// register read-only gauges/invariants in attach(); gauges tagged with a
   /// worker's shard (see worker_shard()) are sampled on that shard's thread
@@ -142,6 +154,15 @@ class Scheduler {
     (void)id;
     (void)w;
   }
+
+  /// Fault injection: scheduler instance `instance` of a federated control
+  /// plane crashed (fault-plan `sched_crash` clause). Non-federated
+  /// schedulers never see this. Default: ignore.
+  virtual void on_scheduler_crash(std::uint32_t instance) { (void)instance; }
+
+  /// Fault injection: scheduler instance `instance` came back. Default:
+  /// ignore.
+  virtual void on_scheduler_recovered(std::uint32_t instance) { (void)instance; }
 
   /// Number of jobs the scheduler accepted but has not yet durably handed
   /// to a worker (used by the engine's quiescence diagnostics).

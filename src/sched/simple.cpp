@@ -21,6 +21,7 @@ void SimplePushScheduler::attach(const SchedulerContext& ctx) {
   ctx_ = ctx;
   for (WorkerIndex w = 0; w < ctx_.worker_count(); ++w) {
     cluster::WorkerNode* worker = ctx_.workers[w];
+    if (worker == nullptr) continue;  // outside this context's partition
     ctx_.broker->register_mailbox(
         ctx_.worker_nodes[w], cluster::mailboxes::kJobs,
         [worker](const msg::Message& message) {
@@ -36,7 +37,7 @@ WorkerIndex SimplePushScheduler::pick() {
   const auto first_alive_from = [&](WorkerIndex start) {
     for (std::size_t probe = 0; probe < n; ++probe) {
       const auto w = static_cast<WorkerIndex>((start + probe) % n);
-      if (!ctx_.workers[w]->failed()) return w;
+      if (ctx_.workers[w] != nullptr && !ctx_.workers[w]->failed()) return w;
     }
     return start;
   };
@@ -51,7 +52,7 @@ WorkerIndex SimplePushScheduler::pick() {
       std::size_t best_len = std::numeric_limits<std::size_t>::max();
       for (WorkerIndex w = 0; w < n; ++w) {
         const cluster::WorkerNode* worker = ctx_.workers[w];
-        if (worker->failed()) continue;
+        if (worker == nullptr || worker->failed()) continue;
         const std::size_t len = worker->queue_length() + (worker->busy() ? 1 : 0);
         if (len < best_len) {
           best_len = len;

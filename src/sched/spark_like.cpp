@@ -14,6 +14,7 @@ void SparkLikeScheduler::attach(const SchedulerContext& ctx) {
   ctx_ = ctx;
   for (WorkerIndex w = 0; w < ctx_.worker_count(); ++w) {
     cluster::WorkerNode* worker = ctx_.workers[w];
+    if (worker == nullptr) continue;  // outside this context's partition
     ctx_.broker->register_mailbox(
         ctx_.worker_nodes[w], cluster::mailboxes::kJobs,
         [worker](const msg::Message& message) {
@@ -47,7 +48,7 @@ WorkerIndex SparkLikeScheduler::place(const workflow::Job& job) {
   WorkerIndex excluded_alive = cluster::kNoWorker;
   for (std::size_t probe = 0; probe < n; ++probe) {
     const auto w = static_cast<WorkerIndex>((start + probe) % n);
-    if (ctx_.workers[w]->failed()) continue;
+    if (ctx_.workers[w] == nullptr || ctx_.workers[w]->failed()) continue;
     if (w == excluded) {
       excluded_alive = w;  // soft exclusion: only if nobody else is alive
       continue;

@@ -18,6 +18,12 @@ void ArgParser::add_flag(const std::string& name, std::string help) {
   option_order_.push_back(name);
 }
 
+void ArgParser::add_multi_option(const std::string& name, std::string help) {
+  Option option{"", std::move(help), false, false, true, {}};
+  options_[name] = std::move(option);
+  option_order_.push_back(name);
+}
+
 void ArgParser::add_positional(const std::string& name, std::string help, bool required) {
   positional_spec_.push_back(Positional{name, std::move(help), required});
 }
@@ -43,6 +49,7 @@ bool ArgParser::parse(int argc, char** argv) {
           return false;
         }
         it->second.value = argv[++i];
+        if (it->second.is_multi) it->second.values.push_back(it->second.value);
       }
       continue;
     }
@@ -85,6 +92,12 @@ double ArgParser::get_double(const std::string& name) const {
   return value;
 }
 
+const std::vector<std::string>& ArgParser::get_all(const std::string& name) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) throw std::out_of_range("ArgParser: undeclared option " + name);
+  return it->second.values;
+}
+
 bool ArgParser::given(const std::string& name) const {
   const auto it = options_.find(name);
   return it != options_.end() && it->second.seen;
@@ -108,7 +121,11 @@ std::string ArgParser::usage() const {
   for (const std::string& name : option_order_) {
     const Option& option = options_.at(name);
     out << "  --" << name;
-    if (!option.is_flag) out << " <value, default: " << option.value << ">";
+    if (option.is_multi) {
+      out << " <value, repeatable>";
+    } else if (!option.is_flag) {
+      out << " <value, default: " << option.value << ">";
+    }
     out << "\n      " << option.help << "\n";
   }
   return out.str();

@@ -23,6 +23,10 @@ class ArgParser {
   /// Declares a boolean flag `--name`.
   void add_flag(const std::string& name, std::string help);
 
+  /// Declares a repeatable value option `--name <value>`; every occurrence
+  /// is collected in order (read them back with get_all()).
+  void add_multi_option(const std::string& name, std::string help);
+
   /// Declares a named positional argument (listed in usage, in order).
   /// Optional positionals must come after required ones.
   void add_positional(const std::string& name, std::string help, bool required = true);
@@ -43,6 +47,10 @@ class ArgParser {
   /// True if the flag was given (or the option explicitly set).
   [[nodiscard]] bool given(const std::string& name) const;
 
+  /// All values of a repeatable option, in command-line order (empty when
+  /// never given). Throws std::out_of_range for undeclared names.
+  [[nodiscard]] const std::vector<std::string>& get_all(const std::string& name) const;
+
   /// Positional values in order (missing optionals are absent).
   [[nodiscard]] const std::vector<std::string>& positionals() const noexcept {
     return positionals_;
@@ -57,6 +65,8 @@ class ArgParser {
     std::string help;
     bool is_flag = false;
     bool seen = false;
+    bool is_multi = false;
+    std::vector<std::string> values;
   };
   struct Positional {
     std::string name;

@@ -8,6 +8,7 @@
 #include "workload/trace_io.hpp"
 #include "msr/msr.hpp"
 #include "sched/baseline.hpp"
+#include "sched/factory.hpp"
 #include "sched/bidding.hpp"
 #include "test_helpers.hpp"
 

@@ -8,6 +8,12 @@
 //   dlaja_run --scheduler baseline --jobs 240 --iters 5 --noise lognormal:0.5
 //   dlaja_run --scheduler bidding --estimation historic --csv runs.csv
 //   dlaja_run --scenario examples/scenarios/paper_bidding.json
+//   dlaja_run --scenario federated_2x.json --set scheduler.fanout=cached:8 \
+//             --set scheduler.federation.partitions=4
+//
+// Spec sources compose by one precedence rule: flags < scenario < --set.
+// Flags fill scenario keys the file leaves out; --set dotted-path
+// overrides beat both.
 
 #include <fstream>
 #include <iostream>
@@ -29,11 +35,19 @@ int main(int argc, char** argv) {
   ArgParser args("dlaja_run",
                  "run a locality-scheduling experiment and print the paper's metrics");
   args.add_option("scenario", "",
-                  "run a scenario file (JSON) instead of the spec flags; output "
+                  "run a scenario file (JSON); spec flags fill keys the file "
+                  "leaves out (precedence: flags < scenario < --set), and output "
                   "flags (--csv, --timeline, --trace, ...) still apply");
+  args.add_multi_option(
+      "set",
+      "dotted-path scenario override, e.g. --set scheduler.fanout=cached:8 or "
+      "--set scheduler.federation.partitions=2 or --set workers=16; repeatable, "
+      "applied last (precedence: flags < scenario < --set); values parse as "
+      "JSON when possible, else as strings");
   args.add_option("scheduler", "bidding",
                   "scheduler spec, e.g. bidding, bidding:fanout=probe:4, "
-                  "baseline:declines=2 (see sched::scheduler_names())");
+                  "baseline:declines=2, bidding:fed.partitions=2,fed.spill=1.5 "
+                  "(see sched::scheduler_names())");
   args.add_option("workload", "80%_large",
                   "job config: all_diff_equal|all_diff_large|all_diff_small|80%_large|80%_small");
   args.add_option("fleet", "all-equal", "fleet preset: all-equal|one-fast|one-slow|fast-slow");
@@ -44,7 +58,8 @@ int main(int argc, char** argv) {
   args.add_option("noise", "throttle:0.1,0.3", "noise scheme for effective speeds");
   args.add_option("faults", "",
                   "fault plan, e.g. \"crash:w=1,at=15,down=30;drop:p=0.01\" "
-                  "(crash | crashes | degrade | drop | dup clauses, ';'-separated)");
+                  "(crash | crashes | sched_crash | degrade | drop | dup "
+                  "clauses, ';'-separated)");
   args.add_option("estimation", "nominal", "bid speeds: nominal | historic");
   args.add_option("csv", "", "write raw run rows to this file");
   args.add_option("timeline", "", "write the last run's concurrency series to this file");
@@ -69,58 +84,122 @@ int main(int argc, char** argv) {
   if (!args.parse(argc, argv)) return 1;
   set_log_level(parse_log_level(args.get("log-level")));
 
+  // Assemble ONE scenario document from the three spec sources, weakest
+  // first: spec flags, then the scenario file, then --set overrides. The
+  // merged document flows through ExperimentSpec::from_json exactly like a
+  // scenario file would, so every surface shares one parser and one set of
+  // error messages.
   core::ExperimentSpec spec;
-  if (!args.get("scenario").empty()) {
-    // A scenario file IS the experiment spec: mixing it with spec flags
-    // would silently ignore one side, so that's an error.
-    for (const char* flag : {"scheduler", "workload", "fleet", "workers", "jobs", "iters",
-                             "seed", "noise", "faults", "estimation", "no-carry"}) {
-      if (args.given(flag)) {
-        std::cerr << "--scenario is exclusive with --" << flag
-                  << " (edit the scenario file instead)\n";
+  const bool have_scenario = !args.get("scenario").empty();
+  try {
+    json::Object doc;
+    if (have_scenario) {
+      std::ifstream in(args.get("scenario"));
+      if (!in) {
+        std::cerr << "cannot open " << args.get("scenario") << "\n";
         return 1;
       }
+      std::ostringstream text;
+      text << in.rdbuf();
+      const json::Value parsed = json::parse(text.str());
+      if (!parsed.is_object()) {
+        throw std::invalid_argument("scenario: document must be a JSON object");
+      }
+      doc = parsed.as_object();
     }
-    std::ifstream in(args.get("scenario"));
-    if (!in) {
-      std::cerr << "cannot open " << args.get("scenario") << "\n";
-      return 1;
+    // Flags are the weakest layer: with a scenario, a flag fills its key
+    // only when explicitly given AND the file leaves the key out; without
+    // one, the flag defaults build the whole document.
+    const auto fill = [&](const char* flag, const std::string& key, const json::Value& value) {
+      if (have_scenario ? (args.given(flag) && !doc.contains(key)) : true) doc[key] = value;
+    };
+    fill("scheduler", "scheduler", json::Value{args.get("scheduler")});
+    fill("workload", "workload", json::Value{args.get("workload")});
+    fill("jobs", "jobs", json::Value{args.get_int("jobs")});
+    fill("fleet", "fleet", json::Value{args.get("fleet")});
+    fill("workers", "workers", json::Value{args.get_int("workers")});
+    fill("iters", "iterations", json::Value{args.get_int("iters")});
+    fill("seed", "seed", json::Value{args.get_int("seed")});
+    fill("noise", "noise", json::Value{args.get("noise")});
+    fill("estimation", "estimation", json::Value{args.get("estimation")});
+    if (!args.get("faults").empty()) {
+      fill("faults", "faults", json::Value{args.get("faults")});
     }
-    std::ostringstream text;
-    text << in.rdbuf();
-    try {
-      spec = core::ExperimentSpec::from_json(json::parse(text.str()));
-    } catch (const std::invalid_argument& error) {
-      std::cerr << args.get("scenario") << ": " << error.what() << "\n";
-      return 1;
-    }
-    if (!spec.name.empty()) std::cout << "scenario: " << spec.name << "\n";
-  } else {
-    try {
-      spec.scheduler = args.get("scheduler");
-      spec.job_config = workload::job_config_from_name(args.get("workload"));
-      workload::WorkloadSpec wspec = workload::make_workload_spec(spec.job_config);
-      wspec.job_count = static_cast<std::size_t>(args.get_int("jobs"));
-      spec.custom_workload = wspec;
-      spec.fleet = cluster::fleet_preset_from_name(args.get("fleet"));
-      spec.worker_count = static_cast<std::size_t>(args.get_int("workers"));
-      spec.iterations = static_cast<int>(args.get_int("iters"));
-      spec.seed = static_cast<std::uint64_t>(args.get_int("seed"));
-      spec.noise = net::NoiseConfig::parse(args.get("noise"));
-      spec.carry_cache = !args.given("no-carry");
-      if (!args.get("faults").empty()) spec.faults = fault::FaultPlan::parse(args.get("faults"));
-      if (args.get("estimation") == "historic") {
-        spec.estimation = cluster::SpeedEstimator::Mode::kHistoric;
-        spec.probe_speeds = true;
-      } else if (args.get("estimation") != "nominal") {
-        std::cerr << "bad --estimation (nominal|historic)\n";
+    if (args.given("no-carry")) fill("no-carry", "carry_cache", json::Value{false});
+
+    // --set overrides beat both layers. Paths into a config-string
+    // "scheduler" first expand it to the object form so dotted scheduler
+    // keys compose with either wire form.
+    for (const std::string& entry : args.get_all("set")) {
+      const std::size_t eq = entry.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::cerr << "--set wants path=value, got '" << entry << "'\n";
         return 1;
       }
-    } catch (const std::invalid_argument& error) {
-      std::cerr << error.what() << "\n";
-      return 1;
+      const std::string path = entry.substr(0, eq);
+      const std::string text = entry.substr(eq + 1);
+      std::vector<std::string> segments;
+      for (std::size_t pos = 0; pos <= path.size();) {
+        const std::size_t dot = path.find('.', pos);
+        segments.push_back(
+            path.substr(pos, dot == std::string::npos ? std::string::npos : dot - pos));
+        if (segments.back().empty()) {
+          std::cerr << "--set: empty path segment in '" << path << "'\n";
+          return 1;
+        }
+        pos = dot == std::string::npos ? path.size() + 1 : dot + 1;
+      }
+      if (segments.size() > 1 && segments.front() == "scheduler") {
+        const json::Value* current = doc.find("scheduler");
+        if (current == nullptr || current->is_string()) {
+          const sched::SchedulerSpec base =
+              current == nullptr ? sched::SchedulerSpec{}
+                                 : sched::SchedulerSpec::parse(current->as_string());
+          if (!base.parse_error().empty()) {
+            throw std::invalid_argument(base.parse_error());
+          }
+          json::Object expanded;
+          expanded["type"] = base.type();
+          for (const auto& [okey, ovalue] : base.options()) expanded[okey] = ovalue;
+          doc["scheduler"] = json::Value{std::move(expanded)};
+        }
+      }
+      // Values parse as JSON when they can (numbers, bools, arrays), and
+      // fall back to plain strings ("cached:8", "80%_large", fault plans).
+      json::Value leaf;
+      try {
+        leaf = json::parse(text);
+      } catch (const std::invalid_argument&) {
+        leaf = json::Value{text};
+      }
+      json::Object* cursor = &doc;
+      std::vector<json::Object> spine;  // copies of intermediate objects
+      spine.reserve(segments.size());
+      for (std::size_t depth = 0; depth + 1 < segments.size(); ++depth) {
+        json::Value& slot = (*cursor)[segments[depth]];
+        if (!slot.is_null() && !slot.is_object()) {
+          std::cerr << "--set: '" << segments[depth] << "' in '" << path
+                    << "' is not an object\n";
+          return 1;
+        }
+        spine.push_back(slot.is_object() ? slot.as_object() : json::Object{});
+        cursor = &spine.back();
+      }
+      (*cursor)[segments.back()] = std::move(leaf);
+      // Fold the copied spine back up into the document.
+      for (std::size_t depth = spine.size(); depth-- > 0;) {
+        json::Object* parent = depth == 0 ? &doc : &spine[depth - 1];
+        (*parent)[segments[depth]] = json::Value{std::move(spine[depth])};
+      }
     }
+
+    spec = core::ExperimentSpec::from_json(json::Value{std::move(doc)});
+  } catch (const std::invalid_argument& error) {
+    if (have_scenario) std::cerr << args.get("scenario") << ": ";
+    std::cerr << error.what() << "\n";
+    return 1;
   }
+  if (!spec.name.empty()) std::cout << "scenario: " << spec.name << "\n";
 
   // --shards / --flat-latency / --telemetry-interval apply on top of either
   // source, so one scenario file can be diffed across shard counts or probed
@@ -156,7 +235,8 @@ int main(int argc, char** argv) {
   }
 
   const bool with_faults = !spec.faults.empty();
-  TextTable table(spec.scheduler + " on " + spec.workload_name() + " / " + spec.fleet_name());
+  TextTable table(spec.scheduler.to_config_string() + " on " + spec.workload_name() + " / " +
+                  spec.fleet_name());
   std::vector<std::string> header = {"iter",      "exec (s)",      "misses",  "data (MB)",
                                      "completed", "alloc lat (s)", "hit rate"};
   if (with_faults) {
@@ -259,8 +339,7 @@ int main(int argc, char** argv) {
       for (cluster::WorkerConfig& cfg : fleet) cfg.latency_jitter_ms = 0.0;
       config.master_link.latency_jitter_ms = 0.0;
     }
-    core::Engine engine(std::move(fleet),
-                        sched::make_scheduler(spec.scheduler, spec.seed), config);
+    core::Engine engine(std::move(fleet), spec.scheduler.build(spec.seed), config);
     obs::Tracer tracer;
     if (!trace_path.empty() || !trace_csv_path.empty()) {
       tracer.set_enabled(true);
